@@ -1,0 +1,88 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! MRU vs most-frequent edge selection, the linear limit vs window vs
+//! unlimited aggressiveness, the Markov order, and the lead cap.
+//!
+//! Criterion times each variant's full (small-scale) simulation; the
+//! printed report lines carry the quality metrics (read time, disk
+//! accesses, mispredict ratio) so a bench run doubles as the ablation
+//! table. The paper-scale ablation table comes from
+//! `experiments ablations`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{build_config, build_workload, Scale, WorkloadKind};
+use lap_core::{run_simulation, CacheSystem};
+use prefetch::{AggressiveLimit, EdgeChoice, PrefetchConfig};
+
+fn variants() -> Vec<(String, PrefetchConfig)> {
+    let base = PrefetchConfig::ln_agr_is_ppm(1);
+    vec![
+        ("edge_mru".into(), base),
+        (
+            "edge_most_frequent".into(),
+            PrefetchConfig {
+                edge_choice: EdgeChoice::MostFrequent,
+                ..base
+            },
+        ),
+        (
+            "limit_linear".into(),
+            PrefetchConfig {
+                aggressive: Some(AggressiveLimit::One),
+                ..base
+            },
+        ),
+        (
+            "limit_window16".into(),
+            PrefetchConfig {
+                aggressive: Some(AggressiveLimit::Window(16)),
+                ..base
+            },
+        ),
+        (
+            "limit_unlimited".into(),
+            PrefetchConfig {
+                aggressive: Some(AggressiveLimit::Unlimited),
+                ..base
+            },
+        ),
+        ("order_1".into(), PrefetchConfig::ln_agr_is_ppm(1)),
+        ("order_3".into(), PrefetchConfig::ln_agr_is_ppm(3)),
+        (
+            "lead_unbounded".into(),
+            PrefetchConfig {
+                lead_cap: None,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let wl = build_workload(WorkloadKind::CharismaPm, Scale::Small, 42);
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    for (name, pf) in variants() {
+        let cfg = build_config(
+            WorkloadKind::CharismaPm,
+            Scale::Small,
+            CacheSystem::Pafs,
+            pf,
+            2,
+        );
+        let report = run_simulation(cfg.clone(), wl.clone());
+        println!(
+            "{name:<22} read {:>7.3} ms  disk {:>8}  mispred {:>5.1}%",
+            report.avg_read_ms,
+            report.disk_accesses(),
+            report.mispredict_ratio * 100.0
+        );
+        group.bench_function(&name, |b| {
+            b.iter(|| run_simulation(cfg.clone(), wl.clone()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,267 @@
+//! Minimal dependency-free SVG line charts, one per figure — the same
+//! visual form as the paper's Figures 4–11 (metric vs. "local cache"
+//! size, one line per algorithm).
+
+use crate::{metric_value, Cell, Experiment, Metric};
+
+/// Chart geometry.
+const W: f64 = 760.0;
+const H: f64 = 520.0;
+const MARGIN_L: f64 = 90.0;
+const MARGIN_R: f64 = 220.0;
+const MARGIN_T: f64 = 50.0;
+const MARGIN_B: f64 = 70.0;
+
+/// A visually distinct, print-safe palette (one entry per algorithm
+/// line, cycled).
+const COLORS: [&str; 7] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf",
+];
+
+fn fmt_value(metric: Metric, v: f64) -> String {
+    match metric {
+        Metric::AvgReadMs => format!("{v:.2}"),
+        Metric::DiskAccesses => {
+            if v >= 1e6 {
+                format!("{:.1}M", v / 1e6)
+            } else if v >= 1e3 {
+                format!("{:.0}k", v / 1e3)
+            } else {
+                format!("{v:.0}")
+            }
+        }
+        Metric::WritesPerBlock => format!("{v:.1}"),
+    }
+}
+
+/// Render one experiment grid as a self-contained SVG document.
+///
+/// The x axis is the cache size (log scale, like the paper's 1–16 MB
+/// doubling sweep); the y axis starts at zero, like the paper's plots.
+pub fn render_svg(exp: Experiment, cells: &[Cell], cache_mbs: &[u64]) -> String {
+    use std::fmt::Write;
+
+    // Collect algorithms in first-appearance order.
+    let mut algos: Vec<&str> = Vec::new();
+    for c in cells {
+        if !algos.contains(&c.algorithm.as_str()) {
+            algos.push(&c.algorithm);
+        }
+    }
+
+    let value_of = |algo: &str, mb: u64| -> Option<f64> {
+        cells
+            .iter()
+            .find(|c| c.algorithm == algo && c.cache_mb == mb)
+            .map(|c| metric_value(exp.metric, &c.report))
+    };
+
+    let y_max = cells
+        .iter()
+        .map(|c| metric_value(exp.metric, &c.report))
+        .fold(0.0f64, f64::max)
+        .max(1e-12)
+        * 1.08;
+
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let x_of = |mb: u64| -> f64 {
+        // log2 positions: 1,2,4,8,16 equally spaced.
+        let lo = (cache_mbs[0] as f64).log2();
+        let hi = (cache_mbs[cache_mbs.len() - 1] as f64)
+            .log2()
+            .max(lo + 1e-9);
+        MARGIN_L + ((mb as f64).log2() - lo) / (hi - lo) * plot_w
+    };
+    let y_of = |v: f64| -> f64 { MARGIN_T + plot_h - (v / y_max) * plot_h };
+
+    let mut s = String::new();
+    writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"#
+    )
+    .unwrap();
+    writeln!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#).unwrap();
+
+    // Title.
+    writeln!(
+        s,
+        r#"<text x="{}" y="28" font-size="16" text-anchor="middle">{} — {}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        exp.id,
+        xml_escape(exp.title)
+    )
+    .unwrap();
+
+    // Axes.
+    writeln!(
+        s,
+        r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        MARGIN_T + plot_h,
+        MARGIN_L + plot_w,
+        MARGIN_T + plot_h
+    )
+    .unwrap();
+    writeln!(
+        s,
+        r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+        MARGIN_T + plot_h
+    )
+    .unwrap();
+
+    // X ticks.
+    for &mb in cache_mbs {
+        let x = x_of(mb);
+        let y = MARGIN_T + plot_h;
+        writeln!(
+            s,
+            r#"<line x1="{x}" y1="{y}" x2="{x}" y2="{}" stroke="black"/>"#,
+            y + 5.0
+        )
+        .unwrap();
+        writeln!(
+            s,
+            r#"<text x="{x}" y="{}" font-size="12" text-anchor="middle">{mb}</text>"#,
+            y + 20.0
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        r#"<text x="{}" y="{}" font-size="13" text-anchor="middle">"Local cache" size (MB per node)</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        H - 22.0
+    )
+    .unwrap();
+
+    // Y ticks (5 gridlines).
+    for i in 0..=5 {
+        let v = y_max / 5.0 * i as f64;
+        let y = y_of(v);
+        writeln!(
+            s,
+            r##"<line x1="{MARGIN_L}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/>"##,
+            MARGIN_L + plot_w
+        )
+        .unwrap();
+        writeln!(
+            s,
+            r#"<text x="{}" y="{}" font-size="12" text-anchor="end">{}</text>"#,
+            MARGIN_L - 8.0,
+            y + 4.0,
+            fmt_value(exp.metric, v)
+        )
+        .unwrap();
+    }
+    let y_label = match exp.metric {
+        Metric::AvgReadMs => "Average read time (ms)",
+        Metric::DiskAccesses => "Disk accesses",
+        Metric::WritesPerBlock => "Disk writes per written block",
+    };
+    writeln!(
+        s,
+        r#"<text x="20" y="{}" font-size="13" text-anchor="middle" transform="rotate(-90 20 {})">{y_label}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0
+    )
+    .unwrap();
+
+    // Series.
+    for (i, algo) in algos.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let points: Vec<(f64, f64)> = cache_mbs
+            .iter()
+            .filter_map(|&mb| value_of(algo, mb).map(|v| (x_of(mb), y_of(v))))
+            .collect();
+        if points.is_empty() {
+            continue;
+        }
+        let path: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+            .collect();
+        writeln!(
+            s,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            path.join(" ")
+        )
+        .unwrap();
+        for (x, y) in &points {
+            writeln!(
+                s,
+                r#"<circle cx="{x:.1}" cy="{y:.1}" r="3.2" fill="{color}"/>"#
+            )
+            .unwrap();
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 + i as f64 * 20.0;
+        let lx = MARGIN_L + plot_w + 18.0;
+        writeln!(
+            s,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 22.0
+        )
+        .unwrap();
+        writeln!(
+            s,
+            r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+            lx + 28.0,
+            ly + 4.0,
+            xml_escape(algo)
+        )
+        .unwrap();
+    }
+
+    s.push_str("</svg>\n");
+    s
+}
+
+fn xml_escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{experiment, run_grid, Scale};
+
+    #[test]
+    fn svg_is_well_formed_and_contains_every_series() {
+        let exp = experiment("fig4").unwrap();
+        let cells = run_grid(exp, Scale::Small, 7, &[1, 4], 4);
+        let svg = render_svg(exp, &cells, &[1, 4]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One polyline per algorithm (7 for read-time figures).
+        assert_eq!(svg.matches("<polyline").count(), 7);
+        assert!(svg.contains("Ln_Agr_IS_PPM:1"));
+        assert!(svg.contains("Average read time"));
+        // Balanced open/close tags for the container.
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+    }
+
+    #[test]
+    fn disk_figures_use_the_accesses_axis_label() {
+        let exp = experiment("fig10").unwrap();
+        let cells = run_grid(exp, Scale::Small, 7, &[1, 4], 4);
+        let svg = render_svg(exp, &cells, &[1, 4]);
+        assert!(svg.contains("Disk accesses"));
+        assert_eq!(svg.matches("<polyline").count(), 4);
+    }
+
+    #[test]
+    fn value_formatting_scales_units() {
+        assert_eq!(fmt_value(Metric::DiskAccesses, 2_500_000.0), "2.5M");
+        assert_eq!(fmt_value(Metric::DiskAccesses, 42_000.0), "42k");
+        assert_eq!(fmt_value(Metric::DiskAccesses, 900.0), "900");
+        assert_eq!(fmt_value(Metric::AvgReadMs, 1.234), "1.23");
+        assert_eq!(fmt_value(Metric::WritesPerBlock, 7.62), "7.6");
+    }
+
+    #[test]
+    fn escape_handles_markup() {
+        assert_eq!(xml_escape("a<b & c>d"), "a&lt;b &amp; c&gt;d");
+    }
+}

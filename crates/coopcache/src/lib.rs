@@ -1,0 +1,135 @@
+//! # coopcache — cooperative block-cache substrates
+//!
+//! The paper evaluates linear aggressive prefetching on two
+//! parallel/distributed file systems whose caches are *cooperative*: the
+//! local caches of all nodes are managed as one big global cache.
+//! Neither system survives as usable open source, so this crate models
+//! both at the level the paper's analysis depends on:
+//!
+//! * [`PafsCache`] — PAFS (Cortes et al.): **centralized** management.
+//!   Every file is handled by a single server, which sees every request
+//!   and can therefore implement a *truly global* linear prefetch limit
+//!   and a globally coordinated (single-copy, no-coherence-problem)
+//!   cache. Modelled as one global LRU pool built from all nodes'
+//!   buffers.
+//! * [`XfsCache`] — xFS (Anderson et al., SOSP'95): **serverless**,
+//!   per-node decisions. Each node has a local LRU cache; a manager
+//!   knows which nodes hold which blocks; a local miss that hits a
+//!   remote cache is forwarded; evicted blocks that are the *last* copy
+//!   get a second chance on a random peer (N-chance forwarding); remote
+//!   hits leave a local duplicate behind. Per-node autonomy is exactly
+//!   why only a *per-node* linear prefetch limit is implementable on
+//!   xFS (§4) — and why shared files get duplicated prefetch streams.
+//!
+//! Both caches are *logical* models: they answer hit/miss/placement
+//! questions and keep usage statistics; timing (network hops, disk
+//! service) is charged by the simulator layer (`lap-core`) based on the
+//! [`Lookup`] results returned here. The crate also provides the dirty
+//! tracking needed by the periodic write-back daemon behind Table 2.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod local;
+mod lru;
+mod pafs;
+mod stats;
+mod xfs;
+
+pub use ioworkload::{BlockId, FileId, NodeId};
+pub use local::LocalOnlyCache;
+pub use lru::Replacement;
+pub use pafs::{server_node, PafsCache};
+pub use stats::CacheStats;
+pub use xfs::XfsCache;
+
+/// Where a demand access found its block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Lookup {
+    /// In the requesting node's own buffers.
+    LocalHit,
+    /// In another node's buffers — costs a network round trip.
+    RemoteHit {
+        /// The node whose cache supplied the block.
+        holder: NodeId,
+    },
+    /// Nowhere in the cooperative cache — costs a disk read.
+    Miss,
+}
+
+/// Why a block is being inserted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InsertOrigin {
+    /// Fetched (or written) on behalf of an application request.
+    Demand,
+    /// Fetched by the prefetcher.
+    Prefetch,
+}
+
+/// A block pushed out of the cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Evicted {
+    /// Which block.
+    pub block: BlockId,
+    /// It was modified and its latest contents must be written to disk.
+    pub dirty: bool,
+    /// It was brought in by the prefetcher and never used — a
+    /// miss-prediction made material (§5.2's miss-prediction ratio).
+    pub wasted_prefetch: bool,
+}
+
+/// Result of a demand access.
+#[derive(Clone, Debug)]
+pub struct AccessOutcome {
+    /// Hit/miss classification (drives timing in the simulator).
+    pub lookup: Lookup,
+    /// Blocks evicted as a side effect (xFS may copy a remote hit into
+    /// the local cache, evicting something else).
+    pub evicted: Vec<Evicted>,
+}
+
+/// Common interface of the two cooperative caches.
+pub trait CooperativeCache {
+    /// A demand read (`write = false`) or write (`write = true`) from
+    /// `node` to `block`. Updates recency and prefetch-usage state.
+    ///
+    /// A write to a resident block marks it dirty; a write to a missing
+    /// block is reported as a [`Lookup::Miss`] and the caller is
+    /// expected to [`insert`](Self::insert) it dirty (write-allocate,
+    /// no fetch-on-write — whole-block writes in this model).
+    fn access(&mut self, node: NodeId, block: BlockId, write: bool) -> AccessOutcome;
+
+    /// Is the block resident anywhere? (No state updates.)
+    fn contains(&self, block: BlockId) -> bool;
+
+    /// Is the block resident in `node`'s local buffers? (No updates.)
+    fn contains_local(&self, node: NodeId, block: BlockId) -> bool;
+
+    /// Insert a block on behalf of `node` after a disk fetch (or a
+    /// write-allocate). Returns the evicted victims, if any.
+    fn insert(
+        &mut self,
+        node: NodeId,
+        block: BlockId,
+        origin: InsertOrigin,
+        dirty: bool,
+    ) -> Vec<Evicted>;
+
+    /// Collect every dirty resident block and mark it clean — the
+    /// periodic write-back sweep ("for fault-tolerance issues, these
+    /// blocks are periodically sent to the disk", §5.3).
+    fn sweep_dirty(&mut self) -> Vec<BlockId>;
+
+    /// Account still-resident, never-used prefetched blocks as wasted.
+    /// Call once at end of simulation.
+    fn finalize(&mut self);
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> &CacheStats;
+
+    /// Total capacity in blocks.
+    fn capacity_blocks(&self) -> u64;
+
+    /// Blocks currently resident (counting duplicates).
+    fn resident_blocks(&self) -> u64;
+}

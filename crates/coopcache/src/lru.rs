@@ -1,0 +1,274 @@
+//! A keyed LRU pool with per-block metadata — the building block of
+//! both cooperative caches.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ioworkload::{BlockId, NodeId};
+
+use crate::stats::CacheStats;
+use crate::Evicted;
+
+/// Replacement policy of a pool.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Replacement {
+    /// Least-recently-used: every access refreshes recency (the
+    /// behaviour both PAFS and xFS assume).
+    #[default]
+    Lru,
+    /// First-in-first-out: insertion order decides the victim; touches
+    /// do not refresh. Kept for the replacement-policy ablation.
+    Fifo,
+}
+
+/// Metadata of one resident block copy.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Meta {
+    /// Node whose buffer holds the copy.
+    pub owner: NodeId,
+    /// Modified since last written to disk.
+    pub dirty: bool,
+    /// Brought in by the prefetcher.
+    pub prefetched: bool,
+    /// Used by a demand access since (last) prefetched.
+    pub used: bool,
+    /// xFS N-chance recirculation count.
+    pub recirc: u8,
+    /// Recency sequence number (larger = more recent).
+    seq: u64,
+}
+
+/// An LRU-ordered pool of block copies with O(log n) operations.
+///
+/// Recency is tracked with a monotonically increasing sequence number
+/// per touch; the `(seq, block)` pairs live in a [`BTreeSet`] whose
+/// smallest element is the LRU victim.
+pub(crate) struct LruPool {
+    map: HashMap<BlockId, Meta>,
+    order: BTreeSet<(u64, BlockId)>,
+    next_seq: u64,
+    policy: Replacement,
+}
+
+impl LruPool {
+    pub(crate) fn new() -> Self {
+        Self::with_policy(Replacement::Lru)
+    }
+
+    pub(crate) fn with_policy(policy: Replacement) -> Self {
+        LruPool {
+            map: HashMap::new(),
+            order: BTreeSet::new(),
+            next_seq: 0,
+            policy,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn contains(&self, block: BlockId) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    pub(crate) fn get(&self, block: BlockId) -> Option<&Meta> {
+        self.map.get(&block)
+    }
+
+    /// Touch a resident block for a *demand access*: bump recency,
+    /// optionally dirty it, mark prefetch usage, and (having just been
+    /// referenced) grant forwarded blocks a fresh set of N-chance
+    /// recirculations. Returns the pre-touch metadata, or `None` if
+    /// absent.
+    pub(crate) fn touch(&mut self, block: BlockId, write: bool) -> Option<Meta> {
+        self.touch_inner(block, write, true)
+    }
+
+    /// Refresh a resident block on a (racing) re-insert: bump recency
+    /// and dirtiness, and mark usage only if the re-insert was
+    /// demand-driven — a prefetch landing on an already-resident block
+    /// must not launder its never-used status.
+    pub(crate) fn refresh(&mut self, block: BlockId, dirty: bool, mark_used: bool) -> Option<Meta> {
+        self.touch_inner(block, dirty, mark_used)
+    }
+
+    fn touch_inner(&mut self, block: BlockId, write: bool, mark_used: bool) -> Option<Meta> {
+        let refresh = self.policy == Replacement::Lru;
+        let seq = self.next_seq;
+        let meta = self.map.get_mut(&block)?;
+        let before = *meta;
+        if mark_used {
+            meta.used = true;
+            // A referenced block earns fresh recirculation chances
+            // (Dahlin's N-chance counts forwards since last reference).
+            meta.recirc = 0;
+        }
+        if write {
+            meta.dirty = true;
+        }
+        if refresh {
+            self.order.remove(&(meta.seq, block));
+            self.next_seq += 1;
+            meta.seq = seq;
+            self.order.insert((seq, block));
+        }
+        Some(before)
+    }
+
+    /// Account one evicted (or dropped) copy into `stats` and build its
+    /// [`Evicted`] record — the single place the eviction bookkeeping
+    /// lives.
+    pub(crate) fn account_eviction(stats: &mut CacheStats, block: BlockId, meta: &Meta) -> Evicted {
+        stats.evictions += 1;
+        if meta.dirty {
+            stats.dirty_evictions += 1;
+        }
+        let wasted = meta.prefetched && !meta.used;
+        if wasted {
+            stats.prefetch_wasted += 1;
+        }
+        Evicted {
+            block,
+            dirty: meta.dirty,
+            wasted_prefetch: wasted,
+        }
+    }
+
+    /// Insert (or overwrite) a block copy at MRU position.
+    pub(crate) fn insert(&mut self, block: BlockId, mut meta: Meta) {
+        if let Some(old) = self.map.remove(&block) {
+            self.order.remove(&(old.seq, block));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        meta.seq = seq;
+        self.map.insert(block, meta);
+        self.order.insert((seq, block));
+    }
+
+    /// Build a fresh metadata record for insertion.
+    pub(crate) fn fresh_meta(owner: NodeId, dirty: bool, prefetched: bool) -> Meta {
+        Meta {
+            owner,
+            dirty,
+            prefetched,
+            used: !prefetched,
+            recirc: 0,
+            seq: 0,
+        }
+    }
+
+    /// Remove a specific block, returning its metadata.
+    pub(crate) fn remove(&mut self, block: BlockId) -> Option<Meta> {
+        let meta = self.map.remove(&block)?;
+        self.order.remove(&(meta.seq, block));
+        Some(meta)
+    }
+
+    /// Remove and return the least-recently-used block.
+    pub(crate) fn pop_lru(&mut self) -> Option<(BlockId, Meta)> {
+        let &(seq, block) = self.order.iter().next()?;
+        self.order.remove(&(seq, block));
+        let meta = self.map.remove(&block).expect("order/map in sync");
+        Some((block, meta))
+    }
+
+    /// Collect all dirty blocks and mark them clean.
+    pub(crate) fn sweep_dirty(&mut self) -> Vec<BlockId> {
+        let mut dirty = Vec::new();
+        for (b, m) in self.map.iter_mut() {
+            if m.dirty {
+                m.dirty = false;
+                dirty.push(*b);
+            }
+        }
+        dirty.sort_unstable(); // deterministic order
+        dirty
+    }
+
+    /// Count resident prefetched-but-never-used blocks (for finalize).
+    pub(crate) fn count_unused_prefetched(&self) -> u64 {
+        self.map
+            .values()
+            .filter(|m| m.prefetched && !m.used)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioworkload::FileId;
+
+    fn b(i: u64) -> BlockId {
+        BlockId::new(FileId(0), i)
+    }
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn lru_order_and_touch() {
+        let mut pool = LruPool::new();
+        pool.insert(b(1), LruPool::fresh_meta(n(0), false, false));
+        pool.insert(b(2), LruPool::fresh_meta(n(0), false, false));
+        pool.insert(b(3), LruPool::fresh_meta(n(0), false, false));
+        // Touch 1: order is now 2 (lru), 3, 1 (mru).
+        assert!(pool.touch(b(1), false).is_some());
+        assert_eq!(pool.pop_lru().unwrap().0, b(2));
+        assert_eq!(pool.pop_lru().unwrap().0, b(3));
+        assert_eq!(pool.pop_lru().unwrap().0, b(1));
+        assert!(pool.pop_lru().is_none());
+    }
+
+    #[test]
+    fn touch_marks_dirty_and_used() {
+        let mut pool = LruPool::new();
+        pool.insert(b(1), LruPool::fresh_meta(n(0), false, true));
+        assert!(!pool.get(b(1)).unwrap().used, "prefetched starts unused");
+        let before = pool.touch(b(1), true).unwrap();
+        assert!(!before.used);
+        let after = pool.get(b(1)).unwrap();
+        assert!(after.used && after.dirty);
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut pool = LruPool::new();
+        pool.insert(b(1), LruPool::fresh_meta(n(0), false, false));
+        pool.insert(b(1), LruPool::fresh_meta(n(1), true, false));
+        assert_eq!(pool.len(), 1);
+        let m = pool.get(b(1)).unwrap();
+        assert_eq!(m.owner, n(1));
+        assert!(m.dirty);
+    }
+
+    #[test]
+    fn sweep_collects_and_cleans() {
+        let mut pool = LruPool::new();
+        pool.insert(b(1), LruPool::fresh_meta(n(0), true, false));
+        pool.insert(b(2), LruPool::fresh_meta(n(0), false, false));
+        pool.insert(b(3), LruPool::fresh_meta(n(0), true, false));
+        let dirty = pool.sweep_dirty();
+        assert_eq!(dirty, vec![b(1), b(3)]);
+        assert!(pool.sweep_dirty().is_empty());
+    }
+
+    #[test]
+    fn unused_prefetched_accounting() {
+        let mut pool = LruPool::new();
+        pool.insert(b(1), LruPool::fresh_meta(n(0), false, true));
+        pool.insert(b(2), LruPool::fresh_meta(n(0), false, true));
+        pool.touch(b(1), false);
+        assert_eq!(pool.count_unused_prefetched(), 1);
+    }
+
+    #[test]
+    fn remove_specific() {
+        let mut pool = LruPool::new();
+        pool.insert(b(1), LruPool::fresh_meta(n(0), false, false));
+        assert!(pool.remove(b(1)).is_some());
+        assert!(pool.remove(b(1)).is_none());
+        assert_eq!(pool.len(), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Cache statistics.
+
+/// Counters kept by both cooperative caches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses served from the requester's own buffers.
+    pub local_hits: u64,
+    /// Demand accesses served from another node's buffers.
+    pub remote_hits: u64,
+    /// Demand accesses that missed the whole cooperative cache.
+    pub misses: u64,
+    /// Blocks inserted on behalf of demand fetches / write-allocates.
+    pub demand_inserts: u64,
+    /// Blocks inserted by the prefetcher.
+    pub prefetch_inserts: u64,
+    /// Prefetched blocks that were later used by a demand access
+    /// (each block counted once per prefetch insertion).
+    pub prefetch_used: u64,
+    /// Prefetched blocks evicted (or still resident at finalize)
+    /// without ever being used — materialised miss-predictions.
+    pub prefetch_wasted: u64,
+    /// Total evictions.
+    pub evictions: u64,
+    /// Evictions of dirty blocks (each costs a disk write).
+    pub dirty_evictions: u64,
+    /// xFS only: singlet blocks forwarded to a peer (N-chance).
+    pub forwards: u64,
+    /// xFS only: singlet blocks dropped after exhausting recirculation.
+    pub forward_drops: u64,
+    /// xFS only: duplicate copies invalidated by writes.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Demand accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.local_hits + self.remote_hits + self.misses
+    }
+
+    /// Overall hit ratio (local + remote).
+    pub fn hit_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            (self.local_hits + self.remote_hits) as f64 / a as f64
+        }
+    }
+
+    /// Fraction of prefetched blocks that were never used, judged over
+    /// the blocks whose fate is decided (used or wasted). This is the
+    /// paper's miss-prediction ratio (§5.2).
+    pub fn mispredict_ratio(&self) -> f64 {
+        let judged = self.prefetch_used + self.prefetch_wasted;
+        if judged == 0 {
+            0.0
+        } else {
+            self.prefetch_wasted as f64 / judged as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let s = CacheStats {
+            local_hits: 6,
+            remote_hits: 2,
+            misses: 2,
+            prefetch_used: 3,
+            prefetch_wasted: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.accesses(), 10);
+        assert!((s.hit_ratio() - 0.8).abs() < 1e-12);
+        assert!((s.mispredict_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+        assert_eq!(CacheStats::default().mispredict_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Property-based tests for the cooperative caches.
+
+use coopcache::{
+    AccessOutcome, BlockId, CooperativeCache, FileId, InsertOrigin, LocalOnlyCache, Lookup, NodeId,
+    PafsCache, Replacement, XfsCache,
+};
+use proptest::prelude::*;
+
+/// A random cache operation.
+#[derive(Clone, Copy, Debug)]
+enum CacheOp {
+    Read(u32, u64),
+    Write(u32, u64),
+    InsertDemand(u32, u64),
+    InsertPrefetch(u32, u64),
+    Sweep,
+}
+
+fn ops_strategy(nodes: u32, blocks: u64, len: usize) -> impl Strategy<Value = Vec<CacheOp>> {
+    let node = 0..nodes;
+    let blk = 0..blocks;
+    prop::collection::vec(
+        (0..5u8, node, blk).prop_map(|(k, n, b)| match k {
+            0 => CacheOp::Read(n, b),
+            1 => CacheOp::Write(n, b),
+            2 => CacheOp::InsertDemand(n, b),
+            3 => CacheOp::InsertPrefetch(n, b),
+            _ => CacheOp::Sweep,
+        }),
+        1..=len,
+    )
+}
+
+/// Drive a cache through an op sequence, asserting invariants after
+/// every step. On a miss during Read/Write we model the fill the
+/// simulator would do (insert after fetch).
+fn exercise<C: CooperativeCache>(cache: &mut C, ops: &[CacheOp]) -> Result<(), TestCaseError> {
+    let mut disk_writes = 0u64;
+    for &op in ops {
+        match op {
+            CacheOp::Read(n, b) | CacheOp::Write(n, b) => {
+                let write = matches!(op, CacheOp::Write(..));
+                let node = NodeId(n);
+                let block = BlockId::new(FileId(0), b);
+                let AccessOutcome { lookup, evicted } = cache.access(node, block, write);
+                for e in &evicted {
+                    if e.dirty {
+                        disk_writes += 1;
+                    }
+                }
+                if lookup == Lookup::Miss {
+                    let ev = cache.insert(node, block, InsertOrigin::Demand, write);
+                    for e in &ev {
+                        if e.dirty {
+                            disk_writes += 1;
+                        }
+                    }
+                    prop_assert!(cache.contains(block), "fill must make block resident");
+                }
+            }
+            CacheOp::InsertDemand(n, b) | CacheOp::InsertPrefetch(n, b) => {
+                let origin = if matches!(op, CacheOp::InsertPrefetch(..)) {
+                    InsertOrigin::Prefetch
+                } else {
+                    InsertOrigin::Demand
+                };
+                let ev = cache.insert(NodeId(n), BlockId::new(FileId(0), b), origin, false);
+                for e in &ev {
+                    if e.dirty {
+                        disk_writes += 1;
+                    }
+                }
+            }
+            CacheOp::Sweep => {
+                disk_writes += cache.sweep_dirty().len() as u64;
+            }
+        }
+        prop_assert!(
+            cache.resident_blocks() <= cache.capacity_blocks(),
+            "over capacity: {} > {}",
+            cache.resident_blocks(),
+            cache.capacity_blocks()
+        );
+        let s = *cache.stats();
+        prop_assert_eq!(s.accesses(), s.local_hits + s.remote_hits + s.misses);
+        prop_assert!(s.prefetch_used + s.prefetch_wasted <= s.prefetch_inserts + s.accesses());
+    }
+    let _ = disk_writes;
+    cache.finalize();
+    let s = *cache.stats();
+    prop_assert!(
+        s.prefetch_used + s.prefetch_wasted >= s.prefetch_used,
+        "sanity"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pafs_invariants(
+        nodes in 1u32..6,
+        per_node in 1u64..8,
+        ops in ops_strategy(6, 32, 200),
+    ) {
+        let mut cache = PafsCache::new(nodes, per_node);
+        let ops: Vec<CacheOp> = ops
+            .into_iter()
+            .map(|op| clamp_node(op, nodes))
+            .collect();
+        exercise(&mut cache, &ops)?;
+    }
+
+    #[test]
+    fn xfs_invariants(
+        nodes in 1u32..6,
+        per_node in 1u64..8,
+        n_chance in 0u8..4,
+        seed in 0u64..1000,
+        ops in ops_strategy(6, 32, 200),
+    ) {
+        let mut cache = XfsCache::with_options(nodes, per_node, n_chance, seed);
+        let ops: Vec<CacheOp> = ops
+            .into_iter()
+            .map(|op| clamp_node(op, nodes))
+            .collect();
+        exercise(&mut cache, &ops)?;
+    }
+
+    /// After any op sequence, every dirty block reported by a sweep was
+    /// actually written at some point, and a second sweep is empty.
+    #[test]
+    fn sweep_is_idempotent(
+        ops in ops_strategy(4, 16, 100),
+    ) {
+        let mut cache = XfsCache::new(4, 4);
+        let mut written = std::collections::HashSet::new();
+        for &op in &ops {
+            match op {
+                CacheOp::Read(n, b) | CacheOp::Write(n, b) => {
+                    let write = matches!(op, CacheOp::Write(..));
+                    let block = BlockId::new(FileId(0), b);
+                    if write {
+                        written.insert(block);
+                    }
+                    let out = cache.access(NodeId(n), block, write);
+                    if out.lookup == Lookup::Miss {
+                        cache.insert(NodeId(n), block, InsertOrigin::Demand, write);
+                    }
+                }
+                CacheOp::InsertDemand(n, b) => {
+                    cache.insert(NodeId(n), BlockId::new(FileId(0), b), InsertOrigin::Demand, false);
+                }
+                CacheOp::InsertPrefetch(n, b) => {
+                    cache.insert(NodeId(n), BlockId::new(FileId(0), b), InsertOrigin::Prefetch, false);
+                }
+                CacheOp::Sweep => {}
+            }
+        }
+        let dirty = cache.sweep_dirty();
+        for b in &dirty {
+            prop_assert!(written.contains(b), "{b:?} swept but never written");
+        }
+        prop_assert!(cache.sweep_dirty().is_empty());
+    }
+
+    #[test]
+    fn local_only_invariants(
+        nodes in 1u32..6,
+        per_node in 1u64..8,
+        fifo in proptest::bool::ANY,
+        ops in ops_strategy(6, 32, 200),
+    ) {
+        let policy = if fifo { Replacement::Fifo } else { Replacement::Lru };
+        let mut cache = LocalOnlyCache::with_policy(nodes, per_node, policy);
+        let ops: Vec<CacheOp> = ops
+            .into_iter()
+            .map(|op| clamp_node(op, nodes))
+            .collect();
+        exercise(&mut cache, &ops)?;
+        // Cooperation-free: remote hits are impossible.
+        prop_assert_eq!(cache.stats().remote_hits, 0);
+        prop_assert_eq!(cache.stats().forwards, 0);
+    }
+
+    /// PAFS with FIFO replacement keeps all capacity/accounting
+    /// invariants of the LRU version.
+    #[test]
+    fn pafs_fifo_invariants(
+        nodes in 1u32..6,
+        per_node in 1u64..8,
+        ops in ops_strategy(6, 32, 200),
+    ) {
+        let mut cache = PafsCache::with_policy(nodes, per_node, Replacement::Fifo);
+        let ops: Vec<CacheOp> = ops
+            .into_iter()
+            .map(|op| clamp_node(op, nodes))
+            .collect();
+        exercise(&mut cache, &ops)?;
+    }
+
+    /// PAFS never holds two copies of a block: resident count equals
+    /// the number of distinct resident blocks.
+    #[test]
+    fn pafs_single_copy(ops in ops_strategy(4, 16, 150)) {
+        let mut cache = PafsCache::new(4, 4);
+        let mut model = std::collections::HashSet::new();
+        for &op in &ops {
+            if let CacheOp::InsertDemand(n, b) | CacheOp::InsertPrefetch(n, b) = op {
+                cache.insert(NodeId(n), BlockId::new(FileId(0), b), InsertOrigin::Demand, false);
+                model.insert(b);
+            }
+        }
+        let distinct = (0..16u64)
+            .filter(|&b| cache.contains(BlockId::new(FileId(0), b)))
+            .count() as u64;
+        prop_assert_eq!(cache.resident_blocks(), distinct);
+    }
+}
+
+fn clamp_node(op: CacheOp, nodes: u32) -> CacheOp {
+    match op {
+        CacheOp::Read(n, b) => CacheOp::Read(n % nodes, b),
+        CacheOp::Write(n, b) => CacheOp::Write(n % nodes, b),
+        CacheOp::InsertDemand(n, b) => CacheOp::InsertDemand(n % nodes, b),
+        CacheOp::InsertPrefetch(n, b) => CacheOp::InsertPrefetch(n % nodes, b),
+        CacheOp::Sweep => CacheOp::Sweep,
+    }
+}
+
+proptest! {
+    /// Global and per-node residency views agree for every cache:
+    /// `contains(b)` iff some node's `contains_local(n, b)`.
+    #[test]
+    fn residency_views_are_coherent(
+        which in 0u8..3,
+        ops in ops_strategy(4, 24, 150),
+    ) {
+        let nodes = 4u32;
+        let mut cache: Box<dyn CooperativeCache> = match which {
+            0 => Box::new(PafsCache::new(nodes, 4)),
+            1 => Box::new(XfsCache::new(nodes, 4)),
+            _ => Box::new(LocalOnlyCache::new(nodes, 4)),
+        };
+        for &op in &ops {
+            match op {
+                CacheOp::Read(n, b) | CacheOp::Write(n, b) => {
+                    let write = matches!(op, CacheOp::Write(..));
+                    let block = BlockId::new(FileId(0), b);
+                    let out = cache.access(NodeId(n % nodes), block, write);
+                    if out.lookup == Lookup::Miss {
+                        cache.insert(NodeId(n % nodes), block, InsertOrigin::Demand, write);
+                    }
+                }
+                CacheOp::InsertDemand(n, b) | CacheOp::InsertPrefetch(n, b) => {
+                    cache.insert(NodeId(n % nodes), BlockId::new(FileId(0), b), InsertOrigin::Demand, false);
+                }
+                CacheOp::Sweep => {
+                    cache.sweep_dirty();
+                }
+            }
+        }
+        for b in 0..24u64 {
+            let block = BlockId::new(FileId(0), b);
+            let any_local = (0..nodes).any(|n| cache.contains_local(NodeId(n), block));
+            prop_assert_eq!(
+                cache.contains(block),
+                any_local,
+                "incoherent residency for block {}",
+                b
+            );
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Scratch probe used during development to inspect simulated numbers.
+//! (Not part of the public examples; see the workspace `examples/`.)
+
+use ioworkload::charisma::CharismaParams;
+use ioworkload::sprite::SpriteParams;
+use lap_core::{run_simulation, CacheSystem, SimConfig};
+use prefetch::PrefetchConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("charisma");
+    let scale = args.get(2).map(String::as_str).unwrap_or("small");
+
+    let (wl, system_nodes, disks) = match (which, scale) {
+        ("charisma", "paper") => (CharismaParams::paper().generate(42), 128, 16),
+        ("charisma", _) => (CharismaParams::small().generate(42), 8, 4),
+        ("sprite", "paper") => (SpriteParams::paper().generate(42), 50, 8),
+        _ => (SpriteParams::small().generate(42), 6, 3),
+    };
+    let s = wl.stats();
+    println!(
+        "workload {}: {} reads, {} writes, mean req {:.1} blk, {} files (mean {:.0} blk), sharing {:.0}%, compute {:.0}s",
+        wl.name, s.reads, s.writes, s.mean_read_blocks, s.files, s.mean_file_blocks,
+        s.shared_file_fraction * 100.0, s.compute_seconds
+    );
+
+    for sys in [CacheSystem::Pafs, CacheSystem::Xfs] {
+        for mb in [1u64, 2, 4, 8, 16] {
+            for pf in PrefetchConfig::paper_suite() {
+                let mut cfg = if which == "charisma" {
+                    SimConfig::pm(sys, pf, mb)
+                } else {
+                    SimConfig::now(sys, pf, mb)
+                };
+                cfg.machine.nodes = system_nodes;
+                cfg.machine.disks = disks;
+                let t0 = std::time::Instant::now();
+                let r = run_simulation(cfg, wl.clone());
+                println!(
+                    "{}  [{} ms wall, sim {:.0}s, util {:.2}]",
+                    r.summary(),
+                    t0.elapsed().as_millis(),
+                    r.sim_seconds,
+                    r.disk_utilization
+                );
+            }
+            println!();
+        }
+    }
+}

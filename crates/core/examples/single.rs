@@ -1,0 +1,29 @@
+//! One-run probe (development aid).
+use ioworkload::charisma::CharismaParams;
+use lap_core::{run_simulation, CacheSystem, SimConfig};
+use prefetch::PrefetchConfig;
+
+fn main() {
+    let wl = CharismaParams::paper().generate(42);
+    for (sys, pf, mb) in [
+        (CacheSystem::Xfs, PrefetchConfig::np(), 1),
+        (CacheSystem::Xfs, PrefetchConfig::ln_agr_oba(), 1),
+        (CacheSystem::Xfs, PrefetchConfig::ln_agr_is_ppm(1), 1),
+        (CacheSystem::Xfs, PrefetchConfig::is_ppm(1), 1),
+        (CacheSystem::Xfs, PrefetchConfig::np(), 16),
+        (CacheSystem::Xfs, PrefetchConfig::ln_agr_is_ppm(1), 16),
+        (CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 1),
+        (CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 16),
+        (CacheSystem::Pafs, PrefetchConfig::np(), 16),
+    ] {
+        let cfg = SimConfig::pm(sys, pf, mb);
+        let t = std::time::Instant::now();
+        let r = run_simulation(cfg, wl.clone());
+        eprintln!(
+            "{} [{} ms, pf_issued {}]",
+            r.summary(),
+            t.elapsed().as_millis(),
+            r.prefetch.issued
+        );
+    }
+}

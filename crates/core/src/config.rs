@@ -1,0 +1,261 @@
+//! Machine and simulation configuration (Table 1 of the paper).
+
+use coopcache::Replacement;
+use prefetch::PrefetchConfig;
+use simkit::SimDuration;
+
+/// Hardware parameters of the simulated machine — the two columns of
+/// Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Number of nodes.
+    pub nodes: u32,
+    /// File-system block size in bytes ("Buffer Size"/"Disk-Block Size").
+    pub block_size: u64,
+    /// Local memory bandwidth, bytes/s ("Memory Bandwidth").
+    pub memory_bandwidth: f64,
+    /// Interconnection network bandwidth, bytes/s.
+    pub network_bandwidth: f64,
+    /// Startup of a communication within a node.
+    pub local_startup: SimDuration,
+    /// Startup of a communication that crosses the network.
+    pub remote_startup: SimDuration,
+    /// Startup of a memory copy within a node.
+    pub local_copy_startup: SimDuration,
+    /// Startup of a memory copy that crosses the network.
+    pub remote_copy_startup: SimDuration,
+    /// Number of disks (shared by the whole machine).
+    pub disks: u32,
+    /// Disk bandwidth, bytes/s.
+    pub disk_bandwidth: f64,
+    /// Seek + rotational latency charged per read operation.
+    pub disk_read_seek: SimDuration,
+    /// Seek + rotational latency charged per write operation.
+    pub disk_write_seek: SimDuration,
+}
+
+impl MachineConfig {
+    /// The parallel machine (PM) column of Table 1: 128 nodes, 16
+    /// disks, 500 MB/s memory, 200 MB/s network, 2/10 µs startups.
+    pub fn pm() -> Self {
+        MachineConfig {
+            nodes: 128,
+            block_size: 8 * 1024,
+            memory_bandwidth: 500.0e6,
+            network_bandwidth: 200.0e6,
+            local_startup: SimDuration::from_micros(2),
+            remote_startup: SimDuration::from_micros(10),
+            local_copy_startup: SimDuration::from_micros(1),
+            remote_copy_startup: SimDuration::from_micros(5),
+            disks: 16,
+            disk_bandwidth: 10.0e6,
+            disk_read_seek: SimDuration::from_millis_f64(10.5),
+            disk_write_seek: SimDuration::from_millis_f64(12.5),
+        }
+    }
+
+    /// The network-of-workstations (NOW) column of Table 1: 50 nodes, 8
+    /// disks, 40 MB/s memory, 19.4 MB/s network, 50/100 µs startups.
+    pub fn now() -> Self {
+        MachineConfig {
+            nodes: 50,
+            block_size: 8 * 1024,
+            memory_bandwidth: 40.0e6,
+            network_bandwidth: 19.4e6,
+            local_startup: SimDuration::from_micros(50),
+            remote_startup: SimDuration::from_micros(100),
+            local_copy_startup: SimDuration::from_micros(25),
+            remote_copy_startup: SimDuration::from_micros(50),
+            disks: 8,
+            disk_bandwidth: 10.0e6,
+            disk_read_seek: SimDuration::from_millis_f64(10.5),
+            disk_write_seek: SimDuration::from_millis_f64(12.5),
+        }
+    }
+
+    /// A tiny machine for unit tests (4 nodes, 2 disks, PM-like speeds).
+    pub fn tiny() -> Self {
+        MachineConfig {
+            nodes: 4,
+            disks: 2,
+            ..Self::pm()
+        }
+    }
+
+    /// Disk service time for reading one block.
+    pub fn disk_read_service(&self) -> SimDuration {
+        self.disk_read_seek + SimDuration::transfer(self.block_size, self.disk_bandwidth)
+    }
+
+    /// Disk service time for writing one block.
+    pub fn disk_write_service(&self) -> SimDuration {
+        self.disk_write_seek + SimDuration::transfer(self.block_size, self.disk_bandwidth)
+    }
+
+    /// Time to hand `bytes` to a local requester (memory copy).
+    pub fn local_transfer(&self, bytes: u64) -> SimDuration {
+        self.local_copy_startup
+            + self.local_startup
+            + SimDuration::transfer(bytes, self.memory_bandwidth)
+    }
+
+    /// Time to hand `bytes` to a requester across the network.
+    pub fn remote_transfer(&self, bytes: u64) -> SimDuration {
+        self.remote_copy_startup
+            + self.remote_startup
+            + SimDuration::transfer(bytes, self.network_bandwidth)
+    }
+}
+
+/// Which cache organisation to simulate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheSystem {
+    /// PAFS: centralized per-file servers, truly global linear limit,
+    /// global coalescing of in-flight fetches.
+    Pafs,
+    /// xFS: per-node decisions, per-node linear limit, per-node
+    /// prefetchers and per-node fetch coalescing — shared files get
+    /// duplicated prefetch streams.
+    Xfs,
+    /// No cooperation at all: independent per-node caches, every miss
+    /// goes to disk. A pre-cooperative-caching baseline, kept to show
+    /// how much the cooperation itself contributes (extension beyond
+    /// the paper's evaluation).
+    LocalOnly,
+}
+
+impl CacheSystem {
+    /// Name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheSystem::Pafs => "PAFS",
+            CacheSystem::Xfs => "xFS",
+            CacheSystem::LocalOnly => "Local",
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Machine hardware.
+    pub machine: MachineConfig,
+    /// Cooperative-cache system.
+    pub system: CacheSystem,
+    /// Prefetching algorithm configuration.
+    pub prefetch: PrefetchConfig,
+    /// "Local cache" size per node, in bytes (the x-axis of every
+    /// figure: 1–16 MB).
+    pub cache_bytes_per_node: u64,
+    /// Period of the fault-tolerance write-back sweep (§5.3); 30 s by
+    /// default, like classic Unix-ish sync daemons.
+    pub writeback_period: SimDuration,
+    /// Simulated time to exclude from metrics (cache warm-up), like the
+    /// paper's 10–15 trace hours.
+    pub warmup: SimDuration,
+    /// Cache replacement policy (ablation; both systems assume LRU).
+    pub replacement: Replacement,
+    /// Serve prefetches at the lowest disk priority ("prefetching a
+    /// block will never be done if other operations are waiting to be
+    /// done on the same disk", §4). Disable for the priority ablation:
+    /// prefetches then compete head-on with demand reads.
+    pub prefetch_priority: bool,
+    /// Bucket width of the read-latency time series in
+    /// [`SimReport::read_time_series`](crate::SimReport::read_time_series)
+    /// (convergence/warm-up analysis). 60 s by default.
+    pub metrics_interval: SimDuration,
+}
+
+impl SimConfig {
+    /// A run on the PM machine.
+    pub fn pm(system: CacheSystem, prefetch: PrefetchConfig, cache_mb: u64) -> Self {
+        SimConfig {
+            machine: MachineConfig::pm(),
+            system,
+            prefetch,
+            cache_bytes_per_node: cache_mb * 1024 * 1024,
+            writeback_period: SimDuration::from_secs(30),
+            warmup: SimDuration::ZERO,
+            replacement: Replacement::Lru,
+            prefetch_priority: true,
+            metrics_interval: SimDuration::from_secs(60),
+        }
+    }
+
+    /// A run on the NOW machine.
+    pub fn now(system: CacheSystem, prefetch: PrefetchConfig, cache_mb: u64) -> Self {
+        SimConfig {
+            machine: MachineConfig::now(),
+            system,
+            prefetch,
+            cache_bytes_per_node: cache_mb * 1024 * 1024,
+            writeback_period: SimDuration::from_secs(30),
+            warmup: SimDuration::ZERO,
+            replacement: Replacement::Lru,
+            prefetch_priority: true,
+            metrics_interval: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Cache capacity per node in blocks.
+    pub fn blocks_per_node(&self) -> u64 {
+        (self.cache_bytes_per_node / self.machine.block_size).max(1)
+    }
+
+    /// A descriptive label: `"PAFS/Ln_Agr_IS_PPM:1 @ 4MB"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{} @ {}MB",
+            self.system.name(),
+            self.prefetch.paper_name(),
+            self.cache_bytes_per_node / (1024 * 1024)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_pm_values() {
+        let m = MachineConfig::pm();
+        assert_eq!(m.nodes, 128);
+        assert_eq!(m.disks, 16);
+        assert_eq!(m.block_size, 8192);
+        // 8 KB at 10 MB/s = 819.2 us; plus 10.5 ms seek.
+        assert_eq!(m.disk_read_service().as_nanos(), 10_500_000 + 819_200);
+        assert_eq!(m.disk_write_service().as_nanos(), 12_500_000 + 819_200);
+    }
+
+    #[test]
+    fn table1_now_values() {
+        let m = MachineConfig::now();
+        assert_eq!(m.nodes, 50);
+        assert_eq!(m.disks, 8);
+        assert_eq!(m.local_startup.as_micros(), 50);
+        assert_eq!(m.remote_startup.as_micros(), 100);
+    }
+
+    #[test]
+    fn transfer_costs_ordering() {
+        let m = MachineConfig::pm();
+        // Local transfers must be cheaper than remote ones, and both far
+        // cheaper than a disk read.
+        let bytes = 8192;
+        assert!(m.local_transfer(bytes) < m.remote_transfer(bytes));
+        assert!(m.remote_transfer(bytes) < m.disk_read_service());
+    }
+
+    #[test]
+    fn blocks_per_node() {
+        let cfg = SimConfig::pm(CacheSystem::Pafs, PrefetchConfig::np(), 4);
+        assert_eq!(cfg.blocks_per_node(), 512); // 4 MB / 8 KB
+    }
+
+    #[test]
+    fn label_format() {
+        let cfg = SimConfig::pm(CacheSystem::Xfs, PrefetchConfig::ln_agr_is_ppm(3), 8);
+        assert_eq!(cfg.label(), "xFS/Ln_Agr_IS_PPM:3 @ 8MB");
+    }
+}

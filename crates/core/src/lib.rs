@@ -1,0 +1,57 @@
+//! # lap-core — the full simulation stack
+//!
+//! This crate assembles the substrates into the system the paper
+//! evaluates:
+//!
+//! * machine models for the two architectures of Table 1
+//!   ([`MachineConfig::pm`] and [`MachineConfig::now`]) — disks modelled
+//!   as *seek + size/bandwidth* with demand-over-prefetch priority,
+//!   communications as *startup + size/bandwidth* with distinct local
+//!   and remote startups;
+//! * the [`Simulation`] that replays an [`ioworkload::Workload`]
+//!   against a cooperative cache ([`CacheSystem::Pafs`] or
+//!   [`CacheSystem::Xfs`]) with any [`prefetch::PrefetchConfig`];
+//! * the [`SimReport`] carrying everything Figures 4–11 and Table 2
+//!   plot: average read time, disk accesses by kind, writes-per-block,
+//!   hit ratios and the miss-prediction ratio.
+//!
+//! ```
+//! use lap_core::{run_simulation, CacheSystem, SimConfig};
+//! use ioworkload::charisma::CharismaParams;
+//! use prefetch::PrefetchConfig;
+//!
+//! let mut params = CharismaParams::small();
+//! params.nodes = 8;
+//! let wl = params.generate(1);
+//! let mut cfg = SimConfig::pm(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 1);
+//! cfg.machine.nodes = 8; // shrink the machine to the workload
+//! cfg.machine.disks = 4;
+//! let report = run_simulation(cfg, wl);
+//! assert!(report.reads > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod metrics;
+mod sim;
+
+pub use config::{CacheSystem, MachineConfig, SimConfig};
+pub use coopcache::Replacement;
+pub use metrics::{SimReport, TimeBucket};
+pub use sim::Simulation;
+
+/// Convenience: build and run a simulation in one call.
+pub fn run_simulation(config: SimConfig, workload: ioworkload::Workload) -> SimReport {
+    Simulation::new(config, workload).run()
+}
+
+/// Convenience: run a simulation over a shared workload (no deep clone
+/// per run — use in parameter sweeps).
+pub fn run_simulation_shared(
+    config: SimConfig,
+    workload: std::sync::Arc<ioworkload::Workload>,
+) -> SimReport {
+    Simulation::new_shared(config, workload).run()
+}

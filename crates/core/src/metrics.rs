@@ -1,0 +1,349 @@
+//! Simulation metrics and the final report.
+
+use std::collections::HashMap;
+
+use coopcache::CacheStats;
+use ioworkload::BlockId;
+use prefetch::PrefetchStats;
+use simkit::stats::{LatencyHistogram, Series};
+use simkit::{SimDuration, SimTime};
+
+/// Live metric accumulators, updated by the simulation loop. Samples
+/// taken before the warm-up boundary are kept separately and excluded
+/// from the headline numbers, like the paper's warm-up hours.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    pub warmup_end: SimTime,
+    /// Bucket width of the read-latency time series.
+    pub interval: SimDuration,
+    /// Per-interval read-latency series, indexed by bucket number
+    /// (includes the warm-up stretch — that is the point: it shows the
+    /// warm-up happening).
+    pub read_series: Vec<Series>,
+    /// Per-request read latency (ms), post-warm-up.
+    pub read_time: Series,
+    /// Read-latency distribution (post-warm-up), for percentiles.
+    pub read_hist: LatencyHistogram,
+    /// Per-request read latency during warm-up (reported separately).
+    pub read_time_warmup: Series,
+    /// Per-request write latency (ms), post-warm-up.
+    pub write_time: Series,
+    /// Disk read operations post-warm-up, split by what issued them.
+    pub disk_reads_demand: u64,
+    pub disk_reads_prefetch: u64,
+    /// Disk write operations post-warm-up.
+    pub disk_writes: u64,
+    /// Disk operations during warm-up (all kinds).
+    pub disk_ops_warmup: u64,
+    /// How many times each block was written to disk (post-warm-up) —
+    /// Table 2's statistic.
+    pub writes_per_block: HashMap<BlockId, u32>,
+    /// Prefetch fetches that a demand request joined while in flight
+    /// (correct predictions with perfect timing).
+    pub prefetch_absorbed: u64,
+    /// Demand fetches coalesced onto an already-pending demand fetch.
+    pub demand_coalesced: u64,
+}
+
+impl Metrics {
+    pub fn new(warmup_end: SimTime, interval: SimDuration) -> Self {
+        Metrics {
+            warmup_end,
+            interval,
+            read_series: Vec::new(),
+            read_time: Series::new(),
+            read_hist: LatencyHistogram::new(),
+            read_time_warmup: Series::new(),
+            write_time: Series::new(),
+            disk_reads_demand: 0,
+            disk_reads_prefetch: 0,
+            disk_writes: 0,
+            disk_ops_warmup: 0,
+            writes_per_block: HashMap::new(),
+            prefetch_absorbed: 0,
+            demand_coalesced: 0,
+        }
+    }
+
+    pub fn warm(&self, now: SimTime) -> bool {
+        now >= self.warmup_end
+    }
+
+    pub fn record_read(&mut self, now: SimTime, latency: SimDuration) {
+        if self.warm(now) {
+            self.read_time.record_duration_ms(latency);
+            self.read_hist.record(latency);
+        } else {
+            self.read_time_warmup.record_duration_ms(latency);
+        }
+        let bucket = (now.as_nanos() / self.interval.as_nanos().max(1)) as usize;
+        if bucket >= self.read_series.len() {
+            self.read_series.resize_with(bucket + 1, Series::new);
+        }
+        self.read_series[bucket].record_duration_ms(latency);
+    }
+
+    pub fn record_write(&mut self, now: SimTime, latency: SimDuration) {
+        if self.warm(now) {
+            self.write_time.record_duration_ms(latency);
+        }
+    }
+
+    pub fn record_disk_read(&mut self, now: SimTime, prefetch: bool) {
+        if !self.warm(now) {
+            self.disk_ops_warmup += 1;
+        } else if prefetch {
+            self.disk_reads_prefetch += 1;
+        } else {
+            self.disk_reads_demand += 1;
+        }
+    }
+
+    pub fn record_disk_write(&mut self, now: SimTime, block: BlockId) {
+        if self.warm(now) {
+            self.disk_writes += 1;
+            *self.writes_per_block.entry(block).or_insert(0) += 1;
+        } else {
+            self.disk_ops_warmup += 1;
+        }
+    }
+}
+
+/// One bucket of the read-latency time series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeBucket {
+    /// Bucket start, in simulated seconds.
+    pub start_s: f64,
+    /// Mean read latency of requests starting in this bucket, ms.
+    pub mean_ms: f64,
+    /// Requests in the bucket.
+    pub reads: u64,
+}
+
+/// Final report of one simulation run — everything the paper's figures
+/// and tables plot.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// `"PAFS/Ln_Agr_IS_PPM:1 @ 4MB"`-style label.
+    pub label: String,
+    /// Workload name.
+    pub workload: String,
+    /// Mean read latency in milliseconds — the y-axis of Figures 4–7.
+    pub avg_read_ms: f64,
+    /// Median read latency in ms (upper bucket edge of a log-2
+    /// histogram — coarse but distribution-shaped).
+    pub read_p50_ms: f64,
+    /// 95th-percentile read latency in ms (same caveat).
+    pub read_p95_ms: f64,
+    /// 99th-percentile read latency in ms (same caveat).
+    pub read_p99_ms: f64,
+    /// Number of read requests measured.
+    pub reads: u64,
+    /// Read requests that fell inside the warm-up window (excluded
+    /// from all other read statistics).
+    pub warmup_reads: u64,
+    /// Mean write latency in milliseconds.
+    pub avg_write_ms: f64,
+    /// Number of write requests measured.
+    pub writes: u64,
+    /// Disk reads issued by demand misses.
+    pub disk_reads_demand: u64,
+    /// Disk reads issued by the prefetcher.
+    pub disk_reads_prefetch: u64,
+    /// Disk writes (write-back sweeps + dirty evictions).
+    pub disk_writes: u64,
+    /// Mean number of times a written block was written to disk —
+    /// Table 2's statistic.
+    pub writes_per_block: f64,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Prefetch-engine counters aggregated over all files.
+    pub prefetch: PrefetchStats,
+    /// Prefetch fetches absorbed by demand requests while in flight.
+    pub prefetch_absorbed: u64,
+    /// Fraction of prefetched blocks never used (§5.2). Absorbed
+    /// fetches count as used.
+    pub mispredict_ratio: f64,
+    /// Mean disk utilization over the run.
+    pub disk_utilization: f64,
+    /// Total simulated time, seconds.
+    pub sim_seconds: f64,
+    /// Read latency per metrics interval over the *whole* run
+    /// (including warm-up) — shows cache warm-up and steady state.
+    pub read_time_series: Vec<TimeBucket>,
+}
+
+impl SimReport {
+    /// Total disk accesses (the y-axis of Figures 8–11).
+    pub fn disk_accesses(&self) -> u64 {
+        self.disk_reads_demand + self.disk_reads_prefetch + self.disk_writes
+    }
+
+    /// A multi-line, human-readable rendering of every metric (used by
+    /// `lapsim --verbose`).
+    pub fn render_detailed(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "{}", self.summary()).unwrap();
+        writeln!(out, "  workload            {}", self.workload).unwrap();
+        writeln!(
+            out,
+            "  reads / writes      {} / {}",
+            self.reads, self.writes
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  read p50/p95/p99    {:.3} / {:.3} / {:.3} ms",
+            self.read_p50_ms, self.read_p95_ms, self.read_p99_ms
+        )
+        .unwrap();
+        writeln!(out, "  warm-up reads       {}", self.warmup_reads).unwrap();
+        writeln!(out, "  avg write           {:.3} ms", self.avg_write_ms).unwrap();
+        writeln!(
+            out,
+            "  disk reads          {} demand + {} prefetch",
+            self.disk_reads_demand, self.disk_reads_prefetch
+        )
+        .unwrap();
+        writeln!(out, "  disk writes         {}", self.disk_writes).unwrap();
+        writeln!(out, "  writes per block    {:.2}", self.writes_per_block).unwrap();
+        writeln!(
+            out,
+            "  hits                {} local + {} remote",
+            self.cache.local_hits, self.cache.remote_hits
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  hit ratio           {:.2}%",
+            self.cache.hit_ratio() * 100.0
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  prefetch            {} issued, {} absorbed in flight, {:.1}% fallback",
+            self.prefetch.issued,
+            self.prefetch_absorbed,
+            self.prefetch.fallback_share() * 100.0
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  mispredict ratio    {:.2}%",
+            self.mispredict_ratio * 100.0
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "  disk utilization    {:.2}%",
+            self.disk_utilization * 100.0
+        )
+        .unwrap();
+        writeln!(out, "  simulated time      {:.1} s", self.sim_seconds).unwrap();
+        out
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<32} read {:7.3} ms ({:>8} reads)  disk r/w {:>8}/{:>7}  hit {:5.1}%  mispred {:4.1}%",
+            self.label,
+            self.avg_read_ms,
+            self.reads,
+            self.disk_reads_demand + self.disk_reads_prefetch,
+            self.disk_writes,
+            self.cache.hit_ratio() * 100.0,
+            self.mispredict_ratio * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioworkload::FileId;
+
+    #[test]
+    fn warmup_boundary_splits_reads() {
+        let mut m = Metrics::new(SimTime::from_nanos(1000), SimDuration::from_secs(60));
+        m.record_read(SimTime::from_nanos(500), SimDuration::from_millis(2));
+        m.record_read(SimTime::from_nanos(1500), SimDuration::from_millis(4));
+        assert_eq!(m.read_time.count(), 1);
+        assert_eq!(m.read_time_warmup.count(), 1);
+        assert!((m.read_time.mean() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_counters_split_by_kind_and_warmup() {
+        let mut m = Metrics::new(SimTime::from_nanos(10), SimDuration::from_secs(60));
+        m.record_disk_read(SimTime::from_nanos(5), false); // warmup
+        m.record_disk_read(SimTime::from_nanos(20), false);
+        m.record_disk_read(SimTime::from_nanos(20), true);
+        m.record_disk_write(SimTime::from_nanos(20), BlockId::new(FileId(0), 1));
+        m.record_disk_write(SimTime::from_nanos(30), BlockId::new(FileId(0), 1));
+        assert_eq!(m.disk_ops_warmup, 1);
+        assert_eq!(m.disk_reads_demand, 1);
+        assert_eq!(m.disk_reads_prefetch, 1);
+        assert_eq!(m.disk_writes, 2);
+        assert_eq!(m.writes_per_block[&BlockId::new(FileId(0), 1)], 2);
+    }
+
+    #[test]
+    fn report_disk_accesses_sums() {
+        let r = SimReport {
+            label: "x".into(),
+            workload: "w".into(),
+            avg_read_ms: 0.0,
+            read_p50_ms: 0.0,
+            read_p95_ms: 0.0,
+            read_p99_ms: 0.0,
+            reads: 0,
+            warmup_reads: 0,
+            avg_write_ms: 0.0,
+            writes: 0,
+            disk_reads_demand: 3,
+            disk_reads_prefetch: 4,
+            disk_writes: 5,
+            writes_per_block: 0.0,
+            cache: CacheStats::default(),
+            prefetch: PrefetchStats::default(),
+            prefetch_absorbed: 0,
+            mispredict_ratio: 0.0,
+            disk_utilization: 0.0,
+            sim_seconds: 0.0,
+            read_time_series: Vec::new(),
+        };
+        assert_eq!(r.disk_accesses(), 12);
+        assert!(r.summary().contains("read"));
+        let detail = r.render_detailed();
+        assert!(detail.contains("hit ratio"));
+        assert!(detail.contains("disk reads"));
+    }
+
+    #[test]
+    fn time_series_buckets_by_interval() {
+        let mut m = Metrics::new(SimTime::ZERO, SimDuration::from_secs(10));
+        m.record_read(SimTime::from_nanos(1), SimDuration::from_millis(2));
+        m.record_read(
+            SimTime::ZERO + SimDuration::from_secs(25),
+            SimDuration::from_millis(6),
+        );
+        assert_eq!(m.read_series.len(), 3);
+        assert_eq!(m.read_series[0].count(), 1);
+        assert_eq!(m.read_series[1].count(), 0);
+        assert_eq!(m.read_series[2].count(), 1);
+        assert!((m.read_series[2].mean() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_feeds_percentiles() {
+        let mut m = Metrics::new(SimTime::ZERO, SimDuration::from_secs(60));
+        for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 50] {
+            m.record_read(SimTime::from_nanos(1), SimDuration::from_millis(ms));
+        }
+        assert_eq!(m.read_hist.count(), 10);
+        // p50 lives in the 1ms bucket, p99 in the 50ms one.
+        assert!(m.read_hist.quantile(0.5) < m.read_hist.quantile(0.99));
+    }
+}

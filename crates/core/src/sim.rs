@@ -1,0 +1,718 @@
+//! The trace-driven file-system simulation.
+//!
+//! This module plays the role DIMEMAS plays in the paper: it replays
+//! per-process demand traces against a machine model (CPU bursts,
+//! network, priority-queued disks) with a cooperative cache and a
+//! prefetching subsystem in the middle, and measures what the paper
+//! measures — per-request read times and disk traffic.
+//!
+//! ## Request life cycle
+//!
+//! A read request touching blocks `B` at time `t0`:
+//!
+//! 1. every block is classified against the cooperative cache
+//!    (local hit / remote hit / miss — the cache updates recency and
+//!    prefetch-usage state as a side effect);
+//! 2. missing blocks join an in-flight fetch if one exists in their
+//!    coalescing scope (global for PAFS, per-node for xFS; a demand
+//!    request joining a *prefetch* fetch promotes it to demand priority
+//!    on the disk queue), otherwise a demand-priority disk read is
+//!    issued;
+//! 3. the prefetcher for the file (PAFS: one per file, at the file's
+//!    server; xFS: one per (node, file)) observes the request and is
+//!    pumped for new prefetch blocks, which are issued at the lowest
+//!    disk priority;
+//! 4. when the last missing block lands, the data is handed to the
+//!    requester (memory copy if everything was local, a network
+//!    transfer otherwise) and the request's latency is recorded.
+//!
+//! Writes are write-allocate with no fetch-on-write: they dirty cache
+//! blocks and cost a transfer, but wait for no disk — matching the
+//! paper's observation that writes "are not specially affected" (§5).
+//! Dirty blocks reach the disk through the periodic write-back sweep
+//! (§5.3) and through dirty evictions, at a middle disk priority:
+//! behind demand reads (they are not latency-critical) but ahead of
+//! prefetches (the paper's rule is only that prefetching never delays
+//! other operations).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use coopcache::{
+    CooperativeCache, Evicted, InsertOrigin, LocalOnlyCache, Lookup, PafsCache, XfsCache,
+};
+use ioworkload::{BlockId, FileId, NodeId, Op, ProcId, Workload};
+use prefetch::{FilePrefetcher, PrefetchStats, Request};
+use simkit::{EventQueue, Priority, SimDuration, SimTime, Station};
+
+use crate::config::{CacheSystem, SimConfig};
+use crate::metrics::{Metrics, SimReport};
+
+/// Disk-queue priorities: demand reads first, write-backs next,
+/// prefetches last.
+const PRIO_DEMAND: Priority = Priority(0);
+const PRIO_WRITEBACK: Priority = Priority(1);
+const PRIO_PREFETCH: Priority = Priority(2);
+
+/// Identifier of one outstanding (multi-block) application request.
+type ReqId = usize;
+
+/// Coalescing scope of an in-flight fetch: global for PAFS (the file
+/// server sees everything), per-node for xFS (nodes cannot see each
+/// other's in-flight fetches — the source of duplicated prefetch
+/// traffic on shared files).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct FetchKey {
+    scope: Option<NodeId>,
+    block: BlockId,
+}
+
+/// Identity of a prefetch engine.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct PfKey {
+    node: Option<NodeId>,
+    file: FileId,
+}
+
+/// An in-flight disk fetch.
+struct PendingFetch {
+    /// Issued by the prefetcher (still counts as a prefetch unless a
+    /// demand request absorbs it).
+    prefetch: bool,
+    /// A demand request joined while in flight.
+    demanded: bool,
+    /// Engine to notify on completion (prefetch fetches only).
+    pf_owner: Option<PfKey>,
+    /// Node whose buffer receives the block.
+    node: NodeId,
+    /// Requests waiting on this block.
+    waiters: Vec<ReqId>,
+}
+
+/// Work items on a disk queue.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DiskJob {
+    Fetch(FetchKey),
+    Write(BlockId),
+}
+
+/// Simulation events.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Continue replaying a process trace.
+    Resume(ProcId),
+    /// A disk finished its current job.
+    DiskDone { disk: usize, job: DiskJob },
+    /// A request's last transfer finished; deliver to the process.
+    RequestDone(ReqId),
+    /// Periodic write-back sweep.
+    Sweep,
+}
+
+struct ProcState {
+    node: NodeId,
+    next_op: usize,
+    done: bool,
+}
+
+struct ReqState {
+    proc: ProcId,
+    started: SimTime,
+    bytes: u64,
+    remaining: usize,
+    all_local: bool,
+}
+
+/// The simulator. Build with [`Simulation::new`], run with
+/// [`Simulation::run`] (or use [`crate::run_simulation`]).
+pub struct Simulation {
+    config: SimConfig,
+    workload: Arc<Workload>,
+    queue: EventQueue<Ev>,
+    cache: Box<dyn CooperativeCache>,
+    disks: Vec<Station<DiskJob>>,
+    pending: HashMap<FetchKey, PendingFetch>,
+    engines: HashMap<PfKey, FilePrefetcher>,
+    procs: Vec<ProcState>,
+    reqs: Vec<ReqState>,
+    metrics: Metrics,
+    file_blocks: Vec<u64>,
+    active_procs: usize,
+}
+
+impl Simulation {
+    /// Build a simulation of `workload` under `config`.
+    ///
+    /// # Panics
+    /// Panics if the workload's node count exceeds the machine's, or if
+    /// block sizes disagree — mixing those up would silently invalidate
+    /// every result.
+    pub fn new(config: SimConfig, workload: Workload) -> Self {
+        Self::new_shared(config, Arc::new(workload))
+    }
+
+    /// Like [`new`](Self::new), but sharing the workload — sweeps that
+    /// run one workload under many configurations avoid a deep clone
+    /// per run.
+    pub fn new_shared(config: SimConfig, workload: Arc<Workload>) -> Self {
+        workload.validate();
+        assert!(
+            workload.nodes <= config.machine.nodes,
+            "workload needs {} nodes, machine has {}",
+            workload.nodes,
+            config.machine.nodes
+        );
+        assert_eq!(
+            workload.block_size, config.machine.block_size,
+            "workload and machine disagree on block size"
+        );
+        assert!(config.machine.disks > 0, "machine needs at least one disk");
+        let cache: Box<dyn CooperativeCache> = match config.system {
+            CacheSystem::Pafs => Box::new(PafsCache::with_policy(
+                config.machine.nodes,
+                config.blocks_per_node(),
+                config.replacement,
+            )),
+            CacheSystem::Xfs => {
+                assert_eq!(
+                    config.replacement,
+                    coopcache::Replacement::Lru,
+                    "the xFS model only supports LRU local caches"
+                );
+                Box::new(XfsCache::new(
+                    config.machine.nodes,
+                    config.blocks_per_node(),
+                ))
+            }
+            CacheSystem::LocalOnly => Box::new(LocalOnlyCache::with_policy(
+                config.machine.nodes,
+                config.blocks_per_node(),
+                config.replacement,
+            )),
+        };
+        let disks = (0..config.machine.disks).map(|_| Station::new()).collect();
+        let procs = workload
+            .processes
+            .iter()
+            .map(|p| ProcState {
+                node: p.node,
+                next_op: 0,
+                done: false,
+            })
+            .collect::<Vec<_>>();
+        let file_blocks = (0..workload.files.len())
+            .map(|f| workload.file_blocks(FileId(f as u32)))
+            .collect();
+        let metrics = Metrics::new(SimTime::ZERO + config.warmup, config.metrics_interval);
+        let active_procs = procs.len();
+        Simulation {
+            config,
+            workload,
+            queue: EventQueue::new(),
+            cache,
+            disks,
+            pending: HashMap::new(),
+            engines: HashMap::new(),
+            procs,
+            reqs: Vec::new(),
+            metrics,
+            file_blocks,
+            active_procs,
+        }
+    }
+
+    /// Run to completion and produce the report.
+    pub fn run(mut self) -> SimReport {
+        for p in 0..self.procs.len() {
+            self.queue
+                .schedule(SimTime::ZERO, Ev::Resume(ProcId(p as u32)));
+        }
+        if self.active_procs > 0 {
+            let t = SimTime::ZERO + self.config.writeback_period;
+            self.queue.schedule(t, Ev::Sweep);
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            match ev {
+                Ev::Resume(p) => self.step_proc(p, now),
+                Ev::DiskDone { disk, job } => self.disk_done(disk, job, now),
+                Ev::RequestDone(r) => self.request_done(r, now),
+                Ev::Sweep => self.sweep(now, true),
+            }
+        }
+        self.finish()
+    }
+
+    // ----- process replay ------------------------------------------------
+
+    fn step_proc(&mut self, p: ProcId, now: SimTime) {
+        let idx = p.0 as usize;
+        debug_assert!(!self.procs[idx].done);
+        let op = {
+            let st = &mut self.procs[idx];
+            let ops = &self.workload.processes[idx].ops;
+            if st.next_op >= ops.len() {
+                st.done = true;
+                self.active_procs -= 1;
+                if self.active_procs == 0 {
+                    // Final flush so every surviving dirty block is
+                    // written once more, as a real shutdown sync would.
+                    self.sweep(now, false);
+                }
+                return;
+            }
+            let op = ops[st.next_op];
+            st.next_op += 1;
+            op
+        };
+        match op {
+            Op::Compute(d) => {
+                self.queue.schedule(now + d, Ev::Resume(p));
+            }
+            Op::Read { file, offset, len } => {
+                self.handle_read(p, file, offset, len, now);
+            }
+            Op::Write { file, offset, len } => {
+                self.handle_write(p, file, offset, len, now);
+            }
+        }
+    }
+
+    fn handle_read(&mut self, p: ProcId, file: FileId, offset: u64, len: u64, now: SimTime) {
+        let bs = self.workload.block_size;
+        let req = Request::from_bytes(offset, len, bs).expect("validated non-empty");
+        let node = self.procs[p.0 as usize].node;
+
+        let mut all_local = true;
+        let mut missing: Vec<BlockId> = Vec::new();
+        for b in req.blocks() {
+            let block = BlockId::new(file, b);
+            let outcome = self.cache.access(node, block, false);
+            self.handle_evictions(&outcome.evicted, now);
+            match outcome.lookup {
+                Lookup::LocalHit => {}
+                Lookup::RemoteHit { .. } => all_local = false,
+                Lookup::Miss => {
+                    all_local = false;
+                    missing.push(block);
+                }
+            }
+        }
+
+        let rid = self.reqs.len();
+        let mut remaining = 0;
+        let mut fresh_misses = 0u32;
+        for block in missing {
+            let key = self.fetch_key(node, block);
+            remaining += 1;
+            if let Some(pf) = self.pending.get_mut(&key) {
+                pf.waiters.push(rid);
+                if pf.prefetch && !pf.demanded {
+                    pf.demanded = true;
+                    self.metrics.prefetch_absorbed += 1;
+                    // The block is now demand-critical: jump the queue.
+                    let disk = self.disk_of(block);
+                    self.disks[disk].promote_where(PRIO_DEMAND, |j| *j == DiskJob::Fetch(key));
+                } else {
+                    // Joined an already-demanded fetch (plain demand
+                    // fetch, or a prefetch an earlier demand absorbed).
+                    self.metrics.demand_coalesced += 1;
+                }
+            } else {
+                fresh_misses += 1;
+                self.pending.insert(
+                    key,
+                    PendingFetch {
+                        prefetch: false,
+                        demanded: true,
+                        pf_owner: None,
+                        node,
+                        waiters: vec![rid],
+                    },
+                );
+                self.issue_fetch(key, false, now);
+            }
+        }
+
+        // Let the prefetcher see the request *after* demand fetches are
+        // pending, so it skips blocks already on their way. A request
+        // fully covered by residency or in-flight fetches confirms the
+        // walk; a fresh miss tells it its prefetched blocks were
+        // evicted.
+        self.notify_prefetcher(node, file, req, fresh_misses == 0, now);
+
+        let bytes = req.size * bs;
+        if remaining == 0 {
+            let cost = self.transfer_cost(bytes, all_local);
+            self.metrics.record_read(now, cost);
+            self.queue.schedule(now + cost, Ev::Resume(p));
+        } else {
+            self.reqs.push(ReqState {
+                proc: p,
+                started: now,
+                bytes,
+                remaining,
+                all_local,
+            });
+        }
+    }
+
+    fn handle_write(&mut self, p: ProcId, file: FileId, offset: u64, len: u64, now: SimTime) {
+        let bs = self.workload.block_size;
+        let req = Request::from_bytes(offset, len, bs).expect("validated non-empty");
+        let node = self.procs[p.0 as usize].node;
+
+        let mut all_local = true;
+        for b in req.blocks() {
+            let block = BlockId::new(file, b);
+            let outcome = self.cache.access(node, block, true);
+            self.handle_evictions(&outcome.evicted, now);
+            match outcome.lookup {
+                Lookup::LocalHit => {}
+                Lookup::RemoteHit { .. } => all_local = false,
+                Lookup::Miss => {
+                    all_local = false;
+                    // Write-allocate: the block materialises dirty.
+                    let ev = self.cache.insert(node, block, InsertOrigin::Demand, true);
+                    self.handle_evictions(&ev, now);
+                }
+            }
+        }
+
+        // Writes allocate in place and never need the data fetched, so
+        // they carry no residency signal for the walk.
+        self.notify_prefetcher(node, file, req, true, now);
+
+        let cost = self.transfer_cost(req.size * bs, all_local);
+        self.metrics.record_write(now, cost);
+        self.queue.schedule(now + cost, Ev::Resume(p));
+    }
+
+    fn request_done(&mut self, rid: ReqId, now: SimTime) {
+        let req = &self.reqs[rid];
+        debug_assert_eq!(req.remaining, 0);
+        // Classify by request *start* time so hit and miss reads use
+        // the same clock for the warm-up boundary and the time series.
+        self.metrics.record_read(req.started, now - req.started);
+        self.queue.schedule(now, Ev::Resume(req.proc));
+    }
+
+    // ----- disks ---------------------------------------------------------
+
+    fn disk_of(&self, block: BlockId) -> usize {
+        // Stripe each file's blocks across all disks, with a per-file
+        // rotation so files don't all start on disk 0.
+        ((block.file.0 as u64).wrapping_mul(7919) + block.index) as usize % self.disks.len()
+    }
+
+    fn issue_fetch(&mut self, key: FetchKey, prefetch: bool, now: SimTime) {
+        self.metrics.record_disk_read(now, prefetch);
+        let disk = self.disk_of(key.block);
+        let prio = if prefetch && self.config.prefetch_priority {
+            PRIO_PREFETCH
+        } else {
+            PRIO_DEMAND
+        };
+        let service = self.config.machine.disk_read_service();
+        if let Some(started) = self.disks[disk].arrive(now, prio, service, DiskJob::Fetch(key)) {
+            self.queue.schedule(
+                started.completes_at,
+                Ev::DiskDone {
+                    disk,
+                    job: started.tag,
+                },
+            );
+        }
+    }
+
+    fn issue_disk_write(&mut self, block: BlockId, now: SimTime) {
+        self.metrics.record_disk_write(now, block);
+        let disk = self.disk_of(block);
+        let service = self.config.machine.disk_write_service();
+        if let Some(started) =
+            self.disks[disk].arrive(now, PRIO_WRITEBACK, service, DiskJob::Write(block))
+        {
+            self.queue.schedule(
+                started.completes_at,
+                Ev::DiskDone {
+                    disk,
+                    job: started.tag,
+                },
+            );
+        }
+    }
+
+    fn disk_done(&mut self, disk: usize, job: DiskJob, now: SimTime) {
+        if let Some(started) = self.disks[disk].complete(now) {
+            self.queue.schedule(
+                started.completes_at,
+                Ev::DiskDone {
+                    disk,
+                    job: started.tag,
+                },
+            );
+        }
+        match job {
+            DiskJob::Write(_) => {}
+            DiskJob::Fetch(key) => self.fetch_done(key, now),
+        }
+    }
+
+    fn fetch_done(&mut self, key: FetchKey, now: SimTime) {
+        let pf = self
+            .pending
+            .remove(&key)
+            .expect("completion for unknown fetch");
+        // A prefetch absorbed by demand counts as demand-fetched for
+        // the cache's usage accounting (it was used the moment it
+        // landed); the absorption itself is tracked in the metrics.
+        let origin = if pf.prefetch && !pf.demanded {
+            InsertOrigin::Prefetch
+        } else {
+            InsertOrigin::Demand
+        };
+        let ev = self.cache.insert(pf.node, key.block, origin, false);
+        self.handle_evictions(&ev, now);
+
+        for rid in pf.waiters {
+            self.reqs[rid].remaining -= 1;
+            if self.reqs[rid].remaining == 0 {
+                let (bytes, all_local) = (self.reqs[rid].bytes, self.reqs[rid].all_local);
+                let cost = self.transfer_cost(bytes, all_local);
+                self.queue.schedule(now + cost, Ev::RequestDone(rid));
+            }
+        }
+
+        if let Some(owner) = pf.pf_owner {
+            if let Some(engine) = self.engines.get_mut(&owner) {
+                engine.on_prefetch_complete();
+            }
+            self.pump_prefetcher(owner, now);
+        }
+    }
+
+    fn handle_evictions(&mut self, evicted: &[Evicted], now: SimTime) {
+        for e in evicted {
+            if e.dirty {
+                self.issue_disk_write(e.block, now);
+            }
+        }
+    }
+
+    // ----- prefetching ---------------------------------------------------
+
+    fn pf_key(&self, node: NodeId, file: FileId) -> PfKey {
+        match self.config.system {
+            CacheSystem::Pafs => PfKey { node: None, file },
+            CacheSystem::Xfs | CacheSystem::LocalOnly => PfKey {
+                node: Some(node),
+                file,
+            },
+        }
+    }
+
+    fn fetch_key(&self, node: NodeId, block: BlockId) -> FetchKey {
+        match self.config.system {
+            CacheSystem::Pafs => FetchKey { scope: None, block },
+            CacheSystem::Xfs | CacheSystem::LocalOnly => FetchKey {
+                scope: Some(node),
+                block,
+            },
+        }
+    }
+
+    /// The node whose buffers receive prefetched blocks: the file's
+    /// server for PAFS (centralized prefetching), the engine's own node
+    /// for xFS (local prefetching).
+    fn prefetch_home(&self, key: PfKey) -> NodeId {
+        match key.node {
+            Some(n) => n,
+            None => coopcache::server_node(key.file, self.config.machine.nodes),
+        }
+    }
+
+    fn notify_prefetcher(
+        &mut self,
+        node: NodeId,
+        file: FileId,
+        req: Request,
+        fully_cached: bool,
+        now: SimTime,
+    ) {
+        if !self.config.prefetch.prefetches() {
+            return;
+        }
+        let key = self.pf_key(node, file);
+        let blocks = self.file_blocks[file.0 as usize];
+        let cfg = self.config.prefetch;
+        self.engines
+            .entry(key)
+            .or_insert_with(|| FilePrefetcher::new(cfg, blocks))
+            .on_demand_with_residency(req, fully_cached);
+        self.pump_prefetcher(key, now);
+    }
+
+    /// Pull every block the engine wants to prefetch right now and put
+    /// it on the disks.
+    fn pump_prefetcher(&mut self, key: PfKey, now: SimTime) {
+        let home = self.prefetch_home(key);
+        let mut to_issue: Vec<u64> = Vec::new();
+        // Companion set for O(1) membership while `to_issue` keeps the
+        // deterministic issue order.
+        let mut to_issue_set: HashSet<u64> = HashSet::new();
+        {
+            let Simulation {
+                engines,
+                cache,
+                pending,
+                config,
+                ..
+            } = self;
+            let Some(engine) = engines.get_mut(&key) else {
+                return;
+            };
+            let scope = key.node;
+            // Without cooperation a node knows only its own cache; the
+            // cooperative systems consult the global state (PAFS's
+            // server sees everything; xFS's manager answers residency).
+            let local_only = match config.system {
+                CacheSystem::LocalOnly => true,
+                CacheSystem::Pafs | CacheSystem::Xfs => false,
+            };
+            loop {
+                // A block is skipped if it is cached *anywhere* (on xFS
+                // the manager answers this; prefetching a block that a
+                // peer caches would be pointless — a demand read gets
+                // it as a cheap remote hit) or if this prefetcher's own
+                // scope already has a fetch in flight. Other nodes'
+                // in-flight fetches are invisible on xFS, which is what
+                // duplicates prefetch work on shared files (§4).
+                let next = engine.next_block(|idx| {
+                    let block = BlockId::new(key.file, idx);
+                    let resident = if local_only {
+                        cache.contains_local(scope.expect("local scope"), block)
+                    } else {
+                        cache.contains(block)
+                    };
+                    resident
+                        || pending.contains_key(&FetchKey { scope, block })
+                        || to_issue_set.contains(&idx)
+                });
+                match next {
+                    Some(idx) => {
+                        to_issue.push(idx);
+                        to_issue_set.insert(idx);
+                    }
+                    None => break,
+                }
+            }
+        }
+        for idx in to_issue {
+            // The prefetcher's coalescing scope is its own key scope:
+            // global for the PAFS per-file server, per-node for xFS.
+            let fkey = FetchKey {
+                scope: key.node,
+                block: BlockId::new(key.file, idx),
+            };
+            self.pending.insert(
+                fkey,
+                PendingFetch {
+                    prefetch: true,
+                    demanded: false,
+                    pf_owner: Some(key),
+                    node: home,
+                    waiters: Vec::new(),
+                },
+            );
+            self.issue_fetch(fkey, true, now);
+        }
+    }
+
+    // ----- write-back ----------------------------------------------------
+
+    fn sweep(&mut self, now: SimTime, reschedule: bool) {
+        let dirty = self.cache.sweep_dirty();
+        for block in dirty {
+            self.issue_disk_write(block, now);
+        }
+        if reschedule && self.active_procs > 0 {
+            self.queue
+                .schedule(now + self.config.writeback_period, Ev::Sweep);
+        }
+    }
+
+    // ----- misc ----------------------------------------------------------
+
+    fn transfer_cost(&self, bytes: u64, all_local: bool) -> SimDuration {
+        if all_local {
+            self.config.machine.local_transfer(bytes)
+        } else {
+            self.config.machine.remote_transfer(bytes)
+        }
+    }
+
+    fn finish(mut self) -> SimReport {
+        let end = self.queue.now();
+        self.cache.finalize();
+        let cache_stats = *self.cache.stats();
+
+        let mut pf_stats = PrefetchStats::default();
+        for engine in self.engines.values() {
+            pf_stats.merge(&engine.stats());
+        }
+
+        let used = cache_stats.prefetch_used + self.metrics.prefetch_absorbed;
+        let wasted = cache_stats.prefetch_wasted;
+        let mispredict_ratio = if used + wasted == 0 {
+            0.0
+        } else {
+            wasted as f64 / (used + wasted) as f64
+        };
+
+        let disk_utilization = if self.disks.is_empty() {
+            0.0
+        } else {
+            self.disks.iter().map(|d| d.utilization(end)).sum::<f64>() / self.disks.len() as f64
+        };
+
+        let wpb = &self.metrics.writes_per_block;
+        let writes_per_block = if wpb.is_empty() {
+            0.0
+        } else {
+            wpb.values().map(|&c| c as f64).sum::<f64>() / wpb.len() as f64
+        };
+
+        SimReport {
+            label: self.config.label(),
+            workload: self.workload.name.clone(),
+            avg_read_ms: self.metrics.read_time.mean(),
+            read_p50_ms: self.metrics.read_hist.quantile(0.5).as_millis_f64(),
+            read_p95_ms: self.metrics.read_hist.quantile(0.95).as_millis_f64(),
+            read_p99_ms: self.metrics.read_hist.quantile(0.99).as_millis_f64(),
+            reads: self.metrics.read_time.count(),
+            warmup_reads: self.metrics.read_time_warmup.count(),
+            avg_write_ms: self.metrics.write_time.mean(),
+            writes: self.metrics.write_time.count(),
+            disk_reads_demand: self.metrics.disk_reads_demand,
+            disk_reads_prefetch: self.metrics.disk_reads_prefetch,
+            disk_writes: self.metrics.disk_writes,
+            writes_per_block,
+            cache: cache_stats,
+            prefetch: pf_stats,
+            prefetch_absorbed: self.metrics.prefetch_absorbed,
+            mispredict_ratio,
+            disk_utilization,
+            sim_seconds: end.as_secs_f64(),
+            read_time_series: self
+                .metrics
+                .read_series
+                .iter()
+                .enumerate()
+                .map(|(i, s)| crate::metrics::TimeBucket {
+                    start_s: i as f64 * self.config.metrics_interval.as_secs_f64(),
+                    mean_ms: s.mean(),
+                    reads: s.count(),
+                })
+                .collect(),
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! End-to-end behavioural tests of the full simulation stack on small
+//! workloads: the qualitative claims of the paper must hold even at
+//! test scale.
+
+use ioworkload::charisma::CharismaParams;
+use ioworkload::sprite::SpriteParams;
+use ioworkload::Workload;
+use lap_core::{run_simulation, CacheSystem, SimConfig, SimReport};
+use prefetch::PrefetchConfig;
+use simkit::SimDuration;
+
+fn charisma() -> Workload {
+    CharismaParams::small().generate(42)
+}
+
+fn sprite() -> Workload {
+    SpriteParams::small().generate(42)
+}
+
+fn pm_config(system: CacheSystem, pf: PrefetchConfig, mb: u64) -> SimConfig {
+    let mut cfg = SimConfig::pm(system, pf, mb);
+    cfg.machine.nodes = 8;
+    cfg.machine.disks = 4;
+    cfg
+}
+
+fn now_config(system: CacheSystem, pf: PrefetchConfig, mb: u64) -> SimConfig {
+    let mut cfg = SimConfig::now(system, pf, mb);
+    cfg.machine.nodes = 6;
+    cfg.machine.disks = 3;
+    cfg
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        run_simulation(
+            pm_config(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 1),
+            charisma(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.avg_read_ms, b.avg_read_ms);
+    assert_eq!(a.disk_accesses(), b.disk_accesses());
+    assert_eq!(a.cache, b.cache);
+    assert_eq!(a.prefetch, b.prefetch);
+}
+
+#[test]
+fn every_paper_config_runs_on_every_system_and_workload() {
+    for pf in PrefetchConfig::paper_suite() {
+        for system in [CacheSystem::Pafs, CacheSystem::Xfs] {
+            let r = run_simulation(pm_config(system, pf, 1), charisma());
+            assert!(r.reads > 0, "{}: no reads measured", r.label);
+            assert!(r.avg_read_ms > 0.0, "{}: zero read time", r.label);
+            let r = run_simulation(now_config(system, pf, 1), sprite());
+            assert!(r.reads > 0, "{}: no reads measured", r.label);
+        }
+    }
+}
+
+#[test]
+fn prefetching_beats_no_prefetching() {
+    // The paper's headline: "All prefetching algorithms achieve a
+    // better performance than the original system where no prefetching
+    // was done" (§5.2).
+    let np = run_simulation(
+        pm_config(CacheSystem::Pafs, PrefetchConfig::np(), 1),
+        charisma(),
+    );
+    for pf in [
+        PrefetchConfig::oba(),
+        PrefetchConfig::is_ppm(1),
+        PrefetchConfig::ln_agr_oba(),
+        PrefetchConfig::ln_agr_is_ppm(1),
+    ] {
+        let r = run_simulation(pm_config(CacheSystem::Pafs, pf, 1), charisma());
+        assert!(
+            r.avg_read_ms < np.avg_read_ms * 1.02,
+            "{} ({:.3} ms) should not lose to NP ({:.3} ms)",
+            r.label,
+            r.avg_read_ms,
+            np.avg_read_ms
+        );
+    }
+}
+
+#[test]
+fn linear_aggressive_beats_simple_prefetching_on_charisma_pafs() {
+    // Figure 4's third group: the aggressive algorithms clearly beat
+    // their non-aggressive versions.
+    let simple = run_simulation(
+        pm_config(CacheSystem::Pafs, PrefetchConfig::is_ppm(1), 2),
+        charisma(),
+    );
+    let aggressive = run_simulation(
+        pm_config(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 2),
+        charisma(),
+    );
+    assert!(
+        aggressive.avg_read_ms < simple.avg_read_ms,
+        "Ln_Agr_IS_PPM:1 ({:.3}) must beat IS_PPM:1 ({:.3})",
+        aggressive.avg_read_ms,
+        simple.avg_read_ms
+    );
+    // And it raises the hit ratio.
+    assert!(aggressive.cache.hit_ratio() > simple.cache.hit_ratio());
+}
+
+#[test]
+fn np_never_touches_the_prefetcher() {
+    let r = run_simulation(
+        pm_config(CacheSystem::Pafs, PrefetchConfig::np(), 1),
+        charisma(),
+    );
+    assert_eq!(r.prefetch.issued, 0);
+    assert_eq!(r.disk_reads_prefetch, 0);
+    assert_eq!(r.cache.prefetch_inserts, 0);
+    assert_eq!(r.mispredict_ratio, 0.0);
+}
+
+#[test]
+fn xfs_duplicates_prefetch_work_on_shared_files() {
+    // §4/§5.2: per-node linearity means shared files get duplicated
+    // prefetch streams — xFS issues more prefetch fetches than PAFS
+    // for the same (highly shared) workload.
+    let pafs = run_simulation(
+        pm_config(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 2),
+        charisma(),
+    );
+    let xfs = run_simulation(
+        pm_config(CacheSystem::Xfs, PrefetchConfig::ln_agr_is_ppm(1), 2),
+        charisma(),
+    );
+    assert!(
+        xfs.prefetch.issued > pafs.prefetch.issued,
+        "xFS ({}) must issue more prefetches than PAFS ({})",
+        xfs.prefetch.issued,
+        pafs.prefetch.issued
+    );
+}
+
+#[test]
+fn writes_reach_disk_through_periodic_sweeps() {
+    // Force every app to be a writer so the assertion is seed-proof,
+    // and sweep fast enough that re-dirtied blocks are caught by
+    // several sweeps within the short test run.
+    let mut params = CharismaParams::small();
+    params.writer_fraction = 1.0;
+    let mut cfg = pm_config(CacheSystem::Pafs, PrefetchConfig::np(), 4);
+    cfg.writeback_period = SimDuration::from_secs(2);
+    let r = run_simulation(cfg, params.generate(42));
+    assert!(r.disk_writes > 0, "dirty blocks must be written back");
+    assert!(
+        r.writes_per_block >= 1.0,
+        "every written block hits the disk at least once"
+    );
+    // The CHARISMA writers re-dirty their hot region, so some blocks
+    // are written to disk more than once (Table 2's statistic).
+    assert!(
+        r.writes_per_block > 1.05,
+        "hot blocks are rewritten: {}",
+        r.writes_per_block
+    );
+}
+
+#[test]
+fn warmup_excludes_early_reads() {
+    let wl = charisma();
+    let full = run_simulation(
+        pm_config(CacheSystem::Pafs, PrefetchConfig::np(), 1),
+        wl.clone(),
+    );
+    let mut cfg = pm_config(CacheSystem::Pafs, PrefetchConfig::np(), 1);
+    cfg.warmup = SimDuration::from_secs(5);
+    let warmed = run_simulation(cfg, wl);
+    assert!(warmed.reads < full.reads, "warm-up reads must be excluded");
+    assert!(warmed.reads > 0);
+}
+
+#[test]
+fn larger_caches_do_not_hurt() {
+    let wl = charisma();
+    let small = run_simulation(
+        pm_config(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 1),
+        wl.clone(),
+    );
+    let large = run_simulation(
+        pm_config(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 16),
+        wl,
+    );
+    assert!(
+        large.avg_read_ms <= small.avg_read_ms * 1.05,
+        "16MB ({:.3}) should not lose to 1MB ({:.3})",
+        large.avg_read_ms,
+        small.avg_read_ms
+    );
+    assert!(large.cache.hit_ratio() >= small.cache.hit_ratio() - 0.01);
+}
+
+#[test]
+fn sprite_works_on_both_systems_with_similar_results() {
+    // Figure 7's observation: with Sprite's minimal sharing, xFS's
+    // per-node linearity behaves much like PAFS's global one.
+    let wl = sprite();
+    let pafs = run_simulation(
+        now_config(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 2),
+        wl.clone(),
+    );
+    let xfs = run_simulation(
+        now_config(CacheSystem::Xfs, PrefetchConfig::ln_agr_is_ppm(1), 2),
+        wl,
+    );
+    // Same ballpark (within 3x) — not the 10x blowup a shared workload
+    // would show.
+    let ratio = xfs.avg_read_ms / pafs.avg_read_ms;
+    assert!(
+        (0.33..3.0).contains(&ratio),
+        "xFS {:.3} vs PAFS {:.3}",
+        xfs.avg_read_ms,
+        pafs.avg_read_ms
+    );
+}
+
+#[test]
+fn report_accounting_is_consistent() {
+    let r: SimReport = run_simulation(
+        pm_config(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(3), 2),
+        charisma(),
+    );
+    // Cache accesses seen = at least one per read request.
+    assert!(r.cache.accesses() >= r.reads);
+    // Demand disk reads equal demand misses that actually went to disk,
+    // so they can never exceed cache misses.
+    assert!(r.disk_reads_demand <= r.cache.misses);
+    // Every issued prefetch either hit the disk or was still in flight
+    // at the end.
+    assert!(r.disk_reads_prefetch <= r.prefetch.issued);
+    // Mispredict ratio is a ratio.
+    assert!((0.0..=1.0).contains(&r.mispredict_ratio));
+    // Utilization is a fraction.
+    assert!((0.0..=1.0).contains(&r.disk_utilization));
+}
+
+#[test]
+fn local_only_baseline_fetches_more_from_disk() {
+    // Without cooperation every node fetches its own copy from disk;
+    // the cooperative caches fetch once and share.
+    let wl = charisma(); // 100% of files shared between nodes
+    let coop = run_simulation(
+        pm_config(CacheSystem::Pafs, PrefetchConfig::np(), 4),
+        wl.clone(),
+    );
+    let local = run_simulation(
+        pm_config(CacheSystem::LocalOnly, PrefetchConfig::np(), 4),
+        wl,
+    );
+    assert!(
+        local.disk_reads_demand > coop.disk_reads_demand,
+        "local-only {} vs cooperative {}",
+        local.disk_reads_demand,
+        coop.disk_reads_demand
+    );
+    assert_eq!(local.cache.remote_hits, 0, "no cooperation, no remote hits");
+}
+
+#[test]
+fn prefetch_priority_off_still_works() {
+    let mut cfg = pm_config(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 2);
+    cfg.prefetch_priority = false;
+    let r = run_simulation(cfg, charisma());
+    assert!(r.reads > 0);
+    assert!(r.prefetch.issued > 0);
+}
+
+#[test]
+fn fifo_replacement_runs_and_differs_from_lru_under_pressure() {
+    use lap_core::Replacement;
+    let wl = charisma();
+    // Shrink the cache well below the working set so the replacement
+    // policy actually decides victims.
+    let mut lru_cfg = pm_config(CacheSystem::Pafs, PrefetchConfig::np(), 1);
+    lru_cfg.cache_bytes_per_node = 256 * 1024; // 32 blocks per node
+    let mut cfg = lru_cfg.clone();
+    let lru = run_simulation(lru_cfg, wl.clone());
+    cfg.replacement = Replacement::Fifo;
+    let fifo = run_simulation(cfg, wl);
+    // Both run; under pressure the hit counts differ (FIFO ignores
+    // recency). Equality would mean the policy knob is dead.
+    assert!(fifo.reads == lru.reads);
+    assert_ne!(
+        (fifo.cache.local_hits, fifo.cache.remote_hits),
+        (lru.cache.local_hits, lru.cache.remote_hits),
+        "FIFO must behave differently from LRU under pressure"
+    );
+}
+
+#[test]
+fn backoff_predictor_runs_through_the_simulator() {
+    let r = run_simulation(
+        pm_config(
+            CacheSystem::Pafs,
+            PrefetchConfig::ln_agr_is_ppm_backoff(3),
+            2,
+        ),
+        charisma(),
+    );
+    assert!(r.prefetch.issued > 0);
+    assert!(r.label.contains("IS_PPM*:3"));
+    // Back-off escapes to lower orders instead of OBA, so its fallback
+    // share must not exceed the plain order-3 predictor's.
+    let plain = run_simulation(
+        pm_config(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(3), 2),
+        charisma(),
+    );
+    assert!(
+        r.prefetch.fallback_share() <= plain.prefetch.fallback_share() + 1e-9,
+        "backoff {:.3} vs plain {:.3}",
+        r.prefetch.fallback_share(),
+        plain.prefetch.fallback_share()
+    );
+}
+
+#[test]
+fn unbounded_lead_matches_paper_pure_semantics() {
+    // lead_cap = None must still terminate and produce sane results
+    // (the cycle budget is the only walk bound left).
+    let mut pf = PrefetchConfig::ln_agr_is_ppm(1);
+    pf.lead_cap = None;
+    let r = run_simulation(pm_config(CacheSystem::Pafs, pf, 2), charisma());
+    assert!(r.reads > 0);
+    assert!((0.0..=1.0).contains(&r.mispredict_ratio));
+}
+
+#[test]
+fn re_reads_through_a_tiny_cache_keep_prefetching() {
+    // Two sequential passes over one file with a cache far smaller than
+    // the file: pass 1's prefetched blocks are evicted before pass 2.
+    // Pass 2's demands are on the old predicted path, so without the
+    // residency-aware restart the walk would stay dormant and pass 2
+    // would get no prefetching at all.
+    use ioworkload::{FileMeta, Op, ProcessTrace};
+    let block = 8192u64;
+    let blocks = 64u64;
+    let mut ops = Vec::new();
+    for _pass in 0..2 {
+        for b in 0..blocks {
+            ops.push(Op::Compute(SimDuration::from_millis(30)));
+            ops.push(Op::Read {
+                file: ioworkload::FileId(0),
+                offset: b * block,
+                len: block,
+            });
+        }
+    }
+    let wl = Workload {
+        name: "rereads".into(),
+        block_size: block,
+        nodes: 1,
+        files: vec![FileMeta {
+            id: ioworkload::FileId(0),
+            size: blocks * block,
+        }],
+        processes: vec![ProcessTrace {
+            proc: ioworkload::ProcId(0),
+            node: ioworkload::NodeId(0),
+            ops,
+        }],
+    };
+    wl.validate();
+
+    let mut cfg = SimConfig::pm(CacheSystem::Pafs, PrefetchConfig::ln_agr_oba(), 1);
+    cfg.machine.nodes = 1;
+    cfg.machine.disks = 2;
+    cfg.cache_bytes_per_node = 8 * block; // 8 blocks: file never fits
+    let r = run_simulation(cfg, wl);
+
+    // The walk restarted when pass 2 found its old path evicted...
+    assert!(r.prefetch.restarts > 0, "no restarts: {:?}", r.prefetch);
+    // ...and pass 2 was prefetched again: more prefetch fetches than
+    // one pass's worth of blocks.
+    assert!(
+        r.prefetch.issued > blocks,
+        "pass 2 not re-prefetched: {} issued",
+        r.prefetch.issued
+    );
+    // With 30 ms gaps (>1 disk service), most pass-2 reads hit.
+    assert!(r.cache.hit_ratio() > 0.5, "hit {:.2}", r.cache.hit_ratio());
+}

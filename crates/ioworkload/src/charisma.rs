@@ -1,0 +1,469 @@
+//! Synthetic CHARISMA-like workload: a parallel machine running
+//! scientific applications.
+//!
+//! The CHARISMA traces (Nieuwejaar et al., iPSC/860 at NASA Ames) are
+//! not redistributable, so this generator synthesises a workload with
+//! the published characteristics the paper's analysis relies on:
+//!
+//! * few, large files, each produced/consumed by one parallel
+//!   application whose processes span many nodes;
+//! * *regular* access: sequential segments, interleaved strides, and
+//!   broadcast (all processes read the same data) — the patterns the
+//!   CHARISMA study classified;
+//! * large requests ("many large user requests", §5.2);
+//! * **bursty phase behaviour**: long compute phases separated by I/O
+//!   bursts of many closely spaced requests. This is what gives
+//!   aggressive prefetching its edge — during a compute phase the
+//!   prefetcher works far ahead one block at a time, so the next burst
+//!   hits; a one-request-ahead prefetcher covers only the first request
+//!   of a burst;
+//! * applications that access only the *first part* of a file and never
+//!   return to the tail (§5.2 uses this to explain Ln_Agr_OBA vs
+//!   Ln_Agr_IS_PPM at small cache sizes);
+//! * multiple passes over the data (time-steps), giving temporal reuse;
+//! * writers that keep re-dirtying a *hot region* throughout the run —
+//!   the repeatedly-modified blocks whose periodic write-backs Table 2
+//!   counts;
+//! * long compute phases, as befits compute-bound scientific codes on
+//!   10 MB/s disks.
+//!
+//! Everything is driven by a seeded [`StdRng`], so a `(params, seed)`
+//! pair always produces the identical workload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simkit::SimDuration;
+
+use crate::trace::{FileMeta, Op, ProcessTrace, Workload};
+use crate::types::{FileId, NodeId, ProcId};
+use crate::util::{jitter, ms};
+
+/// How one application's processes divide a file among themselves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum AppPattern {
+    /// Process `p` of `P` reads records `p, p+P, p+2P, …` — a regular
+    /// stride of `P * record` blocks between its consecutive requests.
+    Interleaved,
+    /// Process `p` reads the contiguous segment `p` of the accessed
+    /// region sequentially.
+    Segmented,
+    /// Every process reads the whole accessed region sequentially
+    /// (input decks, redundant reads) — the inter-process sharing that
+    /// cooperative caches exploit.
+    Broadcast,
+}
+
+/// Parameters of the CHARISMA-like generator.
+#[derive(Clone, Debug)]
+pub struct CharismaParams {
+    /// Machine nodes (the paper's PM has 128).
+    pub nodes: u32,
+    /// Concurrently running applications.
+    pub apps: usize,
+    /// Processes per application (spread round-robin over nodes).
+    pub procs_per_app: u32,
+    /// File size range in blocks (inclusive).
+    pub file_blocks: (u64, u64),
+    /// Passes over the data per application (inclusive range).
+    pub passes: (u32, u32),
+    /// Record (request) size range in blocks (inclusive).
+    pub record_blocks: (u64, u64),
+    /// Range of the fraction of each file that is ever accessed.
+    pub accessed_fraction: (f64, f64),
+    /// Requests per I/O burst (inclusive range).
+    pub burst_requests: (u32, u32),
+    /// Think time between requests inside a burst, ms range (small —
+    /// comparable to one disk access, so un-prefetched bursts stall).
+    pub burst_gap_ms: (f64, f64),
+    /// Compute phase between bursts, ms range (long — this is the slack
+    /// an aggressive prefetcher exploits). SPMD processes of one
+    /// application share the phase schedule (loosely synchronized I/O
+    /// rounds), with a per-process jitter of ±10%.
+    pub compute_phase_ms: (f64, f64),
+    /// Extra compute between passes, ms range.
+    pub pass_gap_ms: (f64, f64),
+    /// Fraction of applications that are writers.
+    pub writer_fraction: f64,
+    /// Writers re-dirty a hot region of this many blocks (range).
+    pub hot_blocks: (u64, u64),
+    /// Writers checkpoint (rewrite) their hot slice this many times
+    /// per pass, evenly spaced. Together with the write-back period
+    /// this controls Table 2's writes-per-block statistic: each
+    /// checkpoint leaves the slice dirty until the next sweep.
+    pub hot_rewrites_per_pass: u32,
+    /// Pattern mix weights: (interleaved, segmented, broadcast).
+    pub pattern_weights: (f64, f64, f64),
+}
+
+impl CharismaParams {
+    /// Paper-scale parameters: the PM of Table 1 (128 nodes), with an
+    /// aggregate accessed footprint (~1.5 GB) that sweeps the 1–16 MB
+    /// per-node cache range without saturating early.
+    pub fn paper() -> Self {
+        CharismaParams {
+            nodes: 128,
+            apps: 16,
+            procs_per_app: 16,
+            file_blocks: (14_336, 28_672), // 112–224 MB at 8 KB blocks
+            passes: (2, 3),
+            record_blocks: (2, 12),
+            accessed_fraction: (0.55, 1.0),
+            burst_requests: (4, 10),
+            burst_gap_ms: (0.5, 4.0),
+            compute_phase_ms: (8_000.0, 16_000.0),
+            pass_gap_ms: (500.0, 3_000.0),
+            writer_fraction: 0.4,
+            hot_blocks: (64, 256),
+            hot_rewrites_per_pass: 5,
+            pattern_weights: (0.5, 0.3, 0.2),
+        }
+    }
+
+    /// A scaled-down variant for unit tests and quick examples.
+    pub fn small() -> Self {
+        CharismaParams {
+            nodes: 8,
+            apps: 3,
+            procs_per_app: 4,
+            file_blocks: (192, 512),
+            passes: (2, 3),
+            record_blocks: (2, 8),
+            accessed_fraction: (0.6, 1.0),
+            burst_requests: (3, 6),
+            burst_gap_ms: (0.5, 4.0),
+            compute_phase_ms: (400.0, 1_200.0),
+            pass_gap_ms: (100.0, 400.0),
+            writer_fraction: 0.4,
+            hot_blocks: (8, 24),
+            hot_rewrites_per_pass: 3,
+            pattern_weights: (0.5, 0.3, 0.2),
+        }
+    }
+
+    /// Generate the workload for a seed.
+    pub fn generate(&self, seed: u64) -> Workload {
+        assert!(self.apps > 0 && self.procs_per_app > 0 && self.nodes > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let block_size = 8192u64;
+
+        let mut files = Vec::with_capacity(self.apps);
+        let mut processes: Vec<ProcessTrace> = Vec::new();
+
+        for app in 0..self.apps {
+            let file = FileId(app as u32);
+            let blocks = rng.gen_range(self.file_blocks.0..=self.file_blocks.1);
+            files.push(FileMeta {
+                id: file,
+                size: blocks * block_size,
+            });
+
+            let pattern = self.pick_pattern(&mut rng);
+            let record = rng
+                .gen_range(self.record_blocks.0..=self.record_blocks.1)
+                .min(blocks);
+            let frac = rng.gen_range(self.accessed_fraction.0..=self.accessed_fraction.1);
+            let accessed = ((blocks as f64 * frac) as u64).max(record).min(blocks);
+            let passes = rng.gen_range(self.passes.0..=self.passes.1);
+            let writer = rng.gen_bool(self.writer_fraction);
+            let hot = rng
+                .gen_range(self.hot_blocks.0..=self.hot_blocks.1)
+                .min(accessed);
+            let procs = self.procs_per_app;
+
+            // SPMD processes synchronize loosely at I/O rounds: the
+            // compute-phase/burst schedule is drawn once per (app,
+            // pass) and shared by every process, with per-process
+            // jitter applied at emission.
+            let max_reads_per_proc = match pattern {
+                AppPattern::Interleaved => accessed.div_ceil(record).div_ceil(procs as u64),
+                AppPattern::Segmented => accessed.div_ceil(procs as u64).div_ceil(record),
+                AppPattern::Broadcast => accessed.div_ceil(record),
+            };
+            let mut schedules: Vec<Vec<(SimDuration, usize)>> = Vec::new();
+            let mut pass_gaps: Vec<SimDuration> = Vec::new();
+            for _ in 0..passes {
+                let mut rounds = Vec::new();
+                let mut covered = 0u64;
+                while covered < max_reads_per_proc {
+                    let phase = ms(&mut rng, self.compute_phase_ms);
+                    let burst =
+                        rng.gen_range(self.burst_requests.0..=self.burst_requests.1) as usize;
+                    rounds.push((phase, burst));
+                    covered += burst as u64;
+                }
+                schedules.push(rounds);
+                pass_gaps.push(ms(&mut rng, self.pass_gap_ms));
+            }
+            let app_start = ms(&mut rng, (0.0, 2000.0));
+
+            // Spread the app's processes across the machine.
+            let first_node = (app as u32 * procs) % self.nodes;
+
+            for p in 0..procs {
+                let proc_id = ProcId(processes.len() as u32);
+                let node = NodeId((first_node + p) % self.nodes);
+                let mut ops = Vec::new();
+                // All processes of the app start near the same instant.
+                ops.push(Op::Compute(jitter(&mut rng, app_start)));
+                for (pass, schedule) in schedules.iter().enumerate() {
+                    if pass > 0 {
+                        ops.push(Op::Compute(jitter(&mut rng, pass_gaps[pass])));
+                    }
+                    self.emit_pass(
+                        &mut rng, &mut ops, pattern, file, block_size, accessed, record, p, procs,
+                        writer, hot, schedule,
+                    );
+                }
+                processes.push(ProcessTrace {
+                    proc: proc_id,
+                    node,
+                    ops,
+                });
+            }
+        }
+
+        let wl = Workload {
+            name: format!("charisma-{}n-{}apps", self.nodes, self.apps),
+            block_size,
+            nodes: self.nodes,
+            files,
+            processes,
+        };
+        wl.validate();
+        wl
+    }
+
+    fn pick_pattern(&self, rng: &mut StdRng) -> AppPattern {
+        let (wi, ws, wb) = self.pattern_weights;
+        let total = wi + ws + wb;
+        let x = rng.gen_range(0.0..total);
+        if x < wi {
+            AppPattern::Interleaved
+        } else if x < wi + ws {
+            AppPattern::Segmented
+        } else {
+            AppPattern::Broadcast
+        }
+    }
+
+    /// Emit one pass of process `p` (of `procs`) over the accessed
+    /// region: the pattern's reads grouped into the app-wide burst
+    /// `schedule` (jittered per process), and (for writers) periodic
+    /// rewrites of the process's slice of the hot region.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_pass(
+        &self,
+        rng: &mut StdRng,
+        ops: &mut Vec<Op>,
+        pattern: AppPattern,
+        file: FileId,
+        block_size: u64,
+        accessed: u64,
+        record: u64,
+        p: u32,
+        procs: u32,
+        writer: bool,
+        hot: u64,
+        schedule: &[(SimDuration, usize)],
+    ) {
+        // Reads of this pass, as (start_block, nblocks).
+        let mut reads: Vec<(u64, u64)> = Vec::new();
+        match pattern {
+            AppPattern::Interleaved => {
+                let mut rec = p as u64;
+                loop {
+                    let start = rec * record;
+                    if start >= accessed {
+                        break;
+                    }
+                    reads.push((start, record.min(accessed - start)));
+                    rec += procs as u64;
+                }
+            }
+            AppPattern::Segmented => {
+                let seg = accessed.div_ceil(procs as u64);
+                let start = (p as u64 * seg).min(accessed);
+                let end = ((p as u64 + 1) * seg).min(accessed);
+                let mut blk = start;
+                while blk < end {
+                    let n = record.min(end - blk);
+                    reads.push((blk, n));
+                    blk += n;
+                }
+            }
+            AppPattern::Broadcast => {
+                let mut blk = 0;
+                while blk < accessed {
+                    let n = record.min(accessed - blk);
+                    reads.push((blk, n));
+                    blk += n;
+                }
+            }
+        }
+
+        // The process's slice of the hot region (writers only).
+        let hot_slice = if writer && hot > 0 {
+            let per = hot.div_ceil(procs as u64).max(1);
+            let start = (p as u64 * per).min(hot.saturating_sub(1));
+            let end = ((p as u64 + 1) * per).min(hot);
+            (start < end).then_some((start, end))
+        } else {
+            None
+        };
+
+        // Rounds at which the hot slice is checkpointed: evenly spaced
+        // through the pass.
+        let rewrite_stride = if self.hot_rewrites_per_pass > 0 {
+            (schedule.len() / self.hot_rewrites_per_pass as usize).max(1)
+        } else {
+            usize::MAX
+        };
+
+        let mut i = 0usize;
+        let mut burst_no = 0usize;
+        for &(phase, burst) in schedule {
+            if i >= reads.len() {
+                break;
+            }
+            // Shared compute phase (jittered), then a burst of closely
+            // spaced requests.
+            ops.push(Op::Compute(jitter(rng, phase)));
+            for (start, n) in reads[i..reads.len().min(i + burst)].iter().copied() {
+                ops.push(Op::Compute(ms(rng, self.burst_gap_ms)));
+                ops.push(Op::Read {
+                    file,
+                    offset: start * block_size,
+                    len: n * block_size,
+                });
+            }
+            i += burst;
+            burst_no += 1;
+            // Writers checkpoint their hot slice at the scheduled rounds.
+            if let Some((hs, he)) = hot_slice {
+                if burst_no.is_multiple_of(rewrite_stride) {
+                    let mut blk = hs;
+                    while blk < he {
+                        let n = record.min(he - blk);
+                        ops.push(Op::Compute(ms(rng, self.burst_gap_ms)));
+                        ops.push(Op::Write {
+                            file,
+                            offset: blk * block_size,
+                            len: n * block_size,
+                        });
+                        blk += n;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = CharismaParams::small();
+        let a = p.generate(7);
+        let b = p.generate(7);
+        assert_eq!(a.to_text(), b.to_text());
+        let c = p.generate(8);
+        assert_ne!(a.to_text(), c.to_text());
+    }
+
+    #[test]
+    fn generated_workload_validates_for_many_seeds() {
+        let p = CharismaParams::small();
+        for seed in 0..20 {
+            let wl = p.generate(seed);
+            wl.validate(); // panics on inconsistency
+            assert_eq!(wl.files.len(), p.apps);
+            assert_eq!(wl.processes.len(), p.apps * p.procs_per_app as usize);
+        }
+    }
+
+    #[test]
+    fn workload_has_large_requests_and_sharing() {
+        let wl = CharismaParams::small().generate(3);
+        let s = wl.stats();
+        assert!(s.mean_read_blocks > 1.5, "mean {}", s.mean_read_blocks);
+        // Every app file is touched from several nodes.
+        assert!(s.shared_file_fraction > 0.8);
+        assert!(s.writes > 0, "writer apps must produce writes");
+    }
+
+    #[test]
+    fn respects_accessed_fraction_upper_part_untouched() {
+        // With accessed_fraction < 1, no access goes past ~50% of any
+        // file (+1 record of slack).
+        let mut p = CharismaParams::small();
+        p.accessed_fraction = (0.5, 0.5);
+        let wl = p.generate(1);
+        let bs = wl.block_size;
+        for proc in &wl.processes {
+            for op in &proc.ops {
+                if let Op::Read { file, offset, len } | Op::Write { file, offset, len } = op {
+                    let fsize = wl.files[file.0 as usize].size;
+                    assert!(
+                        offset + len <= fsize / 2 + 16 * bs,
+                        "access at {}..{} of {}",
+                        offset,
+                        offset + len,
+                        fsize
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traces_are_bursty() {
+        // Inside a burst the gaps are tiny; between bursts they are
+        // hundreds of ms. Verify a bimodal gap distribution.
+        let wl = CharismaParams::small().generate(5);
+        let mut small_gaps = 0usize;
+        let mut large_gaps = 0usize;
+        for proc in &wl.processes {
+            for op in &proc.ops {
+                if let Op::Compute(d) = op {
+                    if d.as_millis() < 10 {
+                        small_gaps += 1;
+                    } else if d.as_millis() > 100 {
+                        large_gaps += 1;
+                    }
+                }
+            }
+        }
+        assert!(small_gaps > large_gaps, "{small_gaps} vs {large_gaps}");
+        assert!(large_gaps > 10, "need real compute phases: {large_gaps}");
+    }
+
+    #[test]
+    fn writers_rewrite_hot_blocks_repeatedly() {
+        let mut p = CharismaParams::small();
+        p.writer_fraction = 1.0;
+        let wl = p.generate(9);
+        // Some block must be written more than once by some process.
+        use std::collections::HashMap;
+        let mut writes: HashMap<(u32, u64), u32> = HashMap::new();
+        for proc in &wl.processes {
+            for op in &proc.ops {
+                if let Op::Write { file, offset, .. } = op {
+                    *writes.entry((file.0, offset / wl.block_size)).or_default() += 1;
+                }
+            }
+        }
+        let max = writes.values().copied().max().unwrap_or(0);
+        assert!(max >= 2, "hot blocks must be rewritten, max={max}");
+    }
+
+    #[test]
+    fn paper_preset_matches_table1_machine() {
+        let p = CharismaParams::paper();
+        assert_eq!(p.nodes, 128);
+        let wl = p.generate(1);
+        assert_eq!(wl.nodes, 128);
+        assert_eq!(wl.block_size, 8192);
+    }
+}

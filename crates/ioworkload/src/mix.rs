@@ -1,0 +1,137 @@
+//! Combine workloads onto one machine.
+//!
+//! Parallel machines rarely run a single workload class; mixing the
+//! CHARISMA-like and Sprite-like generators (or several instances of
+//! one) onto the same node set produces interference studies the paper
+//! hints at ("a system where many applications are running
+//! concurrently", §1) but does not evaluate.
+
+use crate::trace::{Op, Workload};
+use crate::types::{FileId, ProcId};
+
+/// Merge several workloads into one: file and process ids are
+/// re-numbered into one dense space, node ids are kept (all inputs must
+/// target the same machine width or narrower), block sizes must agree.
+///
+/// ```
+/// use ioworkload::charisma::CharismaParams;
+/// use ioworkload::mix::merge;
+///
+/// let a = CharismaParams::small().generate(1);
+/// let b = CharismaParams::small().generate(2);
+/// let n = a.processes.len() + b.processes.len();
+/// let mixed = merge("both", vec![a, b]);
+/// assert_eq!(mixed.processes.len(), n);
+/// ```
+///
+/// # Panics
+/// Panics if `parts` is empty or block sizes differ.
+pub fn merge(name: &str, parts: Vec<Workload>) -> Workload {
+    assert!(!parts.is_empty(), "nothing to merge");
+    let block_size = parts[0].block_size;
+    let nodes = parts.iter().map(|w| w.nodes).max().unwrap();
+    let mut files = Vec::new();
+    let mut processes = Vec::new();
+
+    for part in parts {
+        assert_eq!(
+            part.block_size, block_size,
+            "cannot merge workloads with different block sizes"
+        );
+        let file_base = files.len() as u32;
+        for mut f in part.files {
+            f.id = FileId(file_base + f.id.0);
+            files.push(f);
+        }
+        for mut p in part.processes {
+            p.proc = ProcId(processes.len() as u32);
+            for op in &mut p.ops {
+                match op {
+                    Op::Read { file, .. } | Op::Write { file, .. } => {
+                        *file = FileId(file_base + file.0);
+                    }
+                    Op::Compute(_) => {}
+                }
+            }
+            processes.push(p);
+        }
+    }
+
+    let wl = Workload {
+        name: name.to_string(),
+        block_size,
+        nodes,
+        files,
+        processes,
+    };
+    wl.validate();
+    wl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charisma::CharismaParams;
+    use crate::sprite::SpriteParams;
+
+    #[test]
+    fn merge_renumbers_everything_densely() {
+        let a = CharismaParams::small().generate(1);
+        let b = SpriteParams::small().generate(2);
+        let (fa, pa) = (a.files.len(), a.processes.len());
+        let (fb, pb) = (b.files.len(), b.processes.len());
+        let m = merge("mixed", vec![a, b]);
+        assert_eq!(m.files.len(), fa + fb);
+        assert_eq!(m.processes.len(), pa + pb);
+        m.validate(); // dense ids, in-bounds accesses
+    }
+
+    #[test]
+    fn merged_accesses_point_at_the_right_files() {
+        let a = CharismaParams::small().generate(3);
+        let b = CharismaParams::small().generate(3);
+        let io_before = a.io_ops() + b.io_ops();
+        let fa = a.files.len() as u32;
+        let m = merge("two-charismas", vec![a, b]);
+        assert_eq!(m.io_ops(), io_before);
+        // The second instance's ops all target files >= fa.
+        let second_half = &m.processes[m.processes.len() / 2..];
+        let mut saw_offset_file = false;
+        for p in second_half {
+            for op in &p.ops {
+                if let Op::Read { file, .. } | Op::Write { file, .. } = op {
+                    assert!(file.0 >= fa);
+                    saw_offset_file = true;
+                }
+            }
+        }
+        assert!(saw_offset_file);
+    }
+
+    #[test]
+    fn merge_takes_the_widest_machine() {
+        let mut small = CharismaParams::small();
+        small.nodes = 4;
+        small.procs_per_app = 2;
+        let a = small.generate(1);
+        let mut wide = CharismaParams::small();
+        wide.nodes = 8;
+        let b = wide.generate(1);
+        let m = merge("mixed-width", vec![a, b]);
+        assert_eq!(m.nodes, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to merge")]
+    fn empty_merge_panics() {
+        merge("empty", vec![]);
+    }
+
+    #[test]
+    fn merge_is_identity_for_one_part() {
+        let a = SpriteParams::small().generate(9);
+        let text = a.to_text();
+        let m = merge(&a.name.clone(), vec![a]);
+        assert_eq!(m.to_text(), text);
+    }
+}

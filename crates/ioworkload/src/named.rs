@@ -1,0 +1,54 @@
+//! Generate the built-in workloads by name — the single dispatch the
+//! CLI tools and harnesses share.
+
+use crate::charisma::CharismaParams;
+use crate::sprite::SpriteParams;
+use crate::trace::Workload;
+
+/// Generate a built-in workload by `(kind, scale)` name.
+///
+/// `kind` is `"charisma"` or `"sprite"`; `scale` is `"small"` or
+/// `"paper"`. Returns `None` for unknown names.
+///
+/// ```
+/// use ioworkload::generate_named;
+///
+/// let wl = generate_named("sprite", "small", 7).unwrap();
+/// assert!(wl.processes.len() > 0);
+/// assert!(generate_named("minix", "small", 7).is_none());
+/// ```
+pub fn generate_named(kind: &str, scale: &str, seed: u64) -> Option<Workload> {
+    Some(match (kind, scale) {
+        ("charisma", "small") => CharismaParams::small().generate(seed),
+        ("charisma", "paper") => CharismaParams::paper().generate(seed),
+        ("sprite", "small") => SpriteParams::small().generate(seed),
+        ("sprite", "paper") => SpriteParams::paper().generate(seed),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_covers_all_builtins() {
+        for kind in ["charisma", "sprite"] {
+            for scale in ["small", "paper"] {
+                assert!(
+                    generate_named(kind, scale, 1).is_some(),
+                    "{kind}/{scale} must dispatch"
+                );
+            }
+        }
+        assert!(generate_named("charisma", "huge", 1).is_none());
+        assert!(generate_named("", "small", 1).is_none());
+    }
+
+    #[test]
+    fn named_matches_direct_generation() {
+        let a = generate_named("charisma", "small", 9).unwrap();
+        let b = CharismaParams::small().generate(9);
+        assert_eq!(a.to_text(), b.to_text());
+    }
+}

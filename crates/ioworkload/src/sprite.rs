@@ -1,0 +1,347 @@
+//! Synthetic Sprite-like workload: a network of workstations.
+//!
+//! The Berkeley Sprite traces (Baker et al., SOSP'91) captured ~50
+//! client workstations used by ~70 users over two days. The published
+//! characteristics this generator reproduces:
+//!
+//! * many *small* files (most a handful of blocks);
+//! * accesses dominated by whole-file or prefix sequential reads with
+//!   small requests;
+//! * strong per-user temporal locality (the same files are re-opened
+//!   again and again) but **very little inter-client sharing** — the
+//!   property §5.2 uses to explain why xFS's per-node linearity is
+//!   almost as good as PAFS's global linearity on this workload;
+//! * a minority of files accessed through *structured* non-sequential
+//!   patterns (strided scans, backward scans) that a one-block-ahead
+//!   heuristic cannot follow but a pattern learner can — the source of
+//!   the Ln_Agr_OBA 32% vs Ln_Agr_IS_PPM 15% miss-prediction gap;
+//! * a moderate write share (temporary files, edits).
+//!
+//! Each file gets a fixed *access profile* at creation; every open of
+//! the file replays that profile. This mirrors reality (a given file
+//! tends to be read the same way every time) and is what makes learned
+//! per-file prediction graphs useful across opens.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::{FileMeta, Op, ProcessTrace, Workload};
+use crate::types::{FileId, NodeId, ProcId};
+use crate::util::{log_uniform, ms};
+
+/// How a file is accessed on every open.
+#[derive(Clone, Copy, Debug)]
+enum Profile {
+    /// Sequential prefix read: blocks `0 .. frac*blocks`, `req` blocks
+    /// per request.
+    Sequential {
+        /// Fraction of the file read before stopping.
+        frac: f64,
+        /// Request size in blocks.
+        req: u64,
+    },
+    /// Strided scan: one `req`-block request every `stride` blocks.
+    Strided {
+        /// Distance between request starts, in blocks (> req).
+        stride: u64,
+        /// Request size in blocks.
+        req: u64,
+    },
+    /// Backward scan from the end of the file to the beginning.
+    Backward {
+        /// Request size in blocks.
+        req: u64,
+    },
+}
+
+/// Parameters of the Sprite-like generator.
+#[derive(Clone, Debug)]
+pub struct SpriteParams {
+    /// Client workstations (the paper's NOW has 50).
+    pub nodes: u32,
+    /// Users; each user is one trace process pinned to a node.
+    pub users: u32,
+    /// Private files per user.
+    pub files_per_user: u32,
+    /// File size range in blocks (inclusive); sizes are drawn
+    /// log-uniformly so small files dominate.
+    pub file_blocks: (u64, u64),
+    /// File opens per user.
+    pub opens_per_user: u32,
+    /// Geometric parameter of per-user file popularity (higher = more
+    /// reuse of the hottest files).
+    pub reuse_bias: f64,
+    /// Globally shared files (system binaries etc.).
+    pub shared_files: u32,
+    /// Probability an open goes to a shared file.
+    pub shared_open_prob: f64,
+    /// Profile mix weights: (sequential, strided, backward).
+    pub profile_weights: (f64, f64, f64),
+    /// Sequential profiles read this fraction range of the file.
+    pub prefix_fraction: (f64, f64),
+    /// Probability an open rewrites the file instead of reading it.
+    pub write_open_prob: f64,
+    /// Think time between requests, ms range.
+    pub think_ms: (f64, f64),
+    /// Idle gap between opens, ms range.
+    pub open_gap_ms: (f64, f64),
+}
+
+impl SpriteParams {
+    /// Paper-scale parameters: the NOW of Table 1 (50 nodes).
+    pub fn paper() -> Self {
+        SpriteParams {
+            nodes: 50,
+            users: 70,
+            files_per_user: 64,
+            file_blocks: (1, 64),
+            opens_per_user: 200,
+            reuse_bias: 0.18,
+            shared_files: 6,
+            shared_open_prob: 0.08,
+            profile_weights: (0.6, 0.25, 0.15),
+            prefix_fraction: (0.4, 1.0),
+            write_open_prob: 0.25,
+            think_ms: (2.0, 25.0),
+            open_gap_ms: (400.0, 4000.0),
+        }
+    }
+
+    /// A scaled-down variant for unit tests and quick examples.
+    pub fn small() -> Self {
+        SpriteParams {
+            nodes: 6,
+            users: 8,
+            files_per_user: 10,
+            file_blocks: (1, 32),
+            opens_per_user: 30,
+            reuse_bias: 0.2,
+            shared_files: 2,
+            shared_open_prob: 0.08,
+            profile_weights: (0.6, 0.25, 0.15),
+            prefix_fraction: (0.4, 1.0),
+            write_open_prob: 0.25,
+            think_ms: (5.0, 30.0),
+            open_gap_ms: (50.0, 500.0),
+        }
+    }
+
+    /// Generate the workload for a seed.
+    pub fn generate(&self, seed: u64) -> Workload {
+        assert!(self.users > 0 && self.nodes > 0 && self.files_per_user > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let block_size = 8192u64;
+
+        // Shared files first, then each user's private files.
+        let total_files = self.shared_files + self.users * self.files_per_user;
+        let mut files = Vec::with_capacity(total_files as usize);
+        let mut profiles = Vec::with_capacity(total_files as usize);
+        for id in 0..total_files {
+            let blocks = log_uniform(&mut rng, self.file_blocks);
+            files.push(FileMeta {
+                id: FileId(id),
+                size: blocks * block_size,
+            });
+            profiles.push(self.pick_profile(&mut rng, blocks));
+        }
+
+        let mut processes = Vec::with_capacity(self.users as usize);
+        for u in 0..self.users {
+            let proc_id = ProcId(u);
+            let node = NodeId(u % self.nodes);
+            let my_first = self.shared_files + u * self.files_per_user;
+            let mut ops = Vec::new();
+            ops.push(Op::Compute(ms(&mut rng, (0.0, 3000.0))));
+            for _ in 0..self.opens_per_user {
+                ops.push(Op::Compute(ms(&mut rng, self.open_gap_ms)));
+                let file = if rng.gen_bool(self.shared_open_prob) {
+                    FileId(rng.gen_range(0..self.shared_files))
+                } else {
+                    // Geometric popularity over the user's own files:
+                    // file k chosen with probability ∝ (1-b)^k.
+                    let mut k = 0;
+                    while k + 1 < self.files_per_user && !rng.gen_bool(self.reuse_bias) {
+                        k += 1;
+                    }
+                    FileId(my_first + k)
+                };
+                let write = rng.gen_bool(self.write_open_prob);
+                self.emit_open(
+                    &mut rng,
+                    &mut ops,
+                    file,
+                    files[file.0 as usize].size / block_size,
+                    profiles[file.0 as usize],
+                    block_size,
+                    write,
+                );
+            }
+            processes.push(ProcessTrace {
+                proc: proc_id,
+                node,
+                ops,
+            });
+        }
+
+        let wl = Workload {
+            name: format!("sprite-{}n-{}u", self.nodes, self.users),
+            block_size,
+            nodes: self.nodes,
+            files,
+            processes,
+        };
+        wl.validate();
+        wl
+    }
+
+    fn pick_profile(&self, rng: &mut StdRng, blocks: u64) -> Profile {
+        let (ws, wt, wb) = self.profile_weights;
+        let x = rng.gen_range(0.0..ws + wt + wb);
+        if x < ws || blocks < 6 {
+            // Tiny files are always read sequentially.
+            Profile::Sequential {
+                frac: rng.gen_range(self.prefix_fraction.0..=self.prefix_fraction.1),
+                req: rng.gen_range(1..=2u64.min(blocks)),
+            }
+        } else if x < ws + wt {
+            let stride = rng.gen_range(3..=6u64);
+            Profile::Strided {
+                stride,
+                req: rng.gen_range(1..=2u64),
+            }
+        } else {
+            Profile::Backward {
+                req: rng.gen_range(1..=2u64),
+            }
+        }
+    }
+
+    /// Emit the request sequence of one open.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_open(
+        &self,
+        rng: &mut StdRng,
+        ops: &mut Vec<Op>,
+        file: FileId,
+        blocks: u64,
+        profile: Profile,
+        block_size: u64,
+        write: bool,
+    ) {
+        let emit = |rng: &mut StdRng, ops: &mut Vec<Op>, start_blk: u64, nblk: u64| {
+            if nblk == 0 {
+                return;
+            }
+            ops.push(Op::Compute(ms(rng, self.think_ms)));
+            let offset = start_blk * block_size;
+            let len = nblk * block_size;
+            if write {
+                ops.push(Op::Write { file, offset, len });
+            } else {
+                ops.push(Op::Read { file, offset, len });
+            }
+        };
+
+        match profile {
+            Profile::Sequential { frac, req } => {
+                let end = ((blocks as f64 * frac).ceil() as u64).clamp(1, blocks);
+                let mut blk = 0;
+                while blk < end {
+                    let n = req.min(end - blk);
+                    emit(rng, ops, blk, n);
+                    blk += n;
+                }
+            }
+            Profile::Strided { stride, req } => {
+                let mut blk = 0;
+                while blk < blocks {
+                    let n = req.min(blocks - blk);
+                    emit(rng, ops, blk, n);
+                    blk += stride;
+                }
+            }
+            Profile::Backward { req } => {
+                let mut blk = blocks;
+                while blk > 0 {
+                    let n = req.min(blk);
+                    emit(rng, ops, blk - n, n);
+                    blk -= n;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = SpriteParams::small();
+        assert_eq!(p.generate(5).to_text(), p.generate(5).to_text());
+        assert_ne!(p.generate(5).to_text(), p.generate(6).to_text());
+    }
+
+    #[test]
+    fn validates_for_many_seeds() {
+        let p = SpriteParams::small();
+        for seed in 0..20 {
+            p.generate(seed).validate();
+        }
+    }
+
+    #[test]
+    fn small_files_and_little_sharing() {
+        let wl = SpriteParams::small().generate(11);
+        let s = wl.stats();
+        // Requests are small...
+        assert!(s.mean_read_blocks < 3.0, "mean {}", s.mean_read_blocks);
+        // ...files are small...
+        assert!(s.mean_file_blocks < 40.0);
+        // ...and few files are shared between nodes (only the shared
+        // system files plus users co-located by chance).
+        assert!(
+            s.shared_file_fraction < 0.3,
+            "sharing {}",
+            s.shared_file_fraction
+        );
+        assert!(s.writes > 0);
+    }
+
+    #[test]
+    fn reuse_concentrates_on_hot_files() {
+        let wl = SpriteParams::small().generate(3);
+        // Count opens per file for user 0 by scanning its trace.
+        use std::collections::HashMap;
+        let mut touches: HashMap<u32, usize> = HashMap::new();
+        for op in &wl.processes[0].ops {
+            if let Op::Read { file, .. } | Op::Write { file, .. } = op {
+                *touches.entry(file.0).or_default() += 1;
+            }
+        }
+        // The most-touched file should clearly dominate the median one.
+        let mut counts: Vec<usize> = touches.values().copied().collect();
+        counts.sort_unstable();
+        let max = *counts.last().unwrap();
+        let median = counts[counts.len() / 2];
+        assert!(max >= median, "max {max} median {median}");
+    }
+
+    #[test]
+    fn paper_preset_matches_table1_machine() {
+        let p = SpriteParams::paper();
+        assert_eq!(p.nodes, 50);
+        let wl = p.generate(1);
+        assert_eq!(wl.nodes, 50);
+    }
+
+    #[test]
+    fn log_uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = log_uniform(&mut rng, (1, 64));
+            assert!((1..=64).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Workload summary statistics, for sanity checks and reports.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::trace::{Op, Workload};
+use crate::types::FileId;
+
+/// Aggregate characteristics of a workload, mirroring the properties
+/// the CHARISMA and Sprite papers report (request sizes, sharing,
+/// read/write mix).
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadStats {
+    /// Number of read operations.
+    pub reads: usize,
+    /// Number of write operations.
+    pub writes: usize,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Mean read size in blocks.
+    pub mean_read_blocks: f64,
+    /// Number of files.
+    pub files: usize,
+    /// Mean file size in blocks.
+    pub mean_file_blocks: f64,
+    /// Fraction of files accessed by more than one node (inter-node
+    /// sharing, the property that separates CHARISMA from Sprite).
+    pub shared_file_fraction: f64,
+    /// Distinct blocks touched across all files.
+    pub distinct_blocks: u64,
+    /// Total compute time across processes, in seconds.
+    pub compute_seconds: f64,
+}
+
+impl Workload {
+    /// Compute summary statistics.
+    pub fn stats(&self) -> WorkloadStats {
+        let mut s = WorkloadStats {
+            files: self.files.len(),
+            ..Default::default()
+        };
+        let bs = self.block_size;
+        let mut read_blocks_total = 0u64;
+        let mut file_nodes: HashMap<FileId, HashSet<u32>> = HashMap::new();
+        let mut touched: HashSet<(u32, u64)> = HashSet::new();
+        for p in &self.processes {
+            for op in &p.ops {
+                match *op {
+                    Op::Compute(d) => s.compute_seconds += d.as_secs_f64(),
+                    Op::Read { file, offset, len } => {
+                        s.reads += 1;
+                        s.bytes_read += len;
+                        let first = offset / bs;
+                        let last = (offset + len - 1) / bs;
+                        read_blocks_total += last - first + 1;
+                        file_nodes.entry(file).or_default().insert(p.node.0);
+                        for b in first..=last {
+                            touched.insert((file.0, b));
+                        }
+                    }
+                    Op::Write { file, offset, len } => {
+                        s.writes += 1;
+                        s.bytes_written += len;
+                        let first = offset / bs;
+                        let last = (offset + len - 1) / bs;
+                        file_nodes.entry(file).or_default().insert(p.node.0);
+                        for b in first..=last {
+                            touched.insert((file.0, b));
+                        }
+                    }
+                }
+            }
+        }
+        s.mean_read_blocks = if s.reads == 0 {
+            0.0
+        } else {
+            read_blocks_total as f64 / s.reads as f64
+        };
+        s.mean_file_blocks = if self.files.is_empty() {
+            0.0
+        } else {
+            self.files
+                .iter()
+                .map(|f| f.size.div_ceil(bs) as f64)
+                .sum::<f64>()
+                / self.files.len() as f64
+        };
+        let shared = file_nodes.values().filter(|nodes| nodes.len() > 1).count();
+        s.shared_file_fraction = if file_nodes.is_empty() {
+            0.0
+        } else {
+            shared as f64 / file_nodes.len() as f64
+        };
+        s.distinct_blocks = touched.len() as u64;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{FileMeta, ProcessTrace};
+    use crate::types::{NodeId, ProcId};
+    use simkit::SimDuration;
+
+    #[test]
+    fn stats_of_simple_workload() {
+        let wl = Workload {
+            name: "t".into(),
+            block_size: 8192,
+            nodes: 2,
+            files: vec![
+                FileMeta {
+                    id: FileId(0),
+                    size: 8192 * 4,
+                },
+                FileMeta {
+                    id: FileId(1),
+                    size: 8192 * 2,
+                },
+            ],
+            processes: vec![
+                ProcessTrace {
+                    proc: ProcId(0),
+                    node: NodeId(0),
+                    ops: vec![
+                        Op::Compute(SimDuration::from_secs(1)),
+                        Op::Read {
+                            file: FileId(0),
+                            offset: 0,
+                            len: 8192 * 2,
+                        },
+                    ],
+                },
+                ProcessTrace {
+                    proc: ProcId(1),
+                    node: NodeId(1),
+                    ops: vec![
+                        Op::Read {
+                            file: FileId(0),
+                            offset: 8192,
+                            len: 8192,
+                        },
+                        Op::Write {
+                            file: FileId(1),
+                            offset: 0,
+                            len: 100,
+                        },
+                    ],
+                },
+            ],
+        };
+        let s = wl.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_read, 8192 * 3);
+        assert_eq!(s.bytes_written, 100);
+        assert!((s.mean_read_blocks - 1.5).abs() < 1e-12);
+        // File 0 touched from both nodes; file 1 from one.
+        assert!((s.shared_file_fraction - 0.5).abs() < 1e-12);
+        // Blocks: f0 b0,b1 (proc0), f0 b1 (proc1, dup), f1 b0 => 3.
+        assert_eq!(s.distinct_blocks, 3);
+        assert!((s.compute_seconds - 1.0).abs() < 1e-12);
+        assert!((s.mean_file_blocks - 3.0).abs() < 1e-12);
+    }
+}

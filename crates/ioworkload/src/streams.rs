@@ -1,0 +1,232 @@
+//! Synthetic single-file request streams, for predictor evaluation and
+//! stress testing.
+//!
+//! [`crate::charisma`] and [`crate::sprite`] generate *machine-wide*
+//! workloads; this module generates *per-file block-request streams*
+//! with controlled structure — exactly what
+//! [`prefetch::replay`](https://docs.rs/prefetch)-style offline
+//! evaluation and property tests want. Each generator is seeded and
+//! deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One block-granular request of a stream: `(first_block, num_blocks)`.
+pub type StreamRequest = (u64, u64);
+
+/// A structured request-stream generator.
+///
+/// ```
+/// use ioworkload::streams::StreamKind;
+///
+/// let reqs = StreamKind::Strided { stride: 8, req: 2 }.generate(1 << 20, 3, 0);
+/// assert_eq!(reqs, vec![(0, 2), (8, 2), (16, 2)]);
+/// ```
+#[derive(Clone, Debug)]
+pub enum StreamKind {
+    /// Contiguous sequential scan with a fixed request size.
+    Sequential {
+        /// Request size in blocks.
+        req: u64,
+    },
+    /// Fixed-stride scan: requests of `req` blocks every `stride`
+    /// blocks (`stride >= req` keeps them disjoint).
+    Strided {
+        /// Distance between request starts.
+        stride: u64,
+        /// Request size in blocks.
+        req: u64,
+    },
+    /// The paper's Figure 1 pattern: alternating (+3, 3 blocks) and
+    /// (+5, 2 blocks) steps starting with a 2-block request at 0.
+    Figure1,
+    /// A repeating cycle of (interval, size) pairs — arbitrary regular
+    /// patterns.
+    Cycle {
+        /// The repeated (interval, size) steps.
+        steps: Vec<(i64, u64)>,
+    },
+    /// Uniformly random offsets and sizes — structureless worst case.
+    Random {
+        /// Maximum request size in blocks.
+        max_req: u64,
+    },
+    /// Mostly sequential with occasional random jumps (probability
+    /// `jump_per_mille`/1000 per request) — tests miss-prediction
+    /// recovery.
+    NoisySequential {
+        /// Request size in blocks.
+        req: u64,
+        /// Jump probability in 1/1000 units.
+        jump_per_mille: u32,
+    },
+}
+
+impl StreamKind {
+    /// Generate `n` requests inside a file of `file_blocks` blocks.
+    ///
+    /// Streams that walk off the end of the file wrap to the beginning
+    /// (re-read), like long-running applications do.
+    ///
+    /// # Panics
+    /// Panics if `file_blocks == 0` or a configured size is zero.
+    pub fn generate(&self, file_blocks: u64, n: usize, seed: u64) -> Vec<StreamRequest> {
+        assert!(file_blocks > 0, "empty file");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        match self {
+            StreamKind::Sequential { req } => {
+                assert!(*req > 0);
+                let mut off = 0u64;
+                for _ in 0..n {
+                    if off + req > file_blocks {
+                        off = 0;
+                    }
+                    out.push((off, (*req).min(file_blocks - off)));
+                    off += req;
+                }
+            }
+            StreamKind::Strided { stride, req } => {
+                assert!(*req > 0 && *stride > 0);
+                let mut off = 0u64;
+                for _ in 0..n {
+                    if off + req > file_blocks {
+                        off %= (*stride).min(file_blocks);
+                        if off + req > file_blocks {
+                            off = 0;
+                        }
+                    }
+                    out.push((off, (*req).min(file_blocks - off)));
+                    off += stride;
+                }
+            }
+            StreamKind::Figure1 => {
+                let steps = [(3i64, 3u64), (5, 2)];
+                let mut off = 0i64;
+                let mut size = 2u64;
+                for i in 0..n {
+                    if off < 0 || off as u64 + size > file_blocks {
+                        off = 0;
+                        size = 2;
+                    }
+                    out.push((off as u64, size));
+                    let (interval, next_size) = steps[i % 2];
+                    off += interval;
+                    size = next_size;
+                }
+            }
+            StreamKind::Cycle { steps } => {
+                assert!(!steps.is_empty(), "empty cycle");
+                let mut off = 0i64;
+                let mut size = steps.last().map(|&(_, s)| s).unwrap_or(1).max(1);
+                for i in 0..n {
+                    if off < 0 || off as u64 + size > file_blocks {
+                        off = 0;
+                    }
+                    out.push((off as u64, size.min(file_blocks - off as u64).max(1)));
+                    let (interval, next_size) = steps[i % steps.len()];
+                    off += interval;
+                    size = next_size.max(1);
+                }
+            }
+            StreamKind::Random { max_req } => {
+                assert!(*max_req > 0);
+                for _ in 0..n {
+                    let size = rng.gen_range(1..=*max_req).min(file_blocks);
+                    let off = rng.gen_range(0..=file_blocks - size);
+                    out.push((off, size));
+                }
+            }
+            StreamKind::NoisySequential {
+                req,
+                jump_per_mille,
+            } => {
+                assert!(*req > 0);
+                let mut off = 0u64;
+                for _ in 0..n {
+                    if rng.gen_range(0..1000) < *jump_per_mille {
+                        off = rng.gen_range(0..file_blocks);
+                    }
+                    if off + req > file_blocks {
+                        off = 0;
+                    }
+                    out.push((off, (*req).min(file_blocks - off)));
+                    off += req;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_bounds(reqs: &[StreamRequest], file_blocks: u64) -> bool {
+        reqs.iter().all(|&(o, s)| s >= 1 && o + s <= file_blocks)
+    }
+
+    #[test]
+    fn sequential_wraps_at_eof() {
+        let reqs = StreamKind::Sequential { req: 4 }.generate(10, 6, 0);
+        assert_eq!(reqs, vec![(0, 4), (4, 4), (0, 4), (4, 4), (0, 4), (4, 4)]);
+    }
+
+    #[test]
+    fn strided_is_regular_and_in_bounds() {
+        let reqs = StreamKind::Strided { stride: 8, req: 2 }.generate(64, 20, 0);
+        assert!(in_bounds(&reqs, 64));
+        // Consecutive non-wrapped requests differ by the stride.
+        assert_eq!(reqs[1].0 - reqs[0].0, 8);
+    }
+
+    #[test]
+    fn figure1_matches_the_paper_prefix() {
+        let reqs = StreamKind::Figure1.generate(1 << 20, 5, 0);
+        assert_eq!(reqs, vec![(0, 2), (3, 3), (8, 2), (11, 3), (16, 2)]);
+    }
+
+    #[test]
+    fn cycle_repeats_custom_steps() {
+        let reqs = StreamKind::Cycle {
+            steps: vec![(10, 1), (-5, 2)],
+        }
+        .generate(1 << 20, 5, 0);
+        // start size = last step's size = 2
+        assert_eq!(reqs[0], (0, 2));
+        assert_eq!(reqs[1], (10, 1));
+        assert_eq!(reqs[2], (5, 2));
+        assert_eq!(reqs[3], (15, 1));
+    }
+
+    #[test]
+    fn random_is_in_bounds_and_deterministic() {
+        let a = StreamKind::Random { max_req: 4 }.generate(100, 50, 7);
+        let b = StreamKind::Random { max_req: 4 }.generate(100, 50, 7);
+        assert_eq!(a, b);
+        assert!(in_bounds(&a, 100));
+        let c = StreamKind::Random { max_req: 4 }.generate(100, 50, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn noisy_sequential_jumps_sometimes() {
+        let clean = StreamKind::NoisySequential {
+            req: 1,
+            jump_per_mille: 0,
+        }
+        .generate(1000, 100, 3);
+        let noisy = StreamKind::NoisySequential {
+            req: 1,
+            jump_per_mille: 300,
+        }
+        .generate(1000, 100, 3);
+        assert_ne!(clean, noisy);
+        assert!(in_bounds(&noisy, 1000));
+        // The clean stream is strictly sequential.
+        for w in clean.windows(2) {
+            assert!(w[1].0 == w[0].0 + 1 || w[1].0 == 0);
+        }
+    }
+}

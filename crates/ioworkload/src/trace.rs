@@ -1,0 +1,217 @@
+//! The trace model: per-process demand sequences.
+//!
+//! Like the DIMEMAS traces the paper uses, a trace records *demand*
+//! sequences — CPU bursts and I/O operations — per process, not
+//! absolute event times: "traces contain CPU, communication and I/O
+//! demand sequences for every process instead of the absolute time for
+//! each event" (§5.1). The simulator replays demands and computes the
+//! times itself, so the same workload can be run against any machine,
+//! cache or prefetching configuration.
+
+use simkit::SimDuration;
+
+use crate::types::{FileId, NodeId, ProcId};
+
+/// One demand record of a process trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Compute for the given time before the next demand.
+    Compute(SimDuration),
+    /// Read `len` bytes at byte `offset` of `file`.
+    Read {
+        /// File read from.
+        file: FileId,
+        /// Byte offset of the first byte read.
+        offset: u64,
+        /// Number of bytes read (> 0).
+        len: u64,
+    },
+    /// Write `len` bytes at byte `offset` of `file`.
+    Write {
+        /// File written to.
+        file: FileId,
+        /// Byte offset of the first byte written.
+        offset: u64,
+        /// Number of bytes written (> 0).
+        len: u64,
+    },
+}
+
+/// Static description of one file used by a workload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FileMeta {
+    /// File identifier (dense: `0..files.len()`).
+    pub id: FileId,
+    /// File size in bytes.
+    pub size: u64,
+}
+
+/// The demand sequence of one process, pinned to a node.
+#[derive(Clone, Debug)]
+pub struct ProcessTrace {
+    /// Process identifier (dense across the workload).
+    pub proc: ProcId,
+    /// Node the process runs on.
+    pub node: NodeId,
+    /// Demand records, replayed in order.
+    pub ops: Vec<Op>,
+}
+
+/// A complete machine-wide workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// File-system block size in bytes (8 KB in the paper, Table 1).
+    pub block_size: u64,
+    /// Number of machine nodes the workload expects.
+    pub nodes: u32,
+    /// Files, indexed by `FileId`.
+    pub files: Vec<FileMeta>,
+    /// Per-process traces.
+    pub processes: Vec<ProcessTrace>,
+}
+
+impl Workload {
+    /// Size of `file` in blocks (rounded up).
+    pub fn file_blocks(&self, file: FileId) -> u64 {
+        let size = self.files[file.0 as usize].size;
+        size.div_ceil(self.block_size)
+    }
+
+    /// Validate internal consistency: dense ids, in-bounds accesses,
+    /// non-empty operations. Generators call this before returning and
+    /// the text loader calls it after parsing.
+    ///
+    /// # Panics
+    /// Panics with a description of the first inconsistency found.
+    pub fn validate(&self) {
+        assert!(self.block_size > 0, "zero block size");
+        assert!(self.nodes > 0, "zero nodes");
+        for (i, f) in self.files.iter().enumerate() {
+            assert_eq!(f.id.0 as usize, i, "file ids must be dense");
+            assert!(f.size > 0, "empty file {i}");
+        }
+        for (i, p) in self.processes.iter().enumerate() {
+            assert_eq!(p.proc.0 as usize, i, "process ids must be dense");
+            assert!(
+                p.node.0 < self.nodes,
+                "process {i} on out-of-range node {}",
+                p.node
+            );
+            for op in &p.ops {
+                if let Op::Read { file, offset, len } | Op::Write { file, offset, len } = op {
+                    let meta = self
+                        .files
+                        .get(file.0 as usize)
+                        .unwrap_or_else(|| panic!("process {i} touches unknown {file}"));
+                    assert!(*len > 0, "zero-length access in process {i}");
+                    let end = offset.checked_add(*len).unwrap_or_else(|| {
+                        panic!("process {i} access offset+len overflows on {file}")
+                    });
+                    assert!(
+                        end <= meta.size,
+                        "process {i} accesses past EOF of {file}: {}+{} > {}",
+                        offset,
+                        len,
+                        meta.size
+                    );
+                }
+            }
+        }
+    }
+
+    /// Total number of I/O operations across all processes.
+    pub fn io_ops(&self) -> usize {
+        self.processes
+            .iter()
+            .map(|p| {
+                p.ops
+                    .iter()
+                    .filter(|o| !matches!(o, Op::Compute(_)))
+                    .count()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tiny_workload() -> Workload {
+        Workload {
+            name: "tiny".into(),
+            block_size: 8192,
+            nodes: 2,
+            files: vec![FileMeta {
+                id: FileId(0),
+                size: 65536,
+            }],
+            processes: vec![ProcessTrace {
+                proc: ProcId(0),
+                node: NodeId(1),
+                ops: vec![
+                    Op::Compute(SimDuration::from_micros(100)),
+                    Op::Read {
+                        file: FileId(0),
+                        offset: 0,
+                        len: 16384,
+                    },
+                    Op::Write {
+                        file: FileId(0),
+                        offset: 16384,
+                        len: 100,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_consistent_workload() {
+        tiny_workload().validate();
+    }
+
+    #[test]
+    fn file_blocks_rounds_up() {
+        let mut wl = tiny_workload();
+        wl.files[0].size = 8193;
+        assert_eq!(wl.file_blocks(FileId(0)), 2);
+        wl.files[0].size = 8192;
+        assert_eq!(wl.file_blocks(FileId(0)), 1);
+    }
+
+    #[test]
+    fn io_ops_counts_only_io() {
+        assert_eq!(tiny_workload().io_ops(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "past EOF")]
+    fn validate_rejects_out_of_bounds_access() {
+        let mut wl = tiny_workload();
+        wl.processes[0].ops.push(Op::Read {
+            file: FileId(0),
+            offset: 65536,
+            len: 1,
+        });
+        wl.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range node")]
+    fn validate_rejects_bad_node() {
+        let mut wl = tiny_workload();
+        wl.processes[0].node = NodeId(7);
+        wl.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn validate_rejects_sparse_file_ids() {
+        let mut wl = tiny_workload();
+        wl.files[0].id = FileId(5);
+        wl.validate();
+    }
+}

@@ -1,0 +1,69 @@
+//! Identifiers shared across the simulation stack.
+
+use std::fmt;
+
+/// A machine node (compute node of the PM, workstation of the NOW).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// A simulated process (one trace stream).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+/// A file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FileId(pub u32);
+
+/// One block of one file — the unit of caching, prefetching and disk
+/// transfer.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId {
+    /// Owning file.
+    pub file: FileId,
+    /// Block index within the file (0-based).
+    pub index: u64,
+}
+
+impl BlockId {
+    /// Construct a block id.
+    pub fn new(file: FileId, index: u64) -> Self {
+        BlockId { file, index }
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}b{}", self.file.0, self.index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_ordering_groups_by_file() {
+        let a = BlockId::new(FileId(1), 9);
+        let b = BlockId::new(FileId(2), 0);
+        assert!(a < b);
+        assert_eq!(format!("{a:?}"), "f1b9");
+    }
+}

@@ -1,0 +1,63 @@
+//! Shared random-draw helpers for the workload generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use simkit::SimDuration;
+
+/// A random duration drawn uniformly from a millisecond range
+/// (degenerate ranges return the lower bound).
+pub(crate) fn ms(rng: &mut StdRng, range: (f64, f64)) -> SimDuration {
+    let v = if range.0 >= range.1 {
+        range.0
+    } else {
+        rng.gen_range(range.0..range.1)
+    };
+    SimDuration::from_millis_f64(v)
+}
+
+/// Apply ±10% per-process jitter to a shared schedule entry.
+pub(crate) fn jitter(rng: &mut StdRng, d: SimDuration) -> SimDuration {
+    SimDuration::from_secs_f64(d.as_secs_f64() * rng.gen_range(0.9..1.1))
+}
+
+/// Log-uniform draw over an inclusive range: small values dominate, as
+/// in real file-size distributions.
+pub(crate) fn log_uniform(rng: &mut StdRng, range: (u64, u64)) -> u64 {
+    let (lo, hi) = range;
+    assert!(lo >= 1 && hi >= lo);
+    let (llo, lhi) = ((lo as f64).ln(), ((hi + 1) as f64).ln());
+    let x = rng.gen_range(llo..lhi).exp();
+    (x as u64).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ms_handles_degenerate_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(ms(&mut rng, (5.0, 5.0)).as_millis(), 5);
+        let v = ms(&mut rng, (1.0, 2.0));
+        assert!(v.as_millis_f64() >= 1.0 && v.as_millis_f64() < 2.0);
+    }
+
+    #[test]
+    fn jitter_stays_within_ten_percent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = jitter(&mut rng, SimDuration::from_millis(100));
+            assert!(d.as_millis_f64() >= 90.0 && d.as_millis_f64() <= 110.0);
+        }
+    }
+
+    #[test]
+    fn log_uniform_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = log_uniform(&mut rng, (1, 64));
+            assert!((1..=64).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the workload generators and the trace
+//! format.
+
+use ioworkload::charisma::CharismaParams;
+use ioworkload::sprite::SpriteParams;
+use ioworkload::{Op, Workload};
+use proptest::prelude::*;
+
+fn arb_charisma() -> impl Strategy<Value = CharismaParams> {
+    (
+        1u32..6,    // nodes ..
+        1usize..4,  // apps
+        1u32..5,    // procs per app
+        16u64..128, // min file blocks
+        1u64..6,    // record max
+        1u32..3,    // passes max
+    )
+        .prop_map(|(nodes, apps, procs, fmin, rmax, pmax)| {
+            let mut p = CharismaParams::small();
+            p.nodes = nodes;
+            p.apps = apps;
+            p.procs_per_app = procs;
+            p.file_blocks = (fmin, fmin * 2);
+            p.record_blocks = (1, rmax);
+            p.passes = (1, pmax);
+            p
+        })
+}
+
+fn arb_sprite() -> impl Strategy<Value = SpriteParams> {
+    (
+        1u32..6,  // nodes
+        1u32..8,  // users
+        1u32..8,  // files per user
+        1u64..40, // max file blocks
+        1u32..20, // opens
+        0u32..3,  // shared files
+    )
+        .prop_map(|(nodes, users, files, fmax, opens, shared)| {
+            let mut p = SpriteParams::small();
+            p.nodes = nodes;
+            p.users = users;
+            p.files_per_user = files;
+            p.file_blocks = (1, fmax);
+            p.opens_per_user = opens;
+            p.shared_files = shared;
+            if shared == 0 {
+                p.shared_open_prob = 0.0;
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any parameterisation produces a valid workload (validate()
+    /// panics internally on inconsistency) that survives a text
+    /// round-trip bit-exactly.
+    #[test]
+    fn charisma_generates_valid_workloads(params in arb_charisma(), seed in 0u64..500) {
+        let wl = params.generate(seed);
+        let text = wl.to_text();
+        let back = Workload::from_text(&text).unwrap();
+        prop_assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn sprite_generates_valid_workloads(params in arb_sprite(), seed in 0u64..500) {
+        let wl = params.generate(seed);
+        let text = wl.to_text();
+        let back = Workload::from_text(&text).unwrap();
+        prop_assert_eq!(back.to_text(), text);
+    }
+
+    /// Reads in a CHARISMA interleaved/segmented/broadcast pass never
+    /// overlap *within one process* in a single pass more blocks than
+    /// the file has, and every access respects the accessed fraction
+    /// upper bound plus one record of slack.
+    #[test]
+    fn charisma_accesses_respect_fraction(seed in 0u64..200) {
+        let mut params = CharismaParams::small();
+        params.accessed_fraction = (0.5, 0.7);
+        let wl = params.generate(seed);
+        for proc in &wl.processes {
+            for op in &proc.ops {
+                if let Op::Read { file, offset, len } | Op::Write { file, offset, len } = op {
+                    let fsize = wl.files[file.0 as usize].size;
+                    let slack = 16 * wl.block_size;
+                    prop_assert!(
+                        offset + len <= (fsize as f64 * 0.7) as u64 + slack,
+                        "access past accessed fraction: {}..{} of {}",
+                        offset, offset + len, fsize
+                    );
+                }
+            }
+        }
+    }
+
+    /// Workload statistics are internally consistent for any seed.
+    #[test]
+    fn stats_are_consistent(seed in 0u64..200) {
+        let wl = SpriteParams::small().generate(seed);
+        let s = wl.stats();
+        prop_assert_eq!(s.files, wl.files.len());
+        prop_assert!(s.bytes_read >= s.reads as u64); // every read >= 1 byte
+        let min_mean = if s.reads > 0 { 1.0 } else { 0.0 };
+        prop_assert!(s.mean_read_blocks >= min_mean);
+        prop_assert!((0.0..=1.0).contains(&s.shared_file_fraction));
+        let total_io: usize = s.reads + s.writes;
+        prop_assert_eq!(total_io, wl.io_ops());
+    }
+
+    /// The text parser never panics on mangled input (errors instead).
+    #[test]
+    fn parser_rejects_garbage_gracefully(
+        mut text in "[a-z0-9 \\n#]{0,200}",
+    ) {
+        text.insert_str(0, "workload t\nblocksize 8192\nnodes 1\n");
+        // Must not panic; any Result is fine unless it parses, in which
+        // case validate() already ran.
+        let _ = Workload::from_text(&text);
+    }
+}

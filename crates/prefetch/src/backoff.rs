@@ -1,0 +1,197 @@
+//! Order back-off for IS_PPM: maintain every order `1..=j` and predict
+//! with the highest order that knows the current context.
+//!
+//! The paper's order-`j` predictor (§2.2) keeps only order-`j`
+//! contexts: until `j` pairs have been seen — and whenever the exact
+//! `j`-pair context never occurred before — it cannot predict and falls
+//! back to OBA. Classic PPM solves this with *escape to lower orders*:
+//! if the order-3 context is unknown, try the order-2 suffix, then
+//! order-1. [`BackoffIsPpm`] implements exactly that on top of
+//! [`IsPpm`], giving the accuracy of high orders on long regularities
+//! without their cold-start blindness.
+//!
+//! This is an extension beyond the paper (its §6 observes that order
+//! barely mattered on its traces; back-off is how one would deploy a
+//! high-order predictor anyway), and is exposed as
+//! [`AlgorithmKind::IsPpmBackoff`](crate::AlgorithmKind::IsPpmBackoff)
+//! for ablation.
+
+use crate::isppm::{EdgeChoice, IsPpm, Pair};
+use crate::request::Request;
+
+/// A stack of [`IsPpm`] models of orders `1..=max_order`, consulted
+/// highest-order-first.
+#[derive(Clone, Debug)]
+pub struct BackoffIsPpm {
+    /// Models indexed by order-1 (`models[k]` has order `k+1`).
+    models: Vec<IsPpm>,
+}
+
+impl BackoffIsPpm {
+    /// Build a back-off stack up to `max_order`.
+    ///
+    /// # Panics
+    /// Panics if `max_order == 0`.
+    pub fn new(max_order: usize, edge_choice: EdgeChoice) -> Self {
+        assert!(max_order > 0, "order must be at least 1");
+        BackoffIsPpm {
+            models: (1..=max_order)
+                .map(|j| IsPpm::with_edge_choice(j, edge_choice))
+                .collect(),
+        }
+    }
+
+    /// The highest order maintained.
+    pub fn max_order(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Feed a demand request into every order's model.
+    pub fn observe(&mut self, req: Request) {
+        for m in &mut self.models {
+            m.observe(req);
+        }
+    }
+
+    /// The most recently observed request.
+    pub fn last_request(&self) -> Option<Request> {
+        self.models[0].last_request()
+    }
+
+    /// Recent pair history, as kept by the highest-order model (the
+    /// longest window).
+    pub fn history(&self) -> &[Pair] {
+        self.models.last().expect("non-empty").history()
+    }
+
+    /// Predict the request after `base`, trying the highest order
+    /// first. Also reports which order produced the prediction.
+    pub fn predict_after(&self, base: Request, file_blocks: u64) -> Option<(Request, usize)> {
+        for m in self.models.iter().rev() {
+            if let Some(p) = m.predict_after(base, file_blocks) {
+                return Some((p, m.order()));
+            }
+        }
+        None
+    }
+
+    /// One walk step from a hypothetical pair history: find the
+    /// longest-suffix context any order knows, follow its preferred
+    /// edge, and return the predicted (interval, size) pair with the
+    /// order used.
+    pub fn step_from_history(&self, pairs: &[Pair]) -> Option<(Pair, usize)> {
+        for m in self.models.iter().rev() {
+            let j = m.order();
+            if pairs.len() < j {
+                continue;
+            }
+            let suffix = &pairs[pairs.len() - j..];
+            if let Some(node) = m.lookup(suffix) {
+                if let Some((_, pair)) = m.step(node) {
+                    return Some((pair, j));
+                }
+            }
+        }
+        None
+    }
+
+    /// Total graph size across orders (for diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.models.iter().map(IsPpm::node_count).sum()
+    }
+
+    /// Forget everything.
+    pub fn reset(&mut self) {
+        for m in &mut self.models {
+            m.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(b: &mut BackoffIsPpm, reqs: &[(u64, u64)]) {
+        for &(o, s) in reqs {
+            b.observe(Request::new(o, s));
+        }
+    }
+
+    #[test]
+    fn backs_off_to_order_one_when_high_order_context_is_new() {
+        let mut b = BackoffIsPpm::new(3, EdgeChoice::MostRecent);
+        // Regular stride: order-1 learns after 3 requests; order-3
+        // needs 5 to even form an edge.
+        feed(&mut b, &[(0, 1), (4, 1), (8, 1)]);
+        let (pred, order) = b.predict_after(Request::new(8, 1), 1 << 20).unwrap();
+        assert_eq!(pred, Request::new(12, 1));
+        assert_eq!(order, 1, "must have escaped to order 1");
+    }
+
+    #[test]
+    fn higher_order_disambiguates_where_order_one_guesses_wrong() {
+        // Interval cycle (+2, +2, +3): the order-1 context "(2,1)" is
+        // ambiguous (followed by +2 or +3), and if the stream stops
+        // right after the *first* +2 of a pair, order-1's MRU edge
+        // points at +3 — the wrong continuation. Order 2 sees the
+        // context [+3, +2], which is always followed by +2.
+        let mut b1 = BackoffIsPpm::new(1, EdgeChoice::MostRecent);
+        let mut b2 = BackoffIsPpm::new(2, EdgeChoice::MostRecent);
+        let mut off = 0u64;
+        let mut reqs = vec![(0u64, 1u64)];
+        // 25 intervals = one past 8 full cycles: ends right after the
+        // first +2 of a new cycle.
+        for i in 0..25 {
+            off += [2, 2, 3][i % 3];
+            reqs.push((off, 1));
+        }
+        feed(&mut b1, &reqs);
+        feed(&mut b2, &reqs);
+        let last = Request::new(off, 1);
+
+        let (p1, o1) = b1.predict_after(last, 1 << 20).unwrap();
+        assert_eq!(o1, 1);
+        assert_eq!(
+            p1,
+            Request::new(off + 3, 1),
+            "order 1 follows its MRU edge astray"
+        );
+
+        let (p2, o2) = b2.predict_after(last, 1 << 20).unwrap();
+        assert_eq!(o2, 2, "order 2 must win once trained");
+        assert_eq!(p2, Request::new(off + 2, 1), "order 2 knows the cycle");
+    }
+
+    #[test]
+    fn step_from_history_uses_longest_known_suffix() {
+        let mut b = BackoffIsPpm::new(3, EdgeChoice::MostRecent);
+        feed(&mut b, &[(0, 1), (4, 1), (8, 1), (12, 1), (16, 1)]);
+        // Full order-3 history of the regular stride.
+        let pairs = vec![Pair::new(4, 1), Pair::new(4, 1), Pair::new(4, 1)];
+        let (pair, order) = b.step_from_history(&pairs).unwrap();
+        assert_eq!(pair, Pair::new(4, 1));
+        assert_eq!(order, 3);
+        // A history only order 1 can know.
+        let pairs = vec![Pair::new(4, 1)];
+        let (_, order) = b.step_from_history(&pairs).unwrap();
+        assert_eq!(order, 1);
+    }
+
+    #[test]
+    fn reset_and_counters() {
+        let mut b = BackoffIsPpm::new(2, EdgeChoice::MostRecent);
+        feed(&mut b, &[(0, 1), (2, 1), (4, 1), (6, 1)]);
+        assert!(b.node_count() > 0);
+        assert_eq!(b.max_order(), 2);
+        b.reset();
+        assert_eq!(b.node_count(), 0);
+        assert!(b.last_request().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be at least 1")]
+    fn zero_order_panics() {
+        BackoffIsPpm::new(0, EdgeChoice::MostRecent);
+    }
+}

@@ -1,0 +1,610 @@
+//! The per-file prefetch engine: simple and (linear) aggressive modes.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::config::{AlgorithmKind, PrefetchConfig};
+use crate::predictor::{FilePredictor, PredictionSource, Walk};
+use crate::request::Request;
+use crate::stats::PrefetchStats;
+
+/// Per-file prefetch driver implementing §3 of the paper.
+///
+/// The engine is entirely pull-based and cache-agnostic:
+///
+/// 1. The caller reports every demand request via
+///    [`on_demand`](Self::on_demand). The engine updates the predictor
+///    and decides whether the request confirms the current prefetching
+///    path or miss-predicts it (restarting the path in that case).
+/// 2. The caller pulls block numbers to prefetch via
+///    [`next_block`](Self::next_block), passing a closure that says
+///    whether a block is already cached ("prefetch blocks continuously
+///    as long as it can predict data that is not in the cache yet").
+/// 3. When a prefetched block arrives, the caller reports
+///    [`on_prefetch_complete`](Self::on_prefetch_complete) and pulls
+///    again — with the linear limit this is what sustains the
+///    one-block-at-a-time pipeline.
+///
+/// In non-aggressive mode each demand request produces at most one
+/// predicted request, all of whose blocks may be fetched concurrently
+/// (that is what makes plain `IS_PPM` "quite aggressive" on large
+/// requests, §5.2). In aggressive mode the engine walks the prediction
+/// graph indefinitely, bounded by end-of-file and by a cycle-safety
+/// budget, with at most `limit.cap()` blocks in flight.
+pub struct FilePrefetcher {
+    config: PrefetchConfig,
+    file_blocks: u64,
+    predictor: FilePredictor,
+    /// Active aggressive walk, if any.
+    walk: Option<Walk>,
+    /// Blocks already decided but not yet handed out.
+    queue: VecDeque<(u64, PredictionSource)>,
+    /// Every block predicted on the current path since the last
+    /// restart, whether handed out, queued, or skipped as cached.
+    path: HashSet<u64>,
+    in_flight: usize,
+    /// Remaining blocks the current walk may still emit (guards against
+    /// cyclic prediction graphs walking forever inside the file).
+    walk_budget: u64,
+    /// Predicted blocks found already cached since the last issued
+    /// block; a long run means the data ahead is resident and the walk
+    /// has nothing to contribute.
+    cached_run: u64,
+    /// Issued-minus-demanded block count — the prefetcher's net lead
+    /// over its consumer, bounded by `config.lead_cap`. Deliberately
+    /// *not* reset on restarts: a thrashing walk (prefetches evicted
+    /// before use, every demand a miss-prediction) then self-clocks to
+    /// the demand rate instead of streaming the file over and over.
+    lead: u64,
+    stats: PrefetchStats,
+}
+
+/// An aggressive walk stops after this many consecutive predicted
+/// blocks were found already cached: everything ahead is resident, so
+/// prefetching is satisfied. (A later miss-prediction restarts the
+/// walk from the new position anyway.) Without this cutoff a restarted
+/// walk on a fully cached file grinds block-by-block to end-of-file,
+/// which no real prefetcher would do — it would also make large-cache
+/// simulations quadratically slow.
+const CACHED_RUN_STOP: u64 = 64;
+
+impl FilePrefetcher {
+    /// Create an engine for one file of `file_blocks` blocks.
+    pub fn new(config: PrefetchConfig, file_blocks: u64) -> Self {
+        FilePrefetcher {
+            predictor: FilePredictor::new(config.algorithm, config.edge_choice),
+            config,
+            file_blocks,
+            walk: None,
+            queue: VecDeque::new(),
+            path: HashSet::new(),
+            in_flight: 0,
+            walk_budget: 0,
+            cached_run: 0,
+            lead: 0,
+            stats: PrefetchStats::default(),
+        }
+    }
+
+    /// The configuration this engine runs.
+    pub fn config(&self) -> PrefetchConfig {
+        self.config
+    }
+
+    /// File size in blocks (updated via [`set_file_blocks`](Self::set_file_blocks)
+    /// when the file grows).
+    pub fn file_blocks(&self) -> u64 {
+        self.file_blocks
+    }
+
+    /// Inform the engine that the file grew (writes past EOF) or was
+    /// truncated. Growth takes effect from the next prediction on; a
+    /// truncation also drops the queued blocks and the live walk, which
+    /// may now point past the new end of file.
+    pub fn set_file_blocks(&mut self, blocks: u64) {
+        if blocks < self.file_blocks {
+            self.queue.clear();
+            self.path.retain(|&b| b < blocks);
+            self.walk = None;
+        }
+        self.file_blocks = blocks;
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> PrefetchStats {
+        self.stats
+    }
+
+    /// Blocks currently being prefetched.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// The predictor (for diagnostics/tests).
+    pub fn predictor(&self) -> &FilePredictor {
+        &self.predictor
+    }
+
+    /// Report a demand request (block-granular). Updates the predictor
+    /// and the prefetching path.
+    ///
+    /// Equivalent to [`on_demand_with_residency`]
+    /// (Self::on_demand_with_residency) with `fully_cached = true`:
+    /// an on-path request never restarts the walk.
+    pub fn on_demand(&mut self, req: Request) {
+        self.on_demand_with_residency(req, true);
+    }
+
+    /// Report a demand request together with whether all of its blocks
+    /// were *covered* — resident in the cache or already being fetched.
+    ///
+    /// The paper's rule keeps the walk running while requests stay on
+    /// the predicted path. But an on-path request for blocks that are
+    /// neither resident nor in flight means the "already prefetched"
+    /// data was evicted — the blocks have, in effect, not been
+    /// prefetched any more. Continuing would leave the walk streaming
+    /// uselessly ahead of a thrashing cache (or dormant, if it already
+    /// ended), so prefetching restarts from the current position.
+    pub fn on_demand_with_residency(&mut self, req: Request, fully_cached: bool) {
+        if self.config.algorithm == AlgorithmKind::None {
+            return;
+        }
+        let had_prediction = !self.path.is_empty();
+        let on_path = had_prediction && req.blocks().all(|b| self.path.contains(&b));
+        if had_prediction {
+            if on_path {
+                self.stats.requests_on_path += 1;
+            } else {
+                self.stats.requests_off_path += 1;
+            }
+        } else {
+            self.stats.requests_unpredicted += 1;
+        }
+
+        self.predictor.observe(req);
+
+        if self.config.is_aggressive() {
+            // Every demand request consumes prefetcher lead, letting a
+            // lead-capped walk advance again.
+            self.lead = self.lead.saturating_sub(req.size);
+            // "If the requested blocks have already been prefetched ...
+            // the system continues bringing new blocks as if the user
+            // had not requested any block" (§3.1). Otherwise restart
+            // from the new position. A walk whose on-path blocks were
+            // evicted also restarts (see on_demand_with_residency).
+            let stale_path = on_path && !fully_cached;
+            if !on_path || stale_path {
+                if had_prediction {
+                    self.stats.restarts += 1;
+                }
+                self.restart_walk();
+            }
+        } else {
+            // Simple mode: one fresh prediction per demand request.
+            self.queue.clear();
+            self.path.clear();
+            if let Some((pred, source)) = self.predictor.predict(self.file_blocks) {
+                for b in pred.blocks() {
+                    self.path.insert(b);
+                    self.queue.push_back((b, source));
+                }
+            }
+        }
+    }
+
+    fn restart_walk(&mut self) {
+        self.queue.clear();
+        self.path.clear();
+        self.walk = self.predictor.start_walk();
+        // A cyclic graph can predict forever inside the file; allow at
+        // most two passes over the file per walk.
+        self.walk_budget = self.file_blocks.saturating_mul(2).max(64);
+        self.cached_run = 0;
+    }
+
+    /// Hand out the next block to prefetch, or `None` if the engine has
+    /// nothing (more) to do right now. `is_cached` lets the engine skip
+    /// blocks that are already resident.
+    ///
+    /// Call in a loop after [`on_demand`](Self::on_demand) and after
+    /// every [`on_prefetch_complete`](Self::on_prefetch_complete) until
+    /// it returns `None`.
+    pub fn next_block(&mut self, mut is_cached: impl FnMut(u64) -> bool) -> Option<u64> {
+        let cap = match self.config.aggressive {
+            Some(limit) => limit.cap(),
+            None => usize::MAX,
+        };
+        loop {
+            if self.in_flight >= cap {
+                return None;
+            }
+            let (block, source) = match self.queue.pop_front() {
+                Some(entry) => entry,
+                None => {
+                    if !self.refill_from_walk() {
+                        return None;
+                    }
+                    continue;
+                }
+            };
+            if is_cached(block) {
+                self.stats.already_cached += 1;
+                if self.walk.is_some() {
+                    self.cached_run += 1;
+                    if self.cached_run >= CACHED_RUN_STOP {
+                        self.stats.cached_stops += 1;
+                        self.walk = None;
+                        self.queue.clear();
+                        return None;
+                    }
+                }
+                continue;
+            }
+            self.cached_run = 0;
+            self.in_flight += 1;
+            if self.config.is_aggressive() {
+                self.lead += 1;
+            }
+            self.stats.issued += 1;
+            if source == PredictionSource::ObaFallback {
+                self.stats.issued_by_fallback += 1;
+            }
+            return Some(block);
+        }
+    }
+
+    /// Pull the next predicted request from the aggressive walk into
+    /// the queue. Returns false when the walk is over (or absent), or
+    /// when the walk has reached its lead cap and must wait for the
+    /// consumer to catch up (the walk itself stays alive).
+    fn refill_from_walk(&mut self) -> bool {
+        if let Some(cap) = self.config.lead_cap {
+            if self.lead >= cap {
+                return false;
+            }
+        }
+        let Some(walk) = self.walk.as_mut() else {
+            return false;
+        };
+        if self.walk_budget == 0 {
+            self.stats.budget_stops += 1;
+            self.walk = None;
+            return false;
+        }
+        match self.predictor.walk_next(walk, self.file_blocks) {
+            Some((req, source)) => {
+                let take = req.size.min(self.walk_budget);
+                self.walk_budget -= take;
+                for b in req.blocks().take(take as usize) {
+                    // Blocks already on the path would re-enter the
+                    // queue forever on cyclic patterns; path membership
+                    // also dedups them.
+                    if self.path.insert(b) {
+                        self.queue.push_back((b, source));
+                    }
+                }
+                true
+            }
+            None => {
+                self.stats.walk_stops += 1;
+                self.walk = None;
+                false
+            }
+        }
+    }
+
+    /// Report that one prefetched block finished fetching (or that its
+    /// fetch was absorbed by a demand miss). Frees an in-flight slot;
+    /// follow up with [`next_block`](Self::next_block).
+    pub fn on_prefetch_complete(&mut self) {
+        assert!(self.in_flight > 0, "completion without in-flight prefetch");
+        self.in_flight -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AggressiveLimit;
+
+    /// Drain every block the engine wants right now, acknowledging
+    /// completions immediately (an infinitely fast disk).
+    fn drain(pf: &mut FilePrefetcher, cached: impl Fn(u64) -> bool + Copy) -> Vec<u64> {
+        let mut out = Vec::new();
+        while let Some(b) = pf.next_block(cached) {
+            out.push(b);
+            pf.on_prefetch_complete();
+        }
+        out
+    }
+
+    #[test]
+    fn np_never_prefetches() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::np(), 100);
+        pf.on_demand(Request::new(0, 4));
+        assert_eq!(pf.next_block(|_| false), None);
+    }
+
+    #[test]
+    fn plain_oba_prefetches_exactly_one_block_per_request() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::oba(), 100);
+        pf.on_demand(Request::new(0, 4));
+        assert_eq!(drain(&mut pf, |_| false), vec![4]);
+        pf.on_demand(Request::new(10, 2));
+        assert_eq!(drain(&mut pf, |_| false), vec![12]);
+    }
+
+    #[test]
+    fn ln_agr_oba_scans_to_eof_one_at_a_time() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 8);
+        pf.on_demand(Request::new(0, 2));
+        // Linear limit: only one block until completion is reported.
+        assert_eq!(pf.next_block(|_| false), Some(2));
+        assert_eq!(pf.next_block(|_| false), None);
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_block(|_| false), Some(3));
+        pf.on_prefetch_complete();
+        assert_eq!(drain(&mut pf, |_| false), vec![4, 5, 6, 7]);
+        // Walk is over at EOF.
+        assert_eq!(pf.next_block(|_| false), None);
+    }
+
+    #[test]
+    fn correct_prediction_does_not_restart_walk() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 100);
+        pf.on_demand(Request::new(0, 1));
+        // Prefetch blocks 1, 2, 3.
+        for expect in [1, 2, 3] {
+            assert_eq!(pf.next_block(|_| false), Some(expect));
+            pf.on_prefetch_complete();
+        }
+        // Demand arrives for block 1 — already prefetched: continue.
+        pf.on_demand(Request::new(1, 1));
+        assert_eq!(pf.next_block(|_| false), Some(4));
+        pf.on_prefetch_complete();
+        assert_eq!(pf.stats().requests_on_path, 1);
+        assert_eq!(pf.stats().restarts, 0);
+    }
+
+    #[test]
+    fn mispredicted_demand_restarts_from_new_position() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 100);
+        pf.on_demand(Request::new(0, 1));
+        assert_eq!(pf.next_block(|_| false), Some(1));
+        pf.on_prefetch_complete();
+        // Application jumps to block 50 — not prefetched: restart there.
+        pf.on_demand(Request::new(50, 1));
+        assert_eq!(pf.next_block(|_| false), Some(51));
+        assert_eq!(pf.stats().restarts, 1);
+        assert_eq!(pf.stats().requests_off_path, 1);
+    }
+
+    #[test]
+    fn overtaking_consumer_restarts_ahead() {
+        // If the application reads *past* the prefetcher, the requested
+        // block "has not already been prefetched" and the scan restarts
+        // from the new file-pointer position (§3.1).
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 100);
+        pf.on_demand(Request::new(0, 1));
+        assert_eq!(pf.next_block(|_| false), Some(1));
+        pf.on_prefetch_complete();
+        pf.on_demand(Request::new(5, 1)); // ahead of the walk
+        assert_eq!(pf.next_block(|_| false), Some(6));
+    }
+
+    #[test]
+    fn simple_isppm_prefetches_whole_predicted_request() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::is_ppm(1), 1000);
+        for (o, s) in [(0, 2), (3, 3), (8, 2), (11, 3)] {
+            pf.on_demand(Request::new(o, s));
+        }
+        // Prediction after (11,3): (16,2) — both blocks at once (no
+        // linear limit in non-aggressive mode).
+        assert_eq!(pf.next_block(|_| false), Some(16));
+        assert_eq!(pf.next_block(|_| false), Some(17));
+        assert_eq!(pf.next_block(|_| false), None);
+        assert_eq!(pf.in_flight(), 2);
+    }
+
+    #[test]
+    fn ln_agr_isppm_walks_pattern_linearly() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_is_ppm(1), 40);
+        for (o, s) in [(0, 2), (3, 3), (8, 2), (11, 3), (16, 2)] {
+            pf.on_demand(Request::new(o, s));
+        }
+        // Predicted path: (19,3),(24,2),(27,3),(32,2),(35,3) — 35+3=38<=40 ok,
+        // then (40,2) out of file.
+        let got = drain(&mut pf, |_| false);
+        assert_eq!(
+            got,
+            vec![19, 20, 21, 24, 25, 27, 28, 29, 32, 33, 35, 36, 37]
+        );
+        assert_eq!(pf.stats().walk_stops, 1);
+    }
+
+    #[test]
+    fn cached_blocks_are_skipped_not_issued() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 10);
+        pf.on_demand(Request::new(0, 1));
+        // Blocks 1..5 cached; first issued block is 5.
+        assert_eq!(pf.next_block(|b| b < 5), Some(5));
+        assert_eq!(pf.stats().already_cached, 4);
+    }
+
+    #[test]
+    fn cyclic_pattern_is_stopped_by_budget() {
+        // A strided pattern that wraps around inside a file would walk
+        // forever; the budget must stop it.
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_is_ppm(1), 16);
+        // Teach a cycle: 0 -> 8 -> 0 -> 8 ...
+        for &o in &[0u64, 8, 0, 8, 0] {
+            pf.on_demand(Request::new(o, 1));
+        }
+        let got = drain(&mut pf, |_| false);
+        // The path dedups blocks, so at most the two cycle blocks are
+        // issued, and the walk ends by budget (not by EOF).
+        assert!(got.len() <= 2, "issued {got:?}");
+        assert_eq!(pf.stats().budget_stops, 1);
+    }
+
+    #[test]
+    fn window_limit_allows_k_in_flight() {
+        let cfg = PrefetchConfig {
+            aggressive: Some(AggressiveLimit::Window(3)),
+            ..PrefetchConfig::ln_agr_oba()
+        };
+        let mut pf = FilePrefetcher::new(cfg, 100);
+        pf.on_demand(Request::new(0, 1));
+        assert_eq!(pf.next_block(|_| false), Some(1));
+        assert_eq!(pf.next_block(|_| false), Some(2));
+        assert_eq!(pf.next_block(|_| false), Some(3));
+        assert_eq!(pf.next_block(|_| false), None);
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_block(|_| false), Some(4));
+    }
+
+    #[test]
+    fn unlimited_issues_everything_at_once() {
+        let cfg = PrefetchConfig {
+            aggressive: Some(AggressiveLimit::Unlimited),
+            ..PrefetchConfig::ln_agr_oba()
+        };
+        let mut pf = FilePrefetcher::new(cfg, 10);
+        pf.on_demand(Request::new(0, 1));
+        let mut got = Vec::new();
+        while let Some(b) = pf.next_block(|_| false) {
+            got.push(b); // no completions acknowledged!
+        }
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(pf.in_flight(), 9);
+    }
+
+    #[test]
+    fn file_growth_extends_oba_walk() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 4);
+        pf.on_demand(Request::new(0, 1));
+        assert_eq!(drain(&mut pf, |_| false), vec![1, 2, 3]);
+        pf.set_file_blocks(6);
+        // The old walk already stopped; a new demand restarts it only on
+        // a mispredict. Block 4 was never prefetched, so demanding it
+        // restarts and reaches the new EOF.
+        pf.on_demand(Request::new(4, 1));
+        assert_eq!(drain(&mut pf, |_| false), vec![5]);
+    }
+
+    #[test]
+    fn fallback_blocks_are_counted() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::is_ppm(3), 100);
+        pf.on_demand(Request::new(0, 1)); // graph empty: OBA fallback
+        assert_eq!(pf.next_block(|_| false), Some(1));
+        assert_eq!(pf.stats().issued_by_fallback, 1);
+        assert!(pf.stats().fallback_share() > 0.99);
+    }
+
+    #[test]
+    fn backoff_engine_predicts_before_full_order_context() {
+        // An order-3 back-off engine predicts a plain stride after just
+        // two requests (order-1 escape); the plain order-3 engine can
+        // only fall back to OBA, which guesses the wrong block.
+        let mut strict = FilePrefetcher::new(PrefetchConfig::ln_agr_is_ppm(3), 1000);
+        let mut backoff = FilePrefetcher::new(PrefetchConfig::ln_agr_is_ppm_backoff(3), 1000);
+        for pf in [&mut strict, &mut backoff] {
+            pf.on_demand(Request::new(0, 1));
+            pf.on_demand(Request::new(8, 1));
+            pf.on_demand(Request::new(16, 1));
+        }
+        // Stride 8: the true next block is 24.
+        assert_eq!(backoff.next_block(|_| false), Some(24));
+        assert_eq!(
+            strict.next_block(|_| false),
+            Some(17),
+            "plain falls back to OBA"
+        );
+    }
+
+    #[test]
+    fn lead_cap_pauses_and_resumes_the_walk() {
+        let cfg = PrefetchConfig {
+            lead_cap: Some(3),
+            ..PrefetchConfig::ln_agr_oba()
+        };
+        let mut pf = FilePrefetcher::new(cfg, 100);
+        pf.on_demand(Request::new(0, 1));
+        // Lead cap 3: only blocks 1..=3 come out even with completions
+        // acknowledged (nothing consumes the lead).
+        let mut got = Vec::new();
+        while let Some(b) = pf.next_block(|_| false) {
+            got.push(b);
+            pf.on_prefetch_complete();
+        }
+        assert_eq!(got, vec![1, 2, 3]);
+        // An on-path demand consumes lead; the walk resumes.
+        pf.on_demand(Request::new(1, 1));
+        assert_eq!(pf.next_block(|_| false), Some(4));
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_block(|_| false), None, "cap reached again");
+    }
+
+    #[test]
+    fn cached_run_stop_ends_walks_over_resident_data() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 1000);
+        pf.on_demand(Request::new(0, 1));
+        // Everything ahead is cached: the walk must give up quickly
+        // instead of scanning all 999 remaining blocks.
+        assert_eq!(pf.next_block(|_| true), None);
+        assert_eq!(pf.stats().cached_stops, 1);
+        assert!(pf.stats().already_cached <= 80);
+    }
+
+    #[test]
+    fn evicted_on_path_blocks_resume_a_dead_walk() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 6);
+        pf.on_demand(Request::new(0, 1));
+        // Walk runs to EOF: blocks 1..=5 prefetched, walk dead.
+        assert_eq!(drain(&mut pf, |_| false), vec![1, 2, 3, 4, 5]);
+        // A demand for block 3 arrives after the cache evicted it: the
+        // request is on-path, but the data is gone — the walk must
+        // restart from there instead of staying dormant.
+        pf.on_demand_with_residency(Request::new(3, 1), false);
+        assert_eq!(drain(&mut pf, |_| false), vec![4, 5]);
+        // Covered on-path demands (resident or in flight) never restart.
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 100);
+        pf.on_demand(Request::new(0, 1));
+        assert_eq!(pf.next_block(|_| false), Some(1));
+        pf.on_prefetch_complete();
+        pf.on_demand_with_residency(Request::new(1, 1), true);
+        assert_eq!(
+            pf.next_block(|_| false),
+            Some(2),
+            "walk continues, no restart"
+        );
+        assert_eq!(pf.stats().restarts, 0);
+    }
+
+    #[test]
+    fn evicted_on_path_blocks_rewind_a_live_walk() {
+        // Lead cap 4, cache so small that prefetched blocks are gone by
+        // the time they are demanded: without the residency rule the
+        // walk would stream uselessly ~4 blocks ahead forever. With it,
+        // each uncovered on-path demand rewinds the walk to just ahead
+        // of the consumer.
+        let cfg = PrefetchConfig {
+            lead_cap: Some(4),
+            ..PrefetchConfig::ln_agr_oba()
+        };
+        let mut pf = FilePrefetcher::new(cfg, 100);
+        pf.on_demand(Request::new(0, 1));
+        assert_eq!(drain(&mut pf, |_| false), vec![1, 2, 3, 4]); // lead cap
+                                                                 // Demand for block 1: prefetched but evicted -> uncovered.
+        pf.on_demand_with_residency(Request::new(1, 1), false);
+        assert_eq!(pf.stats().restarts, 1);
+        // The walk restarted at the consumer: next issue is block 2.
+        assert_eq!(pf.next_block(|_| false), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "completion without in-flight prefetch")]
+    fn spurious_completion_panics() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::oba(), 10);
+        pf.on_prefetch_complete();
+    }
+}

@@ -1,0 +1,77 @@
+//! # prefetch — the IPPS'99 linear aggressive prefetching algorithms
+//!
+//! This crate implements the primary contribution of
+//!
+//! > T. Cortes, J. Labarta. *Linear Aggressive Prefetching: A Way to
+//! > Increase the Performance of Cooperative Caches.* IPPS 1999.
+//!
+//! as a pure, simulator-agnostic library. It contains:
+//!
+//! * [`Oba`] — the classic *One Block Ahead* predictor (§2.1): after a
+//!   request touching blocks `o..o+s`, block `o+s` is a prefetch
+//!   candidate.
+//! * [`IsPpm`] — the *Interval and Size* prediction-by-partial-match
+//!   predictor family (§2.2): a graph whose nodes hold the last `j`
+//!   *(offset-interval, request-size)* pairs and whose edges are
+//!   labelled with the time they were last followed. Prediction follows
+//!   the **most-recently-used** edge, not the most probable one, and
+//!   predicts both the *position* and the *size* of the next request, so
+//!   blocks never accessed before can still be predicted.
+//! * [`FilePredictor`] — an order-`j` predictor with the paper's OBA
+//!   fallback for the cold-start phase (§2.2), exposing the *walk*
+//!   cursor that aggressive prefetching needs.
+//! * [`FilePrefetcher`] — the per-file prefetch engine (§3): simple
+//!   (one prediction per demand request) or *aggressive* (keep walking
+//!   the prediction graph as if predicted requests had been issued,
+//!   restarting on a miss-prediction), with the *linear* aggressiveness
+//!   limit of **at most one in-flight prefetched block per file** — or,
+//!   for ablations, a `k`-block window or no limit at all.
+//!
+//! The engine is deliberately decoupled from any cache or disk model:
+//! the caller reports demand requests and prefetch completions, and the
+//! engine answers with block numbers to prefetch. `lap-core` wires it
+//! to the cooperative caches and the disk stations; this crate could
+//! just as well drive a real file system.
+//!
+//! ```
+//! use prefetch::{FilePrefetcher, PrefetchConfig, Request};
+//!
+//! // Ln_Agr_IS_PPM:1 on a 1000-block file.
+//! let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_is_ppm(1), 1000);
+//! // Teach it the pattern of Figure 1: 2 blocks, +3 -> 3 blocks, +5 -> ...
+//! for req in [
+//!     Request::new(0, 2),
+//!     Request::new(3, 3),
+//!     Request::new(8, 2),
+//!     Request::new(11, 3),
+//!     Request::new(16, 2),
+//! ] {
+//!     pf.on_demand(req);
+//! }
+//! // The engine now predicts the continuation of the pattern; the first
+//! // block it wants to prefetch is the start of the next request: 19.
+//! let next = pf.next_block(|_| false).unwrap();
+//! assert_eq!(next, 19);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod backoff;
+mod config;
+mod engine;
+mod isppm;
+mod oba;
+mod predictor;
+pub mod replay;
+mod request;
+mod stats;
+
+pub use backoff::BackoffIsPpm;
+pub use config::{AggressiveLimit, AlgorithmKind, PrefetchConfig, DEFAULT_LEAD_CAP};
+pub use engine::FilePrefetcher;
+pub use isppm::{EdgeChoice, IsPpm, Pair};
+pub use oba::Oba;
+pub use predictor::{FilePredictor, PredictionSource, Walk};
+pub use request::Request;
+pub use stats::PrefetchStats;

@@ -1,0 +1,89 @@
+//! One Block Ahead (§2.1).
+
+use crate::request::Request;
+
+/// The *One Block Ahead* predictor: "whenever a block `i` is read or
+/// written, block `i+1` is also requested for prefetching" (§2.1,
+/// citing Smith's classic disk-cache analysis).
+///
+/// For a multi-block request the candidate is the block following the
+/// last touched block. OBA is deliberately conservative: exactly one
+/// block per demand request. Its aggressive extension (§3.1) keeps
+/// stepping sequentially to end-of-file, which [`crate::FilePrefetcher`]
+/// implements by repeatedly asking for the next sequential block.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Oba {
+    last: Option<Request>,
+}
+
+impl Oba {
+    /// New predictor with no history.
+    pub fn new() -> Self {
+        Oba { last: None }
+    }
+
+    /// Observe a demand request.
+    pub fn observe(&mut self, req: Request) {
+        self.last = Some(req);
+    }
+
+    /// The most recently observed request, if any.
+    pub fn last(&self) -> Option<Request> {
+        self.last
+    }
+
+    /// One-block-ahead prediction after request `prev`: the single
+    /// block following it, if still inside the file.
+    pub fn predict_after(prev: Request, file_blocks: u64) -> Option<Request> {
+        let next = Request::new(prev.end(), 1);
+        next.within(file_blocks).then_some(next)
+    }
+
+    /// Prediction following the last *observed* request.
+    pub fn predict(&self, file_blocks: u64) -> Option<Request> {
+        Self::predict_after(self.last?, file_blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_block_after_request_end() {
+        let mut oba = Oba::new();
+        assert_eq!(oba.predict(100), None); // nothing observed yet
+        oba.observe(Request::new(10, 4)); // blocks 10..14
+        assert_eq!(oba.predict(100), Some(Request::new(14, 1)));
+    }
+
+    #[test]
+    fn stops_at_end_of_file() {
+        let mut oba = Oba::new();
+        oba.observe(Request::new(98, 2)); // blocks 98, 99 of a 100-block file
+        assert_eq!(oba.predict(100), None);
+        assert_eq!(oba.predict(101), Some(Request::new(100, 1)));
+    }
+
+    #[test]
+    fn always_predicts_exactly_one_block() {
+        let mut oba = Oba::new();
+        oba.observe(Request::new(0, 64));
+        let p = oba.predict(1000).unwrap();
+        assert_eq!(p.size, 1);
+        assert_eq!(p.offset, 64);
+    }
+
+    #[test]
+    fn stateless_prediction_chain_is_sequential() {
+        // Chaining predict_after models aggressive OBA: a sequential
+        // scan to end-of-file.
+        let mut cur = Request::new(5, 3);
+        let mut visited = Vec::new();
+        while let Some(next) = Oba::predict_after(cur, 12) {
+            visited.push(next.offset);
+            cur = next;
+        }
+        assert_eq!(visited, vec![8, 9, 10, 11]);
+    }
+}

@@ -1,0 +1,295 @@
+//! A unified per-file predictor with the paper's OBA cold-start
+//! fallback and the *walk* cursor used by aggressive prefetching.
+
+use crate::backoff::BackoffIsPpm;
+use crate::config::AlgorithmKind;
+use crate::isppm::{apply_pair, EdgeChoice, IsPpm, Pair};
+use crate::oba::Oba;
+use crate::request::Request;
+
+/// Where a prediction came from — the IS_PPM graph or the OBA
+/// cold-start fallback ("our proposal consists of using the OBA
+/// algorithm whenever not enough information is available in the
+/// graph", §2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PredictionSource {
+    /// The configured predictor proper (OBA for OBA configs, the graph
+    /// for IS_PPM configs).
+    Primary,
+    /// The OBA fallback inside an IS_PPM configuration.
+    ObaFallback,
+}
+
+/// The simulated position of an aggressive prefetching pass: the last
+/// (real or hypothetical) request on the path, plus — for IS_PPM — the
+/// hypothetical (interval, size) history that locates the current graph
+/// context.
+///
+/// The aggressive driver "behaves as if the user had already requested
+/// the prefetched blocks and goes for the next node in the graph"
+/// (§3.1): advancing the walk never mutates the graph, it only moves
+/// this cursor.
+#[derive(Clone, Debug)]
+pub struct Walk {
+    cur: Request,
+    /// Last up-to-`order` pairs along the walk (IS_PPM only; empty for
+    /// OBA walks).
+    pairs: Vec<Pair>,
+}
+
+impl Walk {
+    /// The last request (real or simulated) on the walk path.
+    pub fn position(&self) -> Request {
+        self.cur
+    }
+}
+
+enum Inner {
+    None,
+    Oba(Oba),
+    IsPpm(IsPpm),
+    Backoff(BackoffIsPpm),
+}
+
+/// Order-`j` predictor for one file with OBA fallback.
+pub struct FilePredictor {
+    inner: Inner,
+}
+
+impl FilePredictor {
+    /// Build the predictor for an algorithm configuration.
+    pub fn new(algorithm: AlgorithmKind, edge_choice: EdgeChoice) -> Self {
+        let inner = match algorithm {
+            AlgorithmKind::None => Inner::None,
+            AlgorithmKind::Oba => Inner::Oba(Oba::new()),
+            AlgorithmKind::IsPpm { order } => {
+                Inner::IsPpm(IsPpm::with_edge_choice(order, edge_choice))
+            }
+            AlgorithmKind::IsPpmBackoff { order } => {
+                Inner::Backoff(BackoffIsPpm::new(order, edge_choice))
+            }
+        };
+        FilePredictor { inner }
+    }
+
+    /// Feed a real demand request into the model.
+    pub fn observe(&mut self, req: Request) {
+        match &mut self.inner {
+            Inner::None => {}
+            Inner::Oba(o) => o.observe(req),
+            Inner::IsPpm(p) => p.observe(req),
+            Inner::Backoff(b) => b.observe(req),
+        }
+    }
+
+    /// The last demand request observed, if any.
+    pub fn last_request(&self) -> Option<Request> {
+        match &self.inner {
+            Inner::None => None,
+            Inner::Oba(o) => o.last(),
+            Inner::IsPpm(p) => p.last_request(),
+            Inner::Backoff(b) => b.last_request(),
+        }
+    }
+
+    /// Access the underlying IS_PPM graph (for diagnostics/tests).
+    pub fn graph(&self) -> Option<&IsPpm> {
+        match &self.inner {
+            Inner::IsPpm(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Predict the single next request after the last observed one
+    /// (non-aggressive mode). IS_PPM configurations fall back to OBA
+    /// when the graph cannot predict.
+    pub fn predict(&self, file_blocks: u64) -> Option<(Request, PredictionSource)> {
+        let last = self.last_request()?;
+        match &self.inner {
+            Inner::None => None,
+            Inner::Oba(_) => {
+                Oba::predict_after(last, file_blocks).map(|r| (r, PredictionSource::Primary))
+            }
+            Inner::IsPpm(p) => match p.predict_after(last, file_blocks) {
+                Some(r) => Some((r, PredictionSource::Primary)),
+                None => Oba::predict_after(last, file_blocks)
+                    .map(|r| (r, PredictionSource::ObaFallback)),
+            },
+            Inner::Backoff(b) => match b.predict_after(last, file_blocks) {
+                Some((r, _)) => Some((r, PredictionSource::Primary)),
+                None => Oba::predict_after(last, file_blocks)
+                    .map(|r| (r, PredictionSource::ObaFallback)),
+            },
+        }
+    }
+
+    /// Begin an aggressive walk at the last observed request. Returns
+    /// `None` until at least one request has been observed (nothing to
+    /// extrapolate from) or for the `None` algorithm.
+    pub fn start_walk(&self) -> Option<Walk> {
+        let cur = self.last_request()?;
+        let pairs = match &self.inner {
+            Inner::None => return None,
+            Inner::Oba(_) => Vec::new(),
+            Inner::IsPpm(p) => p.history().to_vec(),
+            Inner::Backoff(b) => b.history().to_vec(),
+        };
+        Some(Walk { cur, pairs })
+    }
+
+    /// Advance the walk one predicted request. Returns the predicted
+    /// request and its source, or `None` when the walk must stop (the
+    /// prediction leaves the file, per §3.1).
+    ///
+    /// IS_PPM walks that leave the learned graph continue OBA-style and
+    /// re-synchronise with the graph as soon as their hypothetical
+    /// context matches a known node again.
+    pub fn walk_next(
+        &self,
+        walk: &mut Walk,
+        file_blocks: u64,
+    ) -> Option<(Request, PredictionSource)> {
+        match &self.inner {
+            Inner::None => None,
+            Inner::Oba(_) => {
+                let next = Oba::predict_after(walk.cur, file_blocks)?;
+                walk.cur = next;
+                Some((next, PredictionSource::Primary))
+            }
+            Inner::IsPpm(p) => {
+                let graph_step = (walk.pairs.len() == p.order())
+                    .then(|| p.lookup(&walk.pairs))
+                    .flatten()
+                    .and_then(|node| p.step(node).map(|(_, pair)| pair));
+                advance_walk(walk, graph_step, p.order(), file_blocks)
+            }
+            Inner::Backoff(b) => {
+                let graph_step = b.step_from_history(&walk.pairs).map(|(pair, _)| pair);
+                advance_walk(walk, graph_step, b.max_order(), file_blocks)
+            }
+        }
+    }
+}
+
+/// Apply one walk step: take the graph's predicted pair if it has one,
+/// otherwise the OBA fallback pair (the block right after the walk's
+/// current request); bound it to the file; and slide the hypothetical
+/// pair window forward.
+fn advance_walk(
+    walk: &mut Walk,
+    graph_pair: Option<Pair>,
+    order: usize,
+    file_blocks: u64,
+) -> Option<(Request, PredictionSource)> {
+    let (pair, source) = match graph_pair {
+        Some(pair) => (pair, PredictionSource::Primary),
+        None => (
+            Pair::new(walk.cur.size as i64, 1),
+            PredictionSource::ObaFallback,
+        ),
+    };
+    let next = apply_pair(walk.cur, pair, file_blocks)?;
+    if walk.pairs.len() == order {
+        walk.pairs.remove(0);
+    }
+    walk.pairs.push(pair);
+    walk.cur = next;
+    Some((next, source))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgorithmKind;
+
+    fn feed(p: &mut FilePredictor, reqs: &[(u64, u64)]) {
+        for &(o, s) in reqs {
+            p.observe(Request::new(o, s));
+        }
+    }
+
+    #[test]
+    fn none_predictor_is_silent() {
+        let mut p = FilePredictor::new(AlgorithmKind::None, EdgeChoice::MostRecent);
+        p.observe(Request::new(0, 1));
+        assert!(p.predict(100).is_none());
+        assert!(p.start_walk().is_none());
+    }
+
+    #[test]
+    fn oba_walk_is_sequential_scan() {
+        let mut p = FilePredictor::new(AlgorithmKind::Oba, EdgeChoice::MostRecent);
+        feed(&mut p, &[(4, 2)]);
+        let mut walk = p.start_walk().unwrap();
+        let mut blocks = Vec::new();
+        while let Some((req, src)) = p.walk_next(&mut walk, 10) {
+            assert_eq!(src, PredictionSource::Primary);
+            blocks.extend(req.blocks());
+        }
+        assert_eq!(blocks, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn isppm_walk_follows_learned_pattern() {
+        let mut p = FilePredictor::new(AlgorithmKind::IsPpm { order: 1 }, EdgeChoice::MostRecent);
+        // Figure 1 pattern.
+        feed(&mut p, &[(0, 2), (3, 3), (8, 2), (11, 3), (16, 2)]);
+        let mut walk = p.start_walk().unwrap();
+        let mut preds = Vec::new();
+        for _ in 0..4 {
+            let (req, src) = p.walk_next(&mut walk, 100).unwrap();
+            assert_eq!(src, PredictionSource::Primary);
+            preds.push((req.offset, req.size));
+        }
+        assert_eq!(preds, vec![(19, 3), (24, 2), (27, 3), (32, 2)]);
+    }
+
+    #[test]
+    fn isppm_walk_stops_at_eof() {
+        let mut p = FilePredictor::new(AlgorithmKind::IsPpm { order: 1 }, EdgeChoice::MostRecent);
+        feed(&mut p, &[(0, 2), (3, 3), (8, 2), (11, 3), (16, 2)]);
+        let mut walk = p.start_walk().unwrap();
+        // File of 22 blocks: (19,3) fits exactly (ends at 22), next
+        // prediction (24,2) does not.
+        let (req, _) = p.walk_next(&mut walk, 22).unwrap();
+        assert_eq!(req, Request::new(19, 3));
+        assert!(p.walk_next(&mut walk, 22).is_none());
+    }
+
+    #[test]
+    fn cold_graph_falls_back_to_oba() {
+        let mut p = FilePredictor::new(AlgorithmKind::IsPpm { order: 3 }, EdgeChoice::MostRecent);
+        feed(&mut p, &[(0, 2)]);
+        // Only one request: graph empty, fallback predicts block 2.
+        let (req, src) = p.predict(100).unwrap();
+        assert_eq!(req, Request::new(2, 1));
+        assert_eq!(src, PredictionSource::ObaFallback);
+    }
+
+    #[test]
+    fn walk_resynchronises_with_graph_after_fallback() {
+        let mut p = FilePredictor::new(AlgorithmKind::IsPpm { order: 1 }, EdgeChoice::MostRecent);
+        // Teach: a (+1, 1) step is followed by a (+10, 1) jump.
+        feed(&mut p, &[(0, 1), (1, 1), (11, 1), (12, 1), (22, 1)]);
+        // Context now (10,1). Graph: (1,1) -> (10,1) -> (1,1).
+        let mut walk = p.start_walk().unwrap();
+        let (r1, s1) = p.walk_next(&mut walk, 1000).unwrap();
+        // From node (10,1): MRU edge -> (1,1): 22+1=23.
+        assert_eq!((r1, s1), (Request::new(23, 1), PredictionSource::Primary));
+        let (r2, s2) = p.walk_next(&mut walk, 1000).unwrap();
+        // From node (1,1): MRU edge -> (10,1): 23+10=33.
+        assert_eq!((r2, s2), (Request::new(33, 1), PredictionSource::Primary));
+    }
+
+    #[test]
+    fn fallback_share_of_walk_with_unknown_context() {
+        // Graph trained on pattern A, walk falls off it: a stride the
+        // graph has never seen forces OBA fallback, and the fallback's
+        // own (size,1) pair may then re-enter the graph.
+        let mut p = FilePredictor::new(AlgorithmKind::IsPpm { order: 1 }, EdgeChoice::MostRecent);
+        feed(&mut p, &[(0, 4), (8, 4), (16, 4)]); // stride 8, size 4
+        let mut walk = p.start_walk().unwrap();
+        let (r1, s1) = p.walk_next(&mut walk, 1000).unwrap();
+        assert_eq!((r1, s1), (Request::new(24, 4), PredictionSource::Primary));
+    }
+}

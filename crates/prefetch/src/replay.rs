@@ -1,0 +1,206 @@
+//! Offline predictor evaluation: replay a request stream against a
+//! predictor and score its predictions, without any cache or disk
+//! model.
+//!
+//! This answers the question the paper's §2 poses — *how accurate is a
+//! predictor on a given access pattern?* — in isolation from
+//! cache-size and timing effects, and is the quickest way to compare
+//! predictor variants on traces of your own.
+//!
+//! ```
+//! use prefetch::{replay, PrefetchConfig, Request};
+//!
+//! // A perfectly regular stride: IS_PPM:1 predicts every request after
+//! // the warm-up prefix.
+//! let reqs: Vec<Request> = (0..50).map(|i| Request::new(i * 8, 4)).collect();
+//! let score = replay::evaluate(PrefetchConfig::ln_agr_is_ppm(1), 4096, &reqs);
+//! assert!(score.exact_accuracy() > 0.9);
+//! ```
+
+use crate::config::PrefetchConfig;
+use crate::predictor::FilePredictor;
+use crate::request::Request;
+
+/// Outcome counts of an offline replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayScore {
+    /// Requests seen.
+    pub requests: u64,
+    /// Requests for which the predictor had a prediction at all.
+    pub predicted: u64,
+    /// Predictions matching the next request exactly (offset and size).
+    pub exact: u64,
+    /// Predictions overlapping the next request in at least one block.
+    pub overlapping: u64,
+    /// Blocks of demand requests covered by the prediction.
+    pub blocks_covered: u64,
+    /// Total demand blocks after the first request.
+    pub blocks_total: u64,
+}
+
+impl ReplayScore {
+    /// Share of (non-first) requests predicted exactly.
+    pub fn exact_accuracy(&self) -> f64 {
+        if self.requests <= 1 {
+            return 0.0;
+        }
+        self.exact as f64 / (self.requests - 1) as f64
+    }
+
+    /// Share of (non-first) requests whose prediction overlapped.
+    pub fn overlap_accuracy(&self) -> f64 {
+        if self.requests <= 1 {
+            return 0.0;
+        }
+        self.overlapping as f64 / (self.requests - 1) as f64
+    }
+
+    /// Share of demand blocks the one-step predictions covered.
+    pub fn block_coverage(&self) -> f64 {
+        if self.blocks_total == 0 {
+            return 0.0;
+        }
+        self.blocks_covered as f64 / self.blocks_total as f64
+    }
+}
+
+/// Replay `requests` (all within a file of `file_blocks` blocks)
+/// against the predictor of `config`, scoring each one-step prediction
+/// against the request that actually followed.
+///
+/// Only the *predictor* of the configuration matters here (OBA or
+/// IS_PPM:j with its edge choice); aggressiveness is a driver-level
+/// property with no one-step meaning.
+///
+/// # Panics
+/// Panics if any request exceeds `file_blocks`.
+pub fn evaluate(config: PrefetchConfig, file_blocks: u64, requests: &[Request]) -> ReplayScore {
+    let mut predictor = FilePredictor::new(config.algorithm, config.edge_choice);
+    let mut score = ReplayScore::default();
+    let mut pending: Option<Request> = None;
+
+    for &req in requests {
+        assert!(
+            req.within(file_blocks),
+            "request {req:?} outside file of {file_blocks} blocks"
+        );
+        score.requests += 1;
+        if score.requests > 1 {
+            score.blocks_total += req.size;
+            if let Some(pred) = pending {
+                score.predicted += 1;
+                if pred == req {
+                    score.exact += 1;
+                }
+                let lo = pred.offset.max(req.offset);
+                let hi = pred.end().min(req.end());
+                if hi > lo {
+                    score.overlapping += 1;
+                    score.blocks_covered += hi - lo;
+                }
+            }
+        }
+        predictor.observe(req);
+        pending = predictor.predict(file_blocks).map(|(p, _)| p);
+    }
+    score
+}
+
+/// Evaluate several configurations side by side on the same stream.
+pub fn compare(
+    configs: &[PrefetchConfig],
+    file_blocks: u64,
+    requests: &[Request],
+) -> Vec<(String, ReplayScore)> {
+    configs
+        .iter()
+        .map(|&c| (c.paper_name(), evaluate(c, file_blocks, requests)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strided(n: u64, stride: u64, size: u64) -> Vec<Request> {
+        (0..n).map(|i| Request::new(i * stride, size)).collect()
+    }
+
+    #[test]
+    fn oba_is_perfect_on_contiguous_sequential() {
+        let reqs = strided(40, 1, 1);
+        let s = evaluate(PrefetchConfig::oba(), 1 << 20, &reqs);
+        assert!(s.exact_accuracy() > 0.97, "{s:?}");
+    }
+
+    #[test]
+    fn oba_fails_on_strides_isppm_learns_them() {
+        let reqs = strided(40, 8, 4);
+        let oba = evaluate(PrefetchConfig::oba(), 1 << 20, &reqs);
+        let ppm = evaluate(PrefetchConfig::is_ppm(1), 1 << 20, &reqs);
+        // OBA predicts the block after the request: offset+4, but the
+        // next request starts at offset+8 — overlap never happens.
+        assert_eq!(oba.exact, 0);
+        assert!(ppm.exact_accuracy() > 0.9, "{ppm:?}");
+        assert!(ppm.block_coverage() > 0.9);
+    }
+
+    #[test]
+    fn alternating_pattern_needs_the_graph() {
+        // Figure 1's alternating (+3,3)/(+5,2) pattern.
+        let mut reqs = Vec::new();
+        let mut off = 0;
+        for _ in 0..20 {
+            reqs.push(Request::new(off, 2));
+            reqs.push(Request::new(off + 3, 3));
+            off += 8;
+        }
+        let ppm = evaluate(PrefetchConfig::is_ppm(1), 1 << 20, &reqs);
+        assert!(ppm.exact_accuracy() > 0.85, "{ppm:?}");
+    }
+
+    #[test]
+    fn random_stream_scores_low() {
+        // A stream with no structure: accuracy collapses.
+        let mut off = 1u64;
+        let reqs: Vec<Request> = (0..60)
+            .map(|i| {
+                off = (off.wrapping_mul(6364136223846793005).wrapping_add(i)) % 10_000;
+                Request::new(off, 1 + off % 3)
+            })
+            .collect();
+        let ppm = evaluate(PrefetchConfig::is_ppm(1), 1 << 20, &reqs);
+        assert!(ppm.exact_accuracy() < 0.3, "{ppm:?}");
+    }
+
+    #[test]
+    fn compare_lists_all_configs() {
+        let reqs = strided(20, 4, 2);
+        let rows = compare(
+            &[PrefetchConfig::oba(), PrefetchConfig::is_ppm(1)],
+            1 << 20,
+            &reqs,
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "OBA");
+        assert_eq!(rows[1].0, "IS_PPM:1");
+        assert!(rows[1].1.exact >= rows[0].1.exact);
+    }
+
+    #[test]
+    fn empty_and_single_request_streams() {
+        let s = evaluate(PrefetchConfig::is_ppm(1), 100, &[]);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.exact_accuracy(), 0.0);
+        let s = evaluate(PrefetchConfig::is_ppm(1), 100, &[Request::new(0, 1)]);
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.exact_accuracy(), 0.0);
+        assert_eq!(s.block_coverage(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside file")]
+    fn out_of_file_request_panics() {
+        evaluate(PrefetchConfig::oba(), 4, &[Request::new(3, 2)]);
+    }
+}

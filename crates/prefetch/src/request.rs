@@ -1,0 +1,140 @@
+//! Block-granular file requests.
+
+use std::fmt;
+
+/// A file request at block granularity: `size` consecutive blocks
+/// starting at block `offset` of one file.
+///
+/// The paper models every user operation this way (§2.2): "The size is
+/// the number of file blocks in a request. If a given operation only
+/// requests 2 bytes but from two different blocks, we assume that it was
+/// a two block request."
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// First block touched.
+    pub offset: u64,
+    /// Number of consecutive blocks touched (always ≥ 1).
+    pub size: u64,
+}
+
+impl Request {
+    /// Create a request for `size` blocks starting at block `offset`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`; zero-block requests are meaningless and
+    /// would corrupt interval/size prediction.
+    pub fn new(offset: u64, size: u64) -> Self {
+        assert!(size > 0, "zero-sized request");
+        Request { offset, size }
+    }
+
+    /// Convert a byte-granular access into a block-granular request.
+    ///
+    /// Returns `None` for zero-length accesses (they touch no block).
+    pub fn from_bytes(byte_offset: u64, byte_len: u64, block_size: u64) -> Option<Self> {
+        assert!(block_size > 0, "zero block size");
+        if byte_len == 0 {
+            return None;
+        }
+        let first = byte_offset / block_size;
+        let last = (byte_offset + byte_len - 1) / block_size;
+        Some(Request::new(first, last - first + 1))
+    }
+
+    /// Block just past the end of the request.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.offset + self.size
+    }
+
+    /// Last block of the request.
+    #[inline]
+    pub fn last_block(&self) -> u64 {
+        self.offset + self.size - 1
+    }
+
+    /// Iterate over the touched block numbers.
+    pub fn blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.offset..self.end()
+    }
+
+    /// True if every touched block lies inside a file of `file_blocks`
+    /// blocks.
+    #[inline]
+    pub fn within(&self, file_blocks: u64) -> bool {
+        self.end() <= file_blocks
+    }
+
+    /// Signed distance, in blocks, from the first block of `prev` to the
+    /// first block of `self` — the paper's *offset interval*.
+    #[inline]
+    pub fn interval_from(&self, prev: &Request) -> i64 {
+        self.offset as i64 - prev.offset as i64
+    }
+}
+
+impl fmt::Debug for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.offset, self.end())
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} blocks @ {}", self.size, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_conversion_spans_touched_blocks() {
+        // The paper's example: 2 bytes touching two different blocks is
+        // a two-block request.
+        let r = Request::from_bytes(8191, 2, 8192).unwrap();
+        assert_eq!(r, Request::new(0, 2));
+    }
+
+    #[test]
+    fn byte_conversion_single_block() {
+        let r = Request::from_bytes(100, 200, 8192).unwrap();
+        assert_eq!(r, Request::new(0, 1));
+        let r = Request::from_bytes(8192, 8192, 8192).unwrap();
+        assert_eq!(r, Request::new(1, 1));
+    }
+
+    #[test]
+    fn zero_length_access_touches_nothing() {
+        assert_eq!(Request::from_bytes(100, 0, 8192), None);
+    }
+
+    #[test]
+    fn interval_matches_paper_example() {
+        // Figure 1: (0,2) -> (3,3) is interval 3; (3,3) -> (8,2) is 5.
+        let a = Request::new(0, 2);
+        let b = Request::new(3, 3);
+        let c = Request::new(8, 2);
+        assert_eq!(b.interval_from(&a), 3);
+        assert_eq!(c.interval_from(&b), 5);
+        // Backward jumps give negative intervals.
+        assert_eq!(a.interval_from(&c), -8);
+    }
+
+    #[test]
+    fn bounds() {
+        let r = Request::new(10, 4);
+        assert_eq!(r.end(), 14);
+        assert_eq!(r.last_block(), 13);
+        assert!(r.within(14));
+        assert!(!r.within(13));
+        assert_eq!(r.blocks().collect::<Vec<_>>(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_size_panics() {
+        Request::new(0, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Prefetch-engine accounting.
+
+/// Counters kept by a [`FilePrefetcher`](crate::FilePrefetcher).
+///
+/// Block *usefulness* (was a prefetched block ever demanded before
+/// leaving the cache?) can only be judged by the cache, so the
+/// mispredict *ratio* of §5.2 is assembled in `lap-core` from these
+/// counters plus cache-side usage counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Blocks handed out for prefetching.
+    pub issued: u64,
+    /// Of `issued`, blocks predicted by the OBA cold-start fallback
+    /// inside an IS_PPM configuration (§2.2 reports this share).
+    pub issued_by_fallback: u64,
+    /// Predicted blocks skipped because they were already cached.
+    pub already_cached: u64,
+    /// Demand requests whose blocks were all on the predicted path.
+    pub requests_on_path: u64,
+    /// Demand requests that deviated from the predicted path while a
+    /// prediction existed (triggers a restart when aggressive).
+    pub requests_off_path: u64,
+    /// Demand requests arriving with no prediction outstanding.
+    pub requests_unpredicted: u64,
+    /// Aggressive-walk restarts caused by miss-predictions.
+    pub restarts: u64,
+    /// Aggressive walks that stopped at end-of-file / no prediction.
+    pub walk_stops: u64,
+    /// Aggressive walks cut short by the cycle-safety budget.
+    pub budget_stops: u64,
+    /// Aggressive walks stopped because everything ahead was already
+    /// cached (read-ahead satisfied).
+    pub cached_stops: u64,
+}
+
+impl PrefetchStats {
+    /// Merge another stats block into this one (e.g. across files).
+    pub fn merge(&mut self, other: &PrefetchStats) {
+        self.issued += other.issued;
+        self.issued_by_fallback += other.issued_by_fallback;
+        self.already_cached += other.already_cached;
+        self.requests_on_path += other.requests_on_path;
+        self.requests_off_path += other.requests_off_path;
+        self.requests_unpredicted += other.requests_unpredicted;
+        self.restarts += other.restarts;
+        self.walk_stops += other.walk_stops;
+        self.budget_stops += other.budget_stops;
+        self.cached_stops += other.cached_stops;
+    }
+
+    /// Share of issued blocks that came from the OBA fallback
+    /// (the paper reports <1% for CHARISMA, ~25% for Sprite).
+    pub fn fallback_share(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.issued_by_fallback as f64 / self.issued as f64
+        }
+    }
+
+    /// Fraction of predicted demand requests that stayed on the path.
+    pub fn on_path_share(&self) -> f64 {
+        let judged = self.requests_on_path + self.requests_off_path;
+        if judged == 0 {
+            0.0
+        } else {
+            self.requests_on_path as f64 / judged as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = PrefetchStats {
+            issued: 1,
+            issued_by_fallback: 1,
+            ..Default::default()
+        };
+        let b = PrefetchStats {
+            issued: 3,
+            restarts: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.issued, 4);
+        assert_eq!(a.issued_by_fallback, 1);
+        assert_eq!(a.restarts, 2);
+    }
+
+    #[test]
+    fn shares() {
+        let s = PrefetchStats {
+            issued: 8,
+            issued_by_fallback: 2,
+            requests_on_path: 3,
+            requests_off_path: 1,
+            ..Default::default()
+        };
+        assert!((s.fallback_share() - 0.25).abs() < 1e-12);
+        assert!((s.on_path_share() - 0.75).abs() < 1e-12);
+        assert_eq!(PrefetchStats::default().fallback_share(), 0.0);
+        assert_eq!(PrefetchStats::default().on_path_share(), 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Property-based tests over the prefetching algorithms.
+
+use prefetch::{
+    AggressiveLimit, AlgorithmKind, EdgeChoice, FilePrefetcher, IsPpm, PrefetchConfig, Request,
+};
+use proptest::prelude::*;
+
+/// An arbitrary in-bounds request stream for a file of `blocks` blocks.
+fn request_stream(blocks: u64, len: usize) -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec(
+        (0..blocks, 1..=8u64).prop_map(move |(o, s)| {
+            let size = s.min(blocks - o).max(1);
+            Request::new(o, size)
+        }),
+        1..=len,
+    )
+}
+
+proptest! {
+    /// The IS_PPM graph is well-formed under arbitrary request streams:
+    /// node count grows by at most one per request, contexts are unique
+    /// and exactly `order` long, and edges only connect existing nodes.
+    #[test]
+    fn isppm_graph_well_formed(
+        order in 1usize..4,
+        reqs in request_stream(64, 60),
+    ) {
+        let mut ppm = IsPpm::new(order);
+        for (i, &r) in reqs.iter().enumerate() {
+            ppm.observe(r);
+            prop_assert!(ppm.node_count() <= i + 1);
+        }
+        prop_assert!(ppm.edge_count() <= reqs.len());
+        let n = ppm.node_count();
+        for (from, to, _, count) in ppm.edges() {
+            let _ = ppm.context(from);
+            let ctx = ppm.context(to);
+            prop_assert_eq!(ctx.len(), order);
+            prop_assert!(count >= 1);
+            let _ = (from, to);
+        }
+        let _ = n;
+    }
+
+    /// Whatever the history, a prediction never leaves the file.
+    #[test]
+    fn predictions_stay_in_bounds(
+        order in 1usize..4,
+        blocks in 4u64..64,
+        reqs in request_stream(64, 40),
+    ) {
+        let mut ppm = IsPpm::new(order);
+        let mut last = None;
+        for &r in &reqs {
+            ppm.observe(r);
+            last = Some(r);
+        }
+        if let Some(base) = last {
+            if let Some(pred) = ppm.predict_after(base, blocks) {
+                prop_assert!(pred.within(blocks));
+                prop_assert!(pred.size >= 1);
+            }
+        }
+    }
+
+    /// The engine never issues an out-of-file or cached block, never
+    /// issues the same block twice within one path, and respects the
+    /// in-flight cap at every instant.
+    #[test]
+    fn engine_invariants(
+        cfg_idx in 0usize..7,
+        blocks in 8u64..128,
+        reqs in request_stream(8, 30),
+        cached_mod in 2u64..7,
+    ) {
+        let cfg = PrefetchConfig::paper_suite()[cfg_idx];
+        let mut pf = FilePrefetcher::new(cfg, blocks);
+        let cap = cfg.aggressive.map_or(usize::MAX, |l| l.cap());
+        for &r in &reqs {
+            // Clamp the request into this file.
+            let off = r.offset.min(blocks - 1);
+            let size = r.size.min(blocks - off);
+            pf.on_demand(Request::new(off, size));
+            let mut seen = std::collections::HashSet::new();
+            while let Some(b) = pf.next_block(|b| b % cached_mod == 0) {
+                prop_assert!(b < blocks, "issued out-of-file block {b}");
+                prop_assert!(b % cached_mod != 0, "issued cached block {b}");
+                prop_assert!(seen.insert(b), "issued duplicate block {b}");
+                prop_assert!(pf.in_flight() <= cap);
+                pf.on_prefetch_complete();
+            }
+        }
+    }
+
+    /// Linear aggressive OBA from block 0 issues exactly the uncached
+    /// tail of the file, in order.
+    #[test]
+    fn ln_agr_oba_covers_file(blocks in 2u64..200) {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), blocks);
+        pf.on_demand(Request::new(0, 1));
+        let mut got = Vec::new();
+        while let Some(b) = pf.next_block(|_| false) {
+            got.push(b);
+            pf.on_prefetch_complete();
+        }
+        let expect: Vec<u64> = (1..blocks).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// For a perfectly regular stride the order-1 graph predictor walks
+    /// the exact future of the stream (no fallback, no gaps).
+    #[test]
+    fn strided_pattern_predicted_exactly(
+        stride in 2u64..16,
+        size in 1u64..4,
+        warm in 3usize..8,
+    ) {
+        let size = size.min(stride); // non-overlapping requests
+        let blocks = 10_000u64;
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_is_ppm(1), blocks);
+        let mut off = 0;
+        for _ in 0..warm {
+            pf.on_demand(Request::new(off, size));
+            off += stride;
+        }
+        // The next predicted block must be exactly `off` (the start of
+        // the next strided request).
+        let first = pf.next_block(|_| false);
+        prop_assert_eq!(first, Some(off));
+    }
+
+    /// Aggressive engines terminate: the number of pulled blocks is
+    /// bounded even for adversarial (cyclic) streams.
+    #[test]
+    fn aggressive_walks_terminate(
+        order in 1usize..3,
+        reqs in request_stream(16, 20),
+    ) {
+        let blocks = 16u64;
+        let cfg = PrefetchConfig {
+            aggressive: Some(AggressiveLimit::Unlimited),
+            ..PrefetchConfig::ln_agr_is_ppm(order)
+        };
+        prop_assert_eq!(cfg.algorithm, AlgorithmKind::IsPpm { order });
+        let mut pf = FilePrefetcher::new(cfg, blocks);
+        for &r in &reqs {
+            let off = r.offset.min(blocks - 1);
+            let size = r.size.min(blocks - off);
+            pf.on_demand(Request::new(off, size));
+        }
+        let mut pulled = 0u64;
+        while pf.next_block(|_| false).is_some() {
+            pulled += 1;
+            prop_assert!(pulled <= 2 * blocks + 64, "walk failed to terminate");
+        }
+    }
+
+    /// MRU and frequency edge choices agree when every node has a
+    /// single successor.
+    #[test]
+    fn edge_choices_agree_on_deterministic_patterns(stride in 1u64..10) {
+        let mut mru = IsPpm::with_edge_choice(1, EdgeChoice::MostRecent);
+        let mut freq = IsPpm::with_edge_choice(1, EdgeChoice::MostFrequent);
+        let mut off = 0;
+        for _ in 0..10 {
+            let r = Request::new(off, 1);
+            mru.observe(r);
+            freq.observe(r);
+            off += stride;
+        }
+        let base = Request::new(off - stride, 1);
+        prop_assert_eq!(
+            mru.predict_after(base, 1 << 20),
+            freq.predict_after(base, 1 << 20)
+        );
+    }
+}
+
+proptest! {
+    /// With a lead cap of k and no consuming demands, an aggressive
+    /// walk hands out at most k blocks, however often completions are
+    /// acknowledged.
+    #[test]
+    fn lead_cap_bounds_unconsumed_prefetch(cap in 1u64..32, blocks in 64u64..256) {
+        let cfg = PrefetchConfig {
+            lead_cap: Some(cap),
+            ..PrefetchConfig::ln_agr_oba()
+        };
+        let mut pf = FilePrefetcher::new(cfg, blocks);
+        pf.on_demand(Request::new(0, 1));
+        let mut issued = 0u64;
+        while pf.next_block(|_| false).is_some() {
+            issued += 1;
+            pf.on_prefetch_complete();
+            prop_assert!(issued <= cap, "issued {issued} > cap {cap}");
+        }
+        prop_assert_eq!(issued, cap.min(blocks - 1));
+    }
+
+    /// Replay scores are well-formed fractions for arbitrary request
+    /// streams and any paper configuration.
+    #[test]
+    fn replay_scores_are_fractions(
+        cfg_idx in 0usize..7,
+        reqs in request_stream(256, 60),
+    ) {
+        use prefetch::replay;
+        let cfg = PrefetchConfig::paper_suite()[cfg_idx];
+        let score = replay::evaluate(cfg, 256, &reqs);
+        prop_assert_eq!(score.requests, reqs.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&score.exact_accuracy()));
+        prop_assert!((0.0..=1.0).contains(&score.overlap_accuracy()));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&score.block_coverage()));
+        prop_assert!(score.exact <= score.overlapping);
+        prop_assert!(score.overlapping <= score.predicted);
+    }
+
+    /// The back-off engine issues the same or fewer OBA-fallback blocks
+    /// than the plain engine of the same order, on any stream.
+    #[test]
+    fn backoff_never_falls_back_more_than_plain(
+        reqs in request_stream(64, 40),
+    ) {
+        let mut plain = FilePrefetcher::new(PrefetchConfig::ln_agr_is_ppm(3), 64);
+        let mut backoff = FilePrefetcher::new(PrefetchConfig::ln_agr_is_ppm_backoff(3), 64);
+        for &r in &reqs {
+            let off = r.offset.min(63);
+            let size = r.size.min(64 - off);
+            for pf in [&mut plain, &mut backoff] {
+                pf.on_demand(Request::new(off, size));
+                while pf.next_block(|_| false).is_some() {
+                    pf.on_prefetch_complete();
+                }
+            }
+        }
+        // Both issued the same *number* of decisions is not guaranteed,
+        // but the backoff engine's *fallback share* must not exceed the
+        // plain engine's by more than rounding noise.
+        prop_assert!(
+            backoff.stats().fallback_share() <= plain.stats().fallback_share() + 1e-9,
+            "backoff {} vs plain {}",
+            backoff.stats().fallback_share(),
+            plain.stats().fallback_share()
+        );
+    }
+}

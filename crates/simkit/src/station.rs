@@ -1,0 +1,392 @@
+//! A single-server service station with non-preemptive priority
+//! queueing.
+//!
+//! This models a disk (or any serially-served resource) the way the
+//! paper does: one operation in service at a time, demand operations
+//! queued ahead of prefetch operations ("prefetching a block will never
+//! be done if other operations are waiting to be done on the same
+//! disk"), and FIFO order within a priority class. Service is
+//! non-preemptive: a prefetch already on the platter finishes even if a
+//! demand request arrives meanwhile.
+//!
+//! The station is passive: `arrive` and `complete` tell the caller
+//! *when* the started job will finish, and the caller schedules that
+//! completion on its [`EventQueue`](crate::EventQueue).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::stats::TimeWeighted;
+use crate::time::{SimDuration, SimTime};
+
+/// Scheduling priority of a job. **Lower values are served first.**
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// Demand (application-issued) operations — served first.
+    pub const DEMAND: Priority = Priority(0);
+    /// Prefetch operations — served only when no demand work waits.
+    pub const PREFETCH: Priority = Priority(1);
+}
+
+/// A job the station has just started serving. The caller must arrange
+/// to call [`Station::complete`] at `completes_at`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StartedJob<T> {
+    /// Caller-supplied identifier for the job.
+    pub tag: T,
+    /// Absolute time at which service finishes.
+    pub completes_at: SimTime,
+}
+
+struct Waiting<T> {
+    tag: T,
+    service: SimDuration,
+    enqueued_at: SimTime,
+}
+
+/// Aggregate statistics kept by a [`Station`].
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct StationStats {
+    /// Jobs that have completed service.
+    pub completed: u64,
+    /// Total time the server has been busy.
+    pub busy: SimDuration,
+    /// Total time completed-or-started jobs spent waiting in queue.
+    pub waited: SimDuration,
+    /// Jobs cancelled while still waiting in queue.
+    pub cancelled: u64,
+}
+
+/// A single server with priority classes and FIFO order within each
+/// class.
+///
+/// ```
+/// use simkit::{Priority, SimDuration, SimTime, Station};
+///
+/// let mut disk: Station<&str> = Station::new();
+/// let job = disk
+///     .arrive(SimTime::ZERO, Priority::DEMAND, SimDuration::from_millis(10), "read")
+///     .expect("idle disk starts immediately");
+/// // A prefetch queued behind it waits...
+/// assert!(disk
+///     .arrive(SimTime::ZERO, Priority::PREFETCH, SimDuration::from_millis(10), "prefetch")
+///     .is_none());
+/// // ...and starts when the demand read completes.
+/// let next = disk.complete(job.completes_at).unwrap();
+/// assert_eq!(next.tag, "prefetch");
+/// ```
+pub struct Station<T> {
+    /// Completion time of the in-service job, if any. The tag itself is
+    /// not stored: the caller keeps it inside the completion event it
+    /// schedules, so storing it here would only force `T: Clone`.
+    current: Option<SimTime>,
+    /// Waiting jobs, keyed by priority (lower key = served first).
+    queues: BTreeMap<Priority, VecDeque<Waiting<T>>>,
+    queued_len: usize,
+    /// Time-weighted queue length (waiting jobs only).
+    queue_track: TimeWeighted,
+    stats: StationStats,
+}
+
+impl<T> Default for Station<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Station<T> {
+    /// Create an idle station.
+    pub fn new() -> Self {
+        Station {
+            current: None,
+            queues: BTreeMap::new(),
+            queued_len: 0,
+            queue_track: TimeWeighted::new(SimTime::ZERO, 0.0),
+            stats: StationStats::default(),
+        }
+    }
+
+    /// True if a job is currently in service.
+    pub fn is_busy(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Number of jobs waiting (not counting the one in service).
+    pub fn queue_len(&self) -> usize {
+        self.queued_len
+    }
+
+    /// Number of jobs waiting at exactly `prio`.
+    pub fn queue_len_at(&self, prio: Priority) -> usize {
+        self.queues.get(&prio).map_or(0, VecDeque::len)
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> StationStats {
+        self.stats
+    }
+
+    /// Submit a job at time `now` needing `service` time.
+    ///
+    /// If the server is idle the job starts immediately and its
+    /// completion descriptor is returned — the caller must schedule a
+    /// completion event and eventually call [`complete`](Self::complete).
+    /// Otherwise the job waits.
+    pub fn arrive(
+        &mut self,
+        now: SimTime,
+        prio: Priority,
+        service: SimDuration,
+        tag: T,
+    ) -> Option<StartedJob<T>> {
+        if self.current.is_none() {
+            let completes_at = now + service;
+            self.stats.busy += service;
+            self.current = Some(completes_at);
+            Some(StartedJob { tag, completes_at })
+        } else {
+            self.queues.entry(prio).or_default().push_back(Waiting {
+                tag,
+                service,
+                enqueued_at: now,
+            });
+            self.queued_len += 1;
+            self.queue_track.set(now, self.queued_len as f64);
+            None
+        }
+    }
+
+    /// Report that the in-service job finished at `now` (which must be
+    /// the completion time previously returned). Returns the next job
+    /// to start, if any, which the caller must again schedule.
+    ///
+    /// # Panics
+    /// Panics if the station is idle — a completion without a job in
+    /// service means the driving loop lost track of the station state.
+    pub fn complete(&mut self, now: SimTime) -> Option<StartedJob<T>> {
+        let completes_at = self
+            .current
+            .take()
+            .expect("Station::complete called while idle");
+        debug_assert_eq!(completes_at, now, "completion at the wrong time");
+        self.stats.completed += 1;
+        self.start_next(now)
+    }
+
+    fn start_next(&mut self, now: SimTime) -> Option<StartedJob<T>> {
+        // BTreeMap iterates keys in ascending order: lowest value =
+        // highest priority first.
+        let prio = *self
+            .queues
+            .iter()
+            .find(|(_, q)| !q.is_empty())
+            .map(|(p, _)| p)?;
+        let job = self.queues.get_mut(&prio).unwrap().pop_front().unwrap();
+        self.queued_len -= 1;
+        self.queue_track.set(now, self.queued_len as f64);
+        self.stats.waited += now.saturating_since(job.enqueued_at);
+        let completes_at = now + job.service;
+        self.stats.busy += job.service;
+        self.current = Some(completes_at);
+        Some(StartedJob {
+            tag: job.tag,
+            completes_at,
+        })
+    }
+
+    /// Remove all *waiting* jobs for which `pred` returns true at time
+    /// `now` and return their tags in queue order (highest priority
+    /// first). The in-service job is never cancelled (service is
+    /// non-preemptive).
+    pub fn cancel_where(&mut self, now: SimTime, mut pred: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut out = Vec::new();
+        for q in self.queues.values_mut() {
+            let mut kept = VecDeque::with_capacity(q.len());
+            for w in q.drain(..) {
+                if pred(&w.tag) {
+                    out.push(w.tag);
+                } else {
+                    kept.push_back(w);
+                }
+            }
+            *q = kept;
+        }
+        self.queued_len -= out.len();
+        self.stats.cancelled += out.len() as u64;
+        self.queue_track.set(now, self.queued_len as f64);
+        out
+    }
+
+    /// Move all waiting jobs matching `pred` to priority `to`,
+    /// preserving their relative order and appending them behind jobs
+    /// already waiting at `to`. Returns how many jobs moved.
+    ///
+    /// This models a demand read arriving for a block that is already
+    /// queued for prefetch: the pending disk operation is re-queued at
+    /// demand priority instead of being issued twice.
+    pub fn promote_where(&mut self, to: Priority, mut pred: impl FnMut(&T) -> bool) -> usize {
+        let mut moved = Vec::new();
+        for (&p, q) in self.queues.iter_mut() {
+            if p == to {
+                continue;
+            }
+            let mut kept = VecDeque::with_capacity(q.len());
+            for w in q.drain(..) {
+                if pred(&w.tag) {
+                    moved.push(w);
+                } else {
+                    kept.push_back(w);
+                }
+            }
+            *q = kept;
+        }
+        let n = moved.len();
+        let dst = self.queues.entry(to).or_default();
+        for w in moved {
+            dst.push_back(w);
+        }
+        n
+    }
+
+    /// Time-weighted mean queue length over `[0, now]` (waiting jobs
+    /// only, not the one in service).
+    pub fn mean_queue_len(&self, now: SimTime) -> f64 {
+        self.queue_track.mean(now)
+    }
+
+    /// Server utilization over `[0, now]`: fraction of time busy.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if now == SimTime::ZERO {
+            return 0.0;
+        }
+        // `busy` counts service already *credited* (including the
+        // remainder of an in-service job), so clamp at 1.
+        (self.stats.busy.as_nanos() as f64 / now.as_nanos() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1_000)
+    }
+    fn d(us: u64) -> SimDuration {
+        SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn idle_station_starts_job_immediately() {
+        let mut s: Station<&str> = Station::new();
+        let started = s.arrive(t(0), Priority::DEMAND, d(10), "a").unwrap();
+        assert_eq!(started.completes_at, t(10));
+        assert!(s.is_busy());
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn busy_station_queues_and_serves_fifo() {
+        let mut s: Station<u32> = Station::new();
+        s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
+        assert!(s.arrive(t(1), Priority::DEMAND, d(5), 1).is_none());
+        assert!(s.arrive(t(2), Priority::DEMAND, d(5), 2).is_none());
+        let n1 = s.complete(t(10)).unwrap();
+        assert_eq!((n1.tag, n1.completes_at), (1, t(15)));
+        let n2 = s.complete(t(15)).unwrap();
+        assert_eq!((n2.tag, n2.completes_at), (2, t(20)));
+        assert!(s.complete(t(20)).is_none());
+        assert_eq!(s.stats().completed, 3);
+    }
+
+    #[test]
+    fn demand_overtakes_prefetch() {
+        let mut s: Station<&str> = Station::new();
+        s.arrive(t(0), Priority::DEMAND, d(10), "busy").unwrap();
+        s.arrive(t(1), Priority::PREFETCH, d(5), "pf");
+        s.arrive(t(2), Priority::DEMAND, d(5), "demand");
+        let next = s.complete(t(10)).unwrap();
+        assert_eq!(next.tag, "demand");
+        let after = s.complete(t(15)).unwrap();
+        assert_eq!(after.tag, "pf");
+    }
+
+    #[test]
+    fn service_is_non_preemptive() {
+        let mut s: Station<&str> = Station::new();
+        s.arrive(t(0), Priority::PREFETCH, d(10), "pf").unwrap();
+        // Demand arrival does not interrupt the prefetch in service.
+        s.arrive(t(1), Priority::DEMAND, d(2), "demand");
+        assert!(s.is_busy());
+        let next = s.complete(t(10)).unwrap();
+        assert_eq!(next.tag, "demand");
+    }
+
+    #[test]
+    fn cancel_where_removes_only_waiting_jobs() {
+        let mut s: Station<u32> = Station::new();
+        s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
+        s.arrive(t(1), Priority::PREFETCH, d(5), 1);
+        s.arrive(t(2), Priority::PREFETCH, d(5), 2);
+        s.arrive(t(3), Priority::PREFETCH, d(5), 3);
+        let cancelled = s.cancel_where(t(4), |&tag| tag == 2);
+        assert_eq!(cancelled, vec![2]);
+        assert_eq!(s.queue_len(), 2);
+        assert_eq!(s.stats().cancelled, 1);
+        // The in-service job (tag 0) is untouched.
+        let next = s.complete(t(10)).unwrap();
+        assert_eq!(next.tag, 1);
+    }
+
+    #[test]
+    fn promote_moves_prefetch_to_demand_class() {
+        let mut s: Station<u32> = Station::new();
+        s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
+        s.arrive(t(1), Priority::PREFETCH, d(5), 10);
+        s.arrive(t(2), Priority::PREFETCH, d(5), 11);
+        s.arrive(t(3), Priority::DEMAND, d(5), 20);
+        assert_eq!(s.promote_where(Priority::DEMAND, |&tag| tag == 11), 1);
+        // Order now: 20 (was demand), 11 (promoted behind existing), 10.
+        assert_eq!(s.complete(t(10)).unwrap().tag, 20);
+        assert_eq!(s.complete(t(15)).unwrap().tag, 11);
+        assert_eq!(s.complete(t(20)).unwrap().tag, 10);
+    }
+
+    #[test]
+    fn wait_time_accounting() {
+        let mut s: Station<u32> = Station::new();
+        s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
+        s.arrive(t(4), Priority::DEMAND, d(1), 1);
+        s.complete(t(10));
+        // Job 1 waited from t=4 to t=10.
+        assert_eq!(s.stats().waited, d(6));
+    }
+
+    #[test]
+    fn utilization_tracks_busy_fraction() {
+        let mut s: Station<u32> = Station::new();
+        s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
+        s.complete(t(10));
+        assert!((s.utilization(t(20)) - 0.5).abs() < 1e-12);
+        assert_eq!(s.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn mean_queue_length_is_time_weighted() {
+        let mut s: Station<u32> = Station::new();
+        s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
+        // One job waits from t=0 to t=10, then none until t=20.
+        s.arrive(t(0), Priority::DEMAND, d(10), 1);
+        s.complete(t(10));
+        s.complete(t(20));
+        assert!((s.mean_queue_len(t(20)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "while idle")]
+    fn completing_idle_station_panics() {
+        let mut s: Station<u32> = Station::new();
+        s.complete(t(0));
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use simkit::{EventQueue, Priority, SimDuration, SimTime, Station};
+
+proptest! {
+    /// Events always come out in nondecreasing time order, and events
+    /// scheduled for the same instant keep their scheduling order.
+    #[test]
+    fn event_queue_is_ordered_and_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_nanos(t), (t, i));
+        }
+        let mut last_time = 0u64;
+        let mut last_seq_at_time = std::collections::HashMap::new();
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at.as_nanos(), t);
+            prop_assert!(t >= last_time);
+            last_time = t;
+            if let Some(&prev) = last_seq_at_time.get(&t) {
+                prop_assert!(i > prev, "FIFO violated at t={}", t);
+            }
+            last_seq_at_time.insert(t, i);
+        }
+    }
+
+    /// The station conserves jobs: every arrival is eventually either
+    /// completed or cancelled, never duplicated or lost.
+    #[test]
+    fn station_conserves_jobs(jobs in prop::collection::vec((0u8..2, 1u64..100), 1..100)) {
+        let mut station: Station<usize> = Station::new();
+        let mut queue: EventQueue<usize> = EventQueue::new();
+        let mut started = std::collections::HashSet::new();
+        let mut completed = std::collections::HashSet::new();
+
+        // Jobs arrive 1ns apart; completions are processed in order.
+        let mut t = SimTime::ZERO;
+        for (id, &(prio, service)) in jobs.iter().enumerate() {
+            // Drain completions that precede this arrival.
+            while queue.peek_time().is_some_and(|ct| ct <= t) {
+                let (ct, done_id) = queue.pop().unwrap();
+                prop_assert!(completed.insert(done_id));
+                if let Some(next) = station.complete(ct) {
+                    prop_assert!(started.insert(next.tag));
+                    queue.schedule(next.completes_at, next.tag);
+                }
+            }
+            if let Some(sj) = station.arrive(
+                t,
+                Priority(prio),
+                SimDuration::from_nanos(service),
+                id,
+            ) {
+                prop_assert!(started.insert(sj.tag));
+                queue.schedule(sj.completes_at, sj.tag);
+            }
+            t += SimDuration::from_nanos(1);
+        }
+        // Drain everything.
+        while let Some((ct, done_id)) = queue.pop() {
+            prop_assert!(completed.insert(done_id));
+            if let Some(next) = station.complete(ct) {
+                prop_assert!(started.insert(next.tag));
+                queue.schedule(next.completes_at, next.tag);
+            }
+        }
+        prop_assert_eq!(completed.len(), jobs.len());
+        prop_assert!(!station.is_busy());
+        prop_assert_eq!(station.queue_len(), 0);
+        prop_assert_eq!(station.stats().completed, jobs.len() as u64);
+    }
+
+    /// Within one priority class the station is strictly FIFO.
+    #[test]
+    fn station_fifo_within_class(n in 2usize..50) {
+        let mut station: Station<usize> = Station::new();
+        let first = station
+            .arrive(SimTime::ZERO, Priority::DEMAND, SimDuration::from_nanos(10), usize::MAX)
+            .unwrap();
+        for id in 0..n {
+            let r = station.arrive(
+                SimTime::from_nanos(1 + id as u64),
+                Priority::DEMAND,
+                SimDuration::from_nanos(5),
+                id,
+            );
+            prop_assert!(r.is_none());
+        }
+        let mut t = first.completes_at;
+        for expect in 0..n {
+            let next = station.complete(t).unwrap();
+            prop_assert_eq!(next.tag, expect);
+            t = next.completes_at;
+        }
+    }
+}
+
+proptest! {
+    /// Series::merge is equivalent to sequential recording regardless
+    /// of the split point.
+    #[test]
+    fn series_merge_is_split_invariant(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..100),
+        split_frac in 0.0f64..1.0,
+    ) {
+        use simkit::stats::Series;
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let mut whole = Series::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut left = Series::new();
+        let mut right = Series::new();
+        for &x in &xs[..split] {
+            left.record(x);
+        }
+        for &x in &xs[split..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-3);
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+    }
+
+    /// A time-weighted average always lies between the min and max of
+    /// the recorded values.
+    #[test]
+    fn time_weighted_mean_is_bounded(
+        changes in prop::collection::vec((1u64..1000, -100.0f64..100.0), 1..50),
+    ) {
+        use simkit::stats::TimeWeighted;
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut t = 0u64;
+        let mut lo = 0.0f64;
+        let mut hi = 0.0f64;
+        for &(dt, v) in &changes {
+            t += dt;
+            tw.set(SimTime::from_nanos(t), v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let mean = tw.mean(SimTime::from_nanos(t + 10));
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "mean {mean} not in [{lo}, {hi}]");
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by the bucket
+    /// grid.
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        us in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        use simkit::stats::LatencyHistogram;
+        let mut h = LatencyHistogram::new();
+        for &u in &us {
+            h.record(SimDuration::from_micros(u));
+        }
+        let mut prev = SimDuration::ZERO;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) regressed");
+            prev = v;
+        }
+        prop_assert_eq!(h.count(), us.len() as u64);
+    }
+}

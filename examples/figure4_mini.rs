@@ -1,0 +1,51 @@
+//! Regenerate a miniature of the paper's Figure 4 (average read time
+//! vs cache size, CHARISMA on PAFS) at laptop scale.
+//!
+//! ```text
+//! cargo run --release --example figure4_mini
+//! ```
+//!
+//! For the paper-scale version of every figure and table, use the
+//! harness binary: `cargo run --release -p bench --bin experiments -- all`.
+
+use lap::prelude::*;
+
+fn main() {
+    let params = CharismaParams::small();
+    let workload = params.generate(42);
+    let cache_mbs = [1u64, 2, 4, 8, 16];
+
+    let algorithms = [
+        PrefetchConfig::np(),
+        PrefetchConfig::oba(),
+        PrefetchConfig::ln_agr_oba(),
+        PrefetchConfig::is_ppm(1),
+        PrefetchConfig::ln_agr_is_ppm(1),
+        PrefetchConfig::is_ppm(3),
+        PrefetchConfig::ln_agr_is_ppm(3),
+    ];
+
+    println!("Figure 4 (miniature) — average read time in ms, CHARISMA on PAFS");
+    print!("{:<18}", "algorithm");
+    for mb in cache_mbs {
+        print!(" {mb:>7}MB");
+    }
+    println!();
+
+    for pf in algorithms {
+        print!("{:<18}", pf.paper_name());
+        for mb in cache_mbs {
+            let mut cfg = SimConfig::pm(CacheSystem::Pafs, pf, mb);
+            cfg.machine.nodes = params.nodes;
+            cfg.machine.disks = 4;
+            let report = run_simulation(cfg, workload.clone());
+            print!(" {:>9.3}", report.avg_read_ms);
+        }
+        println!();
+    }
+
+    println!();
+    println!("Expected shape (paper, Figure 4): NP and OBA form the slowest group,");
+    println!("IS_PPM:1/IS_PPM:3 a faster middle group, and the linear aggressive");
+    println!("algorithms the fastest group.");
+}

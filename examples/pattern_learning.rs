@@ -1,0 +1,79 @@
+//! Watch the IS_PPM predictor learn the paper's Figure 1 access
+//! pattern, then drive an aggressive walk along it — the worked example
+//! of §2.2, runnable.
+//!
+//! ```text
+//! cargo run --release --example pattern_learning
+//! ```
+
+use lap::prefetch::{FilePrefetcher, IsPpm, PrefetchConfig, Request};
+
+fn main() {
+    // Figure 1's pattern (0-indexed blocks): a 2-block request, then a
+    // 3-block request 3 blocks further, then a 2-block request 5 blocks
+    // further, repeating.
+    let requests = [
+        Request::new(0, 2),
+        Request::new(3, 3),
+        Request::new(8, 2),
+        Request::new(11, 3),
+        Request::new(16, 2),
+    ];
+
+    println!("== Graph construction (Figure 2) ==");
+    let mut ppm = IsPpm::new(1);
+    for (t, req) in requests.iter().enumerate() {
+        ppm.observe(*req);
+        println!(
+            "t{}: observe {:?}  ->  {} nodes, {} edges",
+            t + 1,
+            req,
+            ppm.node_count(),
+            ppm.edge_count()
+        );
+    }
+
+    // "If we use the graph shown in Figure 2.t4, we could predict the
+    // fifth request very easily."
+    let prediction = ppm.predict_after(Request::new(11, 3), 1_000).unwrap();
+    println!();
+    println!("prediction after the 4th request: {prediction:?} (paper: blocks 17-18, 1-indexed)");
+
+    println!();
+    println!("== Aggressive walk (Ln_Agr_IS_PPM:1) ==");
+    // A 40-block file: the walk follows the learned pattern until the
+    // next predicted request would cross end-of-file.
+    let mut engine = FilePrefetcher::new(PrefetchConfig::ln_agr_is_ppm(1), 40);
+    for req in requests {
+        engine.on_demand(req);
+    }
+    let mut prefetched = Vec::new();
+    while let Some(block) = engine.next_block(|_| false) {
+        prefetched.push(block);
+        engine.on_prefetch_complete(); // linear: one block at a time
+    }
+    println!("blocks prefetched, in order: {prefetched:?}");
+    println!(
+        "walk stopped at end-of-file after {} blocks ({} restarts, {} fallback blocks)",
+        engine.stats().issued,
+        engine.stats().restarts,
+        engine.stats().issued_by_fallback,
+    );
+
+    println!();
+    println!("== Order-3 predictor (Figure 3) ==");
+    let mut ppm3 = IsPpm::new(3);
+    let mut extended: Vec<Request> = requests.to_vec();
+    extended.push(Request::new(19, 3));
+    extended.push(Request::new(24, 2));
+    for req in &extended {
+        ppm3.observe(*req);
+    }
+    println!(
+        "order-3 graph: {} nodes, {} edges (the two alternating contexts of Figure 3)",
+        ppm3.node_count(),
+        ppm3.edge_count()
+    );
+    let p3 = ppm3.predict_after(Request::new(24, 2), 1_000).unwrap();
+    println!("order-3 prediction after (24,2): {p3:?}");
+}

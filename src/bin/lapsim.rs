@@ -1,0 +1,163 @@
+//! `lapsim` — run one file-system simulation from the command line.
+//!
+//! ```text
+//! # Generate-and-run:
+//! lapsim --workload charisma --system pafs --algo ln_agr_is_ppm:1 --cache-mb 4
+//!
+//! # Run a trace file produced by lapgen (or by hand):
+//! lapsim --trace charisma.trace --machine pm --system xfs --algo np --cache-mb 2
+//! ```
+
+use std::fs;
+use std::process::exit;
+
+use lap::prelude::*;
+
+struct Args {
+    trace: Option<String>,
+    workload: Option<String>,
+    machine: String,
+    system: CacheSystem,
+    algo: String,
+    cache_mb: u64,
+    seed: u64,
+    scale: String,
+    warmup_secs: u64,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: lapsim [--trace FILE | --workload charisma|sprite]");
+    eprintln!("              [--machine pm|now] [--system pafs|xfs|local]");
+    eprintln!("              [--algo NAME] [--cache-mb N] [--seed N]");
+    eprintln!("              [--scale small|paper] [--warmup SECS] [-v]");
+    eprintln!();
+    eprintln!("algorithms: np, oba, ln_agr_oba, is_ppm:J, ln_agr_is_ppm:J,");
+    eprintln!("            is_ppm_backoff:J, ln_agr_is_ppm_backoff:J");
+    exit(2);
+}
+
+fn parse_algo(name: &str) -> Option<PrefetchConfig> {
+    let (base, order) = match name.split_once(':') {
+        Some((b, o)) => (b, o.parse::<usize>().ok()?),
+        None => (name, 1),
+    };
+    Some(match base {
+        "np" => PrefetchConfig::np(),
+        "oba" => PrefetchConfig::oba(),
+        "ln_agr_oba" => PrefetchConfig::ln_agr_oba(),
+        "is_ppm" => PrefetchConfig::is_ppm(order),
+        "ln_agr_is_ppm" => PrefetchConfig::ln_agr_is_ppm(order),
+        "is_ppm_backoff" => PrefetchConfig::is_ppm_backoff(order),
+        "ln_agr_is_ppm_backoff" => PrefetchConfig::ln_agr_is_ppm_backoff(order),
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        trace: None,
+        workload: None,
+        machine: "pm".into(),
+        system: CacheSystem::Pafs,
+        algo: "ln_agr_is_ppm:1".into(),
+        cache_mb: 4,
+        seed: 42,
+        scale: "small".into(),
+        warmup_secs: 0,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => out.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--workload" => out.workload = Some(args.next().unwrap_or_else(|| usage())),
+            "--machine" => out.machine = args.next().unwrap_or_else(|| usage()),
+            "--system" => {
+                out.system = match args.next().as_deref() {
+                    Some("pafs") => CacheSystem::Pafs,
+                    Some("xfs") => CacheSystem::Xfs,
+                    Some("local") => CacheSystem::LocalOnly,
+                    _ => usage(),
+                }
+            }
+            "--algo" => out.algo = args.next().unwrap_or_else(|| usage()),
+            "--cache-mb" => {
+                out.cache_mb = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                out.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => out.scale = args.next().unwrap_or_else(|| usage()),
+            "--warmup" => {
+                out.warmup_secs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "-v" | "--verbose" => out.verbose = true,
+            "-h" | "--help" => usage(),
+            _ => usage(),
+        }
+    }
+    if out.trace.is_none() && out.workload.is_none() {
+        usage();
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+
+    let workload = if let Some(path) = &args.trace {
+        let text = fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+        Workload::from_text(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(1);
+        })
+    } else {
+        match lap::ioworkload::generate_named(
+            args.workload.as_deref().unwrap(),
+            &args.scale,
+            args.seed,
+        ) {
+            Some(wl) => wl,
+            None => usage(),
+        }
+    };
+
+    let Some(prefetch) = parse_algo(&args.algo) else {
+        eprintln!("unknown algorithm {:?}", args.algo);
+        usage();
+    };
+
+    let mut config = match args.machine.as_str() {
+        "pm" => SimConfig::pm(args.system, prefetch, args.cache_mb),
+        "now" => SimConfig::now(args.system, prefetch, args.cache_mb),
+        _ => usage(),
+    };
+    // Shrink the machine to the workload if the trace needs fewer nodes.
+    if workload.nodes < config.machine.nodes {
+        config.machine.nodes = workload.nodes;
+        config.machine.disks = config.machine.disks.min(workload.nodes.max(2));
+    }
+    config.warmup = SimDuration::from_secs(args.warmup_secs);
+
+    let t0 = std::time::Instant::now();
+    let report = run_simulation(config, workload);
+    if args.verbose {
+        print!("{}", report.render_detailed());
+        println!("  wall time           {:.2} s", t0.elapsed().as_secs_f64());
+    } else {
+        println!("{}", report.summary());
+    }
+}

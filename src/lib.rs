@@ -1,0 +1,69 @@
+//! # Linear Aggressive Prefetching for Cooperative Caches
+//!
+//! A from-scratch Rust reproduction of
+//!
+//! > T. Cortes, J. Labarta. *Linear Aggressive Prefetching: A Way to
+//! > Increase the Performance of Cooperative Caches.* IPPS 1999.
+//!
+//! The crate re-exports the whole stack under one roof:
+//!
+//! * [`prefetch`] — the paper's contribution: the OBA and IS_PPM:`j`
+//!   predictors, the aggressive driver, and the *linear* (one block per
+//!   file in flight) aggressiveness limiter.
+//! * [`coopcache`] — the two cooperative-cache substrates the paper
+//!   evaluates on: PAFS (centralized) and xFS (serverless, N-chance).
+//! * [`ioworkload`] — the trace model and the synthetic CHARISMA-like
+//!   (parallel machine) and Sprite-like (NOW) workload generators.
+//! * [`simkit`] — the deterministic discrete-event engine underneath.
+//! * [`lap_core`] — machine models (Table 1), the full file-system
+//!   simulation, and the metrics behind every figure and table.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lap::prelude::*;
+//!
+//! // A small CHARISMA-like workload on an 8-node parallel machine.
+//! let mut params = CharismaParams::small();
+//! let workload = params.generate(42);
+//!
+//! // Simulate PAFS with Ln_Agr_IS_PPM:1 and 1 MB of cache per node.
+//! let mut config = SimConfig::pm(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 1);
+//! config.machine.nodes = params.nodes;
+//! config.machine.disks = 4;
+//! let with_prefetch = run_simulation(config.clone(), workload.clone());
+//!
+//! // ... and the no-prefetching baseline.
+//! let mut np = config;
+//! np.prefetch = PrefetchConfig::np();
+//! let baseline = run_simulation(np, workload);
+//!
+//! assert!(with_prefetch.avg_read_ms < baseline.avg_read_ms);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and the `bench` crate for the
+//! harness that regenerates every figure and table of the paper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use coopcache;
+pub use ioworkload;
+pub use lap_core;
+pub use prefetch;
+pub use simkit;
+
+/// Everything needed to run simulations, in one import.
+pub mod prelude {
+    pub use coopcache::{
+        CacheStats, CooperativeCache, LocalOnlyCache, PafsCache, Replacement, XfsCache,
+    };
+    pub use ioworkload::charisma::CharismaParams;
+    pub use ioworkload::sprite::SpriteParams;
+    pub use ioworkload::{BlockId, FileId, NodeId, Op, ProcId, Workload};
+    pub use lap_core::{run_simulation, CacheSystem, MachineConfig, SimConfig, SimReport};
+    pub use prefetch::{
+        AggressiveLimit, AlgorithmKind, FilePrefetcher, IsPpm, Oba, PrefetchConfig, Request,
+    };
+    pub use simkit::{SimDuration, SimTime};
+}

@@ -1,0 +1,134 @@
+//! Integration tests for the `lapgen` and `lapsim` command-line tools.
+
+use std::process::Command;
+
+fn lapgen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lapgen"))
+}
+
+fn lapsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lapsim"))
+}
+
+#[test]
+fn lapgen_stats_mode_prints_summary() {
+    let out = lapgen()
+        .args(["charisma", "--stats", "--seed", "5"])
+        .output()
+        .expect("run lapgen");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("reads"), "stderr: {err}");
+    assert!(out.stdout.is_empty(), "stats mode writes no trace");
+}
+
+#[test]
+fn lapgen_trace_round_trips_through_lapsim() {
+    let dir = std::env::temp_dir().join(format!("lap-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.trace");
+
+    let out = lapgen()
+        .args(["sprite", "--seed", "3", "-o"])
+        .arg(&trace)
+        .output()
+        .expect("run lapgen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace.exists());
+
+    let out = lapsim()
+        .args(["--trace"])
+        .arg(&trace)
+        .args([
+            "--machine",
+            "now",
+            "--system",
+            "pafs",
+            "--algo",
+            "ln_agr_is_ppm:1",
+            "--cache-mb",
+            "2",
+        ])
+        .output()
+        .expect("run lapsim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PAFS/Ln_Agr_IS_PPM:1"), "stdout: {stdout}");
+    assert!(stdout.contains("read"), "stdout: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lapsim_generates_and_runs_inline() {
+    let out = lapsim()
+        .args([
+            "--workload",
+            "charisma",
+            "--system",
+            "xfs",
+            "--algo",
+            "np",
+            "--cache-mb",
+            "1",
+            "-v",
+        ])
+        .output()
+        .expect("run lapsim");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("xFS/NP"));
+    assert!(stdout.contains("hit ratio"));
+    assert!(stdout.contains("simulated time"));
+}
+
+#[test]
+fn lapsim_rejects_unknown_algorithm() {
+    let out = lapsim()
+        .args(["--workload", "sprite", "--algo", "wizardry"])
+        .output()
+        .expect("run lapsim");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown algorithm"), "stderr: {err}");
+}
+
+#[test]
+fn lapsim_supports_every_documented_algorithm() {
+    for algo in [
+        "np",
+        "oba",
+        "ln_agr_oba",
+        "is_ppm:1",
+        "ln_agr_is_ppm:3",
+        "is_ppm_backoff:2",
+        "ln_agr_is_ppm_backoff:2",
+    ] {
+        let out = lapsim()
+            .args([
+                "--workload",
+                "sprite",
+                "--system",
+                "local",
+                "--algo",
+                algo,
+                "--cache-mb",
+                "1",
+            ])
+            .output()
+            .expect("run lapsim");
+        assert!(
+            out.status.success(),
+            "algo {algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
