@@ -2,14 +2,12 @@
 //! MRU vs most-frequent edge selection, the linear limit vs window vs
 //! unlimited aggressiveness, the Markov order, and the lead cap.
 //!
-//! Criterion times each variant's full (small-scale) simulation; the
-//! printed report lines carry the quality metrics (read time, disk
-//! accesses, mispredict ratio) so a bench run doubles as the ablation
-//! table. The paper-scale ablation table comes from
-//! `experiments ablations`.
+//! Each variant's full (small-scale) simulation is timed; the printed
+//! report lines carry the quality metrics (read time, disk accesses,
+//! mispredict ratio) so a bench run doubles as the ablation table. The
+//! paper-scale ablation table comes from `experiments ablations`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use bench::timing::time_case;
 use bench::{build_config, build_workload, Scale, WorkloadKind};
 use lap_core::{run_simulation, CacheSystem};
 use prefetch::{AggressiveLimit, EdgeChoice, PrefetchConfig};
@@ -58,10 +56,8 @@ fn variants() -> Vec<(String, PrefetchConfig)> {
     ]
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     let wl = build_workload(WorkloadKind::CharismaPm, Scale::Small, 42);
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
     for (name, pf) in variants() {
         let cfg = build_config(
             WorkloadKind::CharismaPm,
@@ -77,12 +73,9 @@ fn bench_ablations(c: &mut Criterion) {
             report.disk_accesses(),
             report.mispredict_ratio * 100.0
         );
-        group.bench_function(&name, |b| {
-            b.iter(|| run_simulation(cfg.clone(), wl.clone()));
+        time_case(&format!("ablations/{name}"), 5, || {
+            run_simulation(cfg.clone(), wl.clone())
         });
+        println!();
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! One Criterion benchmark per table/figure of the paper.
+//! One timing benchmark per table/figure of the paper.
 //!
 //! Each benchmark runs the figure's full algorithm × cache-size grid at
 //! the scaled-down workload size, so `cargo bench` regenerates the
@@ -7,31 +7,23 @@
 //! benchmark here doubles as a regression guard on simulator
 //! throughput.
 //!
-//! After timing, every benchmark prints its figure table once, so a
+//! Before timing, every benchmark prints its figure table once, so a
 //! bench run also shows the regenerated rows.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use bench::timing::time_case;
 use bench::{experiment, render_table, run_grid, Scale, EXPERIMENTS};
 
 /// Cache sizes used at bench scale (subset of the paper's sweep).
 const BENCH_MBS: [u64; 3] = [1, 4, 16];
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.sample_size(10);
+fn main() {
     for exp in EXPERIMENTS {
         // Print the regenerated table once per figure.
         let cells = run_grid(exp, Scale::Small, 42, &BENCH_MBS, 4);
         println!("{}", render_table(exp, &cells, &BENCH_MBS));
-        group.bench_function(exp.id, |b| {
-            b.iter(|| run_grid(exp, Scale::Small, 42, &BENCH_MBS, 4));
-        });
+        time_case(exp.id, 5, || run_grid(exp, Scale::Small, 42, &BENCH_MBS, 4));
+        println!();
     }
-    group.finish();
     // Keep the lookup helper exercised.
     assert!(experiment("fig4").is_some());
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

@@ -1,8 +1,9 @@
 //! Micro-benchmarks of the core data structures: the IS_PPM graph,
 //! the prefetch engine, the cooperative caches and the event queue.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
+use bench::timing::time_case;
 use coopcache::{BlockId, CooperativeCache, FileId, InsertOrigin, NodeId, PafsCache, XfsCache};
 use prefetch::{FilePrefetcher, IsPpm, Oba, PrefetchConfig, Request};
 use simkit::{EventQueue, SimTime};
@@ -23,18 +24,15 @@ fn request_stream(n: usize) -> Vec<Request> {
     out
 }
 
-fn bench_isppm(c: &mut Criterion) {
+fn bench_isppm() {
     let reqs = request_stream(10_000);
-    let mut group = c.benchmark_group("isppm");
     for order in [1usize, 3] {
-        group.bench_function(format!("observe_order{order}"), |b| {
-            b.iter(|| {
-                let mut ppm = IsPpm::new(order);
-                for &r in &reqs {
-                    ppm.observe(black_box(r));
-                }
-                black_box(ppm.node_count())
-            });
+        time_case(&format!("isppm/observe_order{order}"), 20, || {
+            let mut ppm = IsPpm::new(order);
+            for &r in &reqs {
+                ppm.observe(black_box(r));
+            }
+            black_box(ppm.node_count())
         });
     }
     // Prediction on a trained graph.
@@ -43,103 +41,86 @@ fn bench_isppm(c: &mut Criterion) {
         ppm.observe(r);
     }
     let last = reqs.last().copied().unwrap();
-    group.bench_function("predict_trained", |b| {
-        b.iter(|| black_box(ppm.predict_after(black_box(last), 1 << 30)));
-    });
-    group.finish();
-}
-
-fn bench_oba(c: &mut Criterion) {
-    c.bench_function("oba_predict", |b| {
-        let mut oba = Oba::new();
-        oba.observe(Request::new(10, 4));
-        b.iter(|| black_box(oba.predict(1 << 30)));
+    time_case("isppm/predict_trained", 10_000, || {
+        black_box(ppm.predict_after(black_box(last), 1 << 30))
     });
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    group.bench_function("ln_agr_isppm_stream", |b| {
-        b.iter(|| {
-            let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_is_ppm(1), 100_000);
-            let mut off = 0;
-            for _ in 0..1_000 {
-                pf.on_demand(Request::new(off, 4));
-                off += 8;
-                while let Some(blk) = pf.next_block(|_| false) {
-                    black_box(blk);
-                    pf.on_prefetch_complete();
-                }
-            }
-            black_box(pf.stats().issued)
-        });
-    });
-    group.finish();
+fn bench_oba() {
+    let mut oba = Oba::new();
+    oba.observe(Request::new(10, 4));
+    time_case("oba_predict", 10_000, || black_box(oba.predict(1 << 30)));
 }
 
-fn bench_caches(c: &mut Criterion) {
-    let mut group = c.benchmark_group("caches");
-    group.bench_function("pafs_access_insert", |b| {
-        b.iter(|| {
-            let mut cache = PafsCache::new(16, 256);
-            for i in 0..10_000u64 {
-                let node = NodeId((i % 16) as u32);
-                let block = BlockId::new(FileId((i % 7) as u32), i % 2_000);
-                if matches!(
-                    cache.access(node, block, false).lookup,
-                    coopcache::Lookup::Miss
-                ) {
-                    cache.insert(node, block, InsertOrigin::Demand, false);
-                }
+fn bench_engine() {
+    time_case("engine/ln_agr_isppm_stream", 20, || {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_is_ppm(1), 100_000);
+        let mut off = 0;
+        for _ in 0..1_000 {
+            pf.on_demand(Request::new(off, 4));
+            off += 8;
+            while let Some(blk) = pf.next_block(|_| false) {
+                black_box(blk);
+                pf.on_prefetch_complete();
             }
-            black_box(cache.resident_blocks())
-        });
-    });
-    group.bench_function("xfs_access_insert", |b| {
-        b.iter(|| {
-            let mut cache = XfsCache::new(16, 256);
-            for i in 0..10_000u64 {
-                let node = NodeId((i % 16) as u32);
-                let block = BlockId::new(FileId((i % 7) as u32), i % 2_000);
-                if matches!(
-                    cache.access(node, block, false).lookup,
-                    coopcache::Lookup::Miss
-                ) {
-                    cache.insert(node, block, InsertOrigin::Demand, false);
-                }
-            }
-            black_box(cache.resident_blocks())
-        });
-    });
-    group.finish();
-}
-
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_100k", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            for i in 0..100_000u64 {
-                // Scatter times deterministically.
-                q.schedule(
-                    SimTime::from_nanos(i.wrapping_mul(2654435761) % (1 << 30)),
-                    i,
-                );
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc = acc.wrapping_add(e);
-            }
-            black_box(acc)
-        });
+        }
+        black_box(pf.stats().issued)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_isppm,
-    bench_oba,
-    bench_engine,
-    bench_caches,
-    bench_event_queue
-);
-criterion_main!(benches);
+fn bench_caches() {
+    time_case("caches/pafs_access_insert", 20, || {
+        let mut cache = PafsCache::new(16, 256);
+        for i in 0..10_000u64 {
+            let node = NodeId((i % 16) as u32);
+            let block = BlockId::new(FileId((i % 7) as u32), i % 2_000);
+            if matches!(
+                cache.access(node, block, false).lookup,
+                coopcache::Lookup::Miss
+            ) {
+                cache.insert(node, block, InsertOrigin::Demand, false);
+            }
+        }
+        black_box(cache.resident_blocks())
+    });
+    time_case("caches/xfs_access_insert", 20, || {
+        let mut cache = XfsCache::new(16, 256);
+        for i in 0..10_000u64 {
+            let node = NodeId((i % 16) as u32);
+            let block = BlockId::new(FileId((i % 7) as u32), i % 2_000);
+            if matches!(
+                cache.access(node, block, false).lookup,
+                coopcache::Lookup::Miss
+            ) {
+                cache.insert(node, block, InsertOrigin::Demand, false);
+            }
+        }
+        black_box(cache.resident_blocks())
+    });
+}
+
+fn bench_event_queue() {
+    time_case("event_queue_100k", 10, || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..100_000u64 {
+            // Scatter times deterministically.
+            q.schedule(
+                SimTime::from_nanos(i.wrapping_mul(2654435761) % (1 << 30)),
+                i,
+            );
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        black_box(acc)
+    });
+}
+
+fn main() {
+    bench_isppm();
+    bench_oba();
+    bench_engine();
+    bench_caches();
+    bench_event_queue();
+}

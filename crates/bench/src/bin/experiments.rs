@@ -8,6 +8,7 @@
 //! experiments fallback-share         # §2.2's OBA-fallback percentages
 //! experiments mispredict             # §5.2's miss-prediction ratios
 //! experiments --out results          # also write CSVs
+//! experiments all --out results --obs  # plus per-cell unified metrics
 //! ```
 
 use std::fs;
@@ -26,6 +27,7 @@ struct Options {
     seed: u64,
     out: Option<PathBuf>,
     threads: usize,
+    obs: bool,
 }
 
 fn parse_args() -> Options {
@@ -35,6 +37,7 @@ fn parse_args() -> Options {
         seed: 42,
         out: None,
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        obs: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -67,6 +70,7 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 })
             }
+            "--obs" => opts.obs = true,
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -78,12 +82,16 @@ fn parse_args() -> Options {
         print_help();
         std::process::exit(2);
     }
+    if opts.obs && opts.out.is_none() {
+        eprintln!("--obs writes per-cell metrics CSVs and needs --out DIR");
+        std::process::exit(2);
+    }
     opts
 }
 
 fn print_help() {
     eprintln!(
-        "usage: experiments <ids...> [--scale small|paper] [--seed N] [--out DIR] [--threads N]"
+        "usage: experiments <ids...> [--scale small|paper] [--seed N] [--out DIR] [--threads N] [--obs]"
     );
     eprintln!(
         "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, or any of:"
@@ -144,10 +152,28 @@ fn main() {
                     fs::write(&svg, bench::plot::render_svg(exp, &cells, &CACHE_MBS))
                         .expect("write SVG");
                     println!("wrote {}", svg.display());
+                    if opts.obs {
+                        let path = dir.join(format!("{id}.metrics.csv"));
+                        fs::write(&path, obs_csv(&cells)).expect("write metrics CSV");
+                        println!("wrote {}", path.display());
+                    }
                 }
             }
         }
     }
+}
+
+/// Flatten every cell's unified metrics registry into one long-format
+/// CSV (`algorithm,cache_mb,metric,value`).
+fn obs_csv(cells: &[bench::Cell]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("algorithm,cache_mb,metric,value\n");
+    for c in cells {
+        for line in c.report.obs.to_csv().lines().skip(1) {
+            let _ = writeln!(out, "{},{},{line}", c.algorithm, c.cache_mb);
+        }
+    }
+    out
 }
 
 /// Table 1: the simulation parameters, verbatim.

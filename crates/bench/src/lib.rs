@@ -1,12 +1,11 @@
 //! Experiment harness shared by the `experiments` binary and the
-//! Criterion benchmarks: the figure/table definitions of the paper's
+//! timing benchmarks: the figure/table definitions of the paper's
 //! evaluation (§5) and a parallel sweep runner.
 
-use parking_lot::Mutex;
-
 pub mod plot;
+pub mod timing;
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use ioworkload::charisma::CharismaParams;
 use ioworkload::sprite::SpriteParams;
@@ -215,8 +214,8 @@ pub struct Cell {
 }
 
 /// Run a full figure grid (algorithms × cache sizes), fanning the
-/// independent simulations out over `threads` workers with crossbeam
-/// scoped threads.
+/// independent simulations out over `threads` workers with std scoped
+/// threads.
 pub fn run_grid(
     exp: Experiment,
     scale: Scale,
@@ -235,9 +234,9 @@ pub fn run_grid(
     let results: Mutex<Vec<Cell>> = Mutex::new(Vec::with_capacity(jobs.len()));
     let threads = threads.max(1).min(jobs.len().max(1));
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
@@ -245,17 +244,16 @@ pub fn run_grid(
                 let (pf, mb) = jobs[i];
                 let cfg = build_config(exp.workload, scale, exp.system, pf, mb);
                 let report = run_simulation_shared(cfg, Arc::clone(&workload));
-                results.lock().push(Cell {
+                results.lock().expect("sweep worker panicked").push(Cell {
                     algorithm: pf.paper_name(),
                     cache_mb: mb,
                     report,
                 });
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
-    let mut cells = results.into_inner();
+    let mut cells = results.into_inner().expect("sweep worker panicked");
     // Deterministic presentation order: algorithm roster order, then
     // cache size.
     let order: Vec<String> = algorithms(exp.aggressive_only)

@@ -1,0 +1,65 @@
+//! Minimal wall-clock timing harness for the `harness = false`
+//! benchmarks. The repo builds offline with no external dependencies,
+//! so instead of Criterion the benches time closures directly with
+//! [`std::time::Instant`] and print a one-line summary per case.
+
+use std::time::{Duration, Instant};
+
+/// Time `f` over `iters` iterations (after one untimed warm-up run)
+/// and print `name`, the per-iteration mean and the minimum. Returns
+/// the mean so callers can assert on it if they want.
+pub fn time_case<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Duration {
+    let iters = iters.max(1);
+    std::hint::black_box(f());
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let dt = start.elapsed();
+        total += dt;
+        min = min.min(dt);
+    }
+    let mean = total / iters;
+    println!(
+        "{name:<28} {:>12} mean  {:>12} min  ({iters} iters)",
+        format_duration(mean),
+        format_duration(min)
+    );
+    mean
+}
+
+/// Render a duration with a unit that keeps 3–4 significant digits.
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_case_runs_and_returns_mean() {
+        let mut calls = 0u32;
+        let mean = time_case("noop", 3, || calls += 1);
+        assert_eq!(calls, 4, "one warm-up plus three timed iterations");
+        assert!(mean < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn durations_format_with_sane_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_duration(Duration::from_micros(50)), "50.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(50)), "50.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(50)), "50.00 s");
+    }
+}

@@ -1,5 +1,7 @@
 //! Cache statistics.
 
+use lapobs::{Event, Nanos, Recorder};
+
 /// Counters kept by both cooperative caches.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -44,6 +46,67 @@ impl CacheStats {
             0.0
         } else {
             (self.local_hits + self.remote_hits) as f64 / a as f64
+        }
+    }
+
+    /// Register all counters (plus the derived ratios) under
+    /// `prefix.` in a metrics registry.
+    pub fn register_into(&self, reg: &mut lapobs::Registry, prefix: &str) {
+        reg.counter(format!("{prefix}.local_hits"), self.local_hits);
+        reg.counter(format!("{prefix}.remote_hits"), self.remote_hits);
+        reg.counter(format!("{prefix}.misses"), self.misses);
+        reg.counter(format!("{prefix}.demand_inserts"), self.demand_inserts);
+        reg.counter(format!("{prefix}.prefetch_inserts"), self.prefetch_inserts);
+        reg.counter(format!("{prefix}.prefetch_used"), self.prefetch_used);
+        reg.counter(format!("{prefix}.prefetch_wasted"), self.prefetch_wasted);
+        reg.counter(format!("{prefix}.evictions"), self.evictions);
+        reg.counter(format!("{prefix}.dirty_evictions"), self.dirty_evictions);
+        reg.counter(format!("{prefix}.forwards"), self.forwards);
+        reg.counter(format!("{prefix}.forward_drops"), self.forward_drops);
+        reg.counter(format!("{prefix}.invalidations"), self.invalidations);
+        reg.gauge(format!("{prefix}.hit_ratio"), self.hit_ratio());
+        reg.gauge(
+            format!("{prefix}.mispredict_ratio"),
+            self.mispredict_ratio(),
+        );
+    }
+
+    /// Emit events for the coordination traffic (forwards, forward
+    /// drops, invalidations) that happened between the `before`
+    /// snapshot and this one. The block-level outcomes (hits, misses,
+    /// inserts, evictions) are emitted directly by the caller, which
+    /// sees them per access; the coordination counters are only
+    /// observable through the stats, hence this delta hook.
+    pub fn emit_delta<R: Recorder>(&self, before: &CacheStats, t: Nanos, rec: &mut R) {
+        if !rec.enabled() {
+            return;
+        }
+        let forwards = self.forwards - before.forwards;
+        if forwards > 0 {
+            rec.record(
+                t,
+                Event::CacheForward {
+                    count: forwards as u32,
+                },
+            );
+        }
+        let drops = self.forward_drops - before.forward_drops;
+        if drops > 0 {
+            rec.record(
+                t,
+                Event::CacheForwardDrop {
+                    count: drops as u32,
+                },
+            );
+        }
+        let invalidations = self.invalidations - before.invalidations;
+        if invalidations > 0 {
+            rec.record(
+                t,
+                Event::CacheInvalidate {
+                    count: invalidations as u32,
+                },
+            );
         }
     }
 

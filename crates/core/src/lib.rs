@@ -55,3 +55,13 @@ pub fn run_simulation_shared(
 ) -> SimReport {
     Simulation::new_shared(config, workload).run()
 }
+
+/// Convenience: run a simulation with event tracing enabled, returning
+/// the report together with the captured trace (export it with
+/// [`lapobs::chrome::export`]).
+pub fn run_simulation_traced(
+    config: SimConfig,
+    workload: std::sync::Arc<ioworkload::Workload>,
+) -> (SimReport, lapobs::TraceRecorder) {
+    Simulation::with_recorder(config, workload, lapobs::TraceRecorder::new()).run_traced()
+}

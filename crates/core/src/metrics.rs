@@ -107,6 +107,22 @@ impl Metrics {
             self.disk_ops_warmup += 1;
         }
     }
+
+    /// Register the loop-level accumulators into the unified metrics
+    /// registry.
+    pub fn register_into(&self, reg: &mut lapobs::Registry) {
+        self.read_time.register_into(reg, "read.latency_ms");
+        self.read_hist.register_into(reg, "read.latency_us");
+        self.read_time_warmup
+            .register_into(reg, "read.warmup_latency_ms");
+        self.write_time.register_into(reg, "write.latency_ms");
+        reg.counter("disk.reads_demand", self.disk_reads_demand);
+        reg.counter("disk.reads_prefetch", self.disk_reads_prefetch);
+        reg.counter("disk.writes", self.disk_writes);
+        reg.counter("disk.warmup_ops", self.disk_ops_warmup);
+        reg.counter("prefetch.absorbed_in_flight", self.prefetch_absorbed);
+        reg.counter("demand.coalesced", self.demand_coalesced);
+    }
 }
 
 /// One bucket of the read-latency time series.
@@ -122,7 +138,11 @@ pub struct TimeBucket {
 
 /// Final report of one simulation run — everything the paper's figures
 /// and tables plot.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field, including the metrics registry —
+/// the A/B determinism test relies on a traced and an untraced run
+/// producing equal reports.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// `"PAFS/Ln_Agr_IS_PPM:1 @ 4MB"`-style label.
     pub label: String,
@@ -171,6 +191,10 @@ pub struct SimReport {
     /// Read latency per metrics interval over the *whole* run
     /// (including warm-up) — shows cache warm-up and steady state.
     pub read_time_series: Vec<TimeBucket>,
+    /// The unified metrics registry: every layer's counters under one
+    /// namespace (`read.*`, `disk.*`, `cache.*`, `prefetch.*`,
+    /// `disk<N>.*`), exportable as CSV or a human summary.
+    pub obs: lapobs::Registry,
 }
 
 impl SimReport {
@@ -313,6 +337,7 @@ mod tests {
             disk_utilization: 0.0,
             sim_seconds: 0.0,
             read_time_series: Vec::new(),
+            obs: lapobs::Registry::default(),
         };
         assert_eq!(r.disk_accesses(), 12);
         assert!(r.summary().contains("read"));

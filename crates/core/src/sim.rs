@@ -39,9 +39,11 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use coopcache::{
-    CooperativeCache, Evicted, InsertOrigin, LocalOnlyCache, Lookup, PafsCache, XfsCache,
+    CacheStats, CooperativeCache, Evicted, InsertOrigin, LocalOnlyCache, Lookup, PafsCache,
+    XfsCache,
 };
 use ioworkload::{BlockId, FileId, NodeId, Op, ProcId, Workload};
+use lapobs::{Event, NoopRecorder, Obs, Recorder, StationId, StationKind};
 use prefetch::{FilePrefetcher, PrefetchStats, Request};
 use simkit::{EventQueue, Priority, SimDuration, SimTime, Station};
 
@@ -125,7 +127,13 @@ struct ReqState {
 
 /// The simulator. Build with [`Simulation::new`], run with
 /// [`Simulation::run`] (or use [`crate::run_simulation`]).
-pub struct Simulation {
+///
+/// The recorder type parameter selects the observability backend: the
+/// default [`NoopRecorder`] compiles every emission site away (the
+/// untraced simulation pays nothing), while
+/// [`Simulation::with_recorder`] + [`run_traced`](Simulation::run_traced)
+/// capture the full event stream.
+pub struct Simulation<R: Recorder = NoopRecorder> {
     config: SimConfig,
     workload: Arc<Workload>,
     queue: EventQueue<Ev>,
@@ -138,6 +146,7 @@ pub struct Simulation {
     metrics: Metrics,
     file_blocks: Vec<u64>,
     active_procs: usize,
+    rec: R,
 }
 
 impl Simulation {
@@ -155,6 +164,17 @@ impl Simulation {
     /// run one workload under many configurations avoid a deep clone
     /// per run.
     pub fn new_shared(config: SimConfig, workload: Arc<Workload>) -> Self {
+        Self::with_recorder(config, workload, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> Simulation<R> {
+    /// Build a simulation that records events into `rec`. The recorder
+    /// comes back out of [`run_traced`](Self::run_traced).
+    ///
+    /// # Panics
+    /// Same contract as [`Simulation::new`].
+    pub fn with_recorder(config: SimConfig, workload: Arc<Workload>, rec: R) -> Self {
         workload.validate();
         assert!(
             workload.nodes <= config.machine.nodes,
@@ -218,11 +238,18 @@ impl Simulation {
             metrics,
             file_blocks,
             active_procs,
+            rec,
         }
     }
 
     /// Run to completion and produce the report.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_traced().0
+    }
+
+    /// Run to completion, returning the report together with the
+    /// recorder (and thus the captured event stream).
+    pub fn run_traced(mut self) -> (SimReport, R) {
         for p in 0..self.procs.len() {
             self.queue
                 .schedule(SimTime::ZERO, Ev::Resume(ProcId(p as u32)));
@@ -232,6 +259,14 @@ impl Simulation {
             self.queue.schedule(t, Ev::Sweep);
         }
         while let Some((now, ev)) = self.queue.pop() {
+            if self.rec.enabled() {
+                self.rec.record(
+                    now.as_nanos(),
+                    Event::SimQueueDepth {
+                        depth: self.queue.len() as u32,
+                    },
+                );
+            }
             match ev {
                 Ev::Resume(p) => self.step_proc(p, now),
                 Ev::DiskDone { disk, job } => self.disk_done(disk, job, now),
@@ -240,6 +275,33 @@ impl Simulation {
             }
         }
         self.finish()
+    }
+
+    /// The [`StationId`] of disk `disk` on the trace timeline.
+    fn disk_sid(disk: usize) -> StationId {
+        StationId {
+            kind: StationKind::Disk,
+            index: disk as u32,
+        }
+    }
+
+    /// Snapshot the cache counters when tracing — paired with
+    /// [`emit_cache_delta`](Self::emit_cache_delta) around cache
+    /// operations to surface coordination traffic (forwards,
+    /// invalidations) that is only visible through the stats.
+    fn snap_stats(&self) -> Option<CacheStats> {
+        if self.rec.enabled() {
+            Some(*self.cache.stats())
+        } else {
+            None
+        }
+    }
+
+    fn emit_cache_delta(&mut self, before: Option<CacheStats>, now: SimTime) {
+        if let Some(before) = before {
+            let after = *self.cache.stats();
+            after.emit_delta(&before, now.as_nanos(), &mut self.rec);
+        }
     }
 
     // ----- process replay ------------------------------------------------
@@ -282,12 +344,24 @@ impl Simulation {
         let req = Request::from_bytes(offset, len, bs).expect("validated non-empty");
         let node = self.procs[p.0 as usize].node;
 
+        let snap = self.snap_stats();
         let mut all_local = true;
         let mut missing: Vec<BlockId> = Vec::new();
         for b in req.blocks() {
             let block = BlockId::new(file, b);
             let outcome = self.cache.access(node, block, false);
-            self.handle_evictions(&outcome.evicted, now);
+            if self.rec.enabled() {
+                let ev = match outcome.lookup {
+                    Lookup::LocalHit => Event::CacheHitLocal { node: node.0 },
+                    Lookup::RemoteHit { holder } => Event::CacheHitRemote {
+                        node: node.0,
+                        holder: holder.0,
+                    },
+                    Lookup::Miss => Event::CacheMiss { node: node.0 },
+                };
+                self.rec.record(now.as_nanos(), ev);
+            }
+            self.handle_evictions(node, &outcome.evicted, now);
             match outcome.lookup {
                 Lookup::LocalHit => {}
                 Lookup::RemoteHit { .. } => all_local = false,
@@ -297,6 +371,7 @@ impl Simulation {
                 }
             }
         }
+        self.emit_cache_delta(snap, now);
 
         let rid = self.reqs.len();
         let mut remaining = 0;
@@ -309,6 +384,15 @@ impl Simulation {
                 if pf.prefetch && !pf.demanded {
                     pf.demanded = true;
                     self.metrics.prefetch_absorbed += 1;
+                    if self.rec.enabled() {
+                        self.rec.record(
+                            now.as_nanos(),
+                            Event::PrefetchAbsorbed {
+                                file: block.file.0,
+                                block: block.index,
+                            },
+                        );
+                    }
                     // The block is now demand-critical: jump the queue.
                     let disk = self.disk_of(block);
                     self.disks[disk].promote_where(PRIO_DEMAND, |j| *j == DiskJob::Fetch(key));
@@ -344,6 +428,16 @@ impl Simulation {
         if remaining == 0 {
             let cost = self.transfer_cost(bytes, all_local);
             self.metrics.record_read(now, cost);
+            if self.rec.enabled() {
+                self.rec.record(
+                    now.as_nanos(),
+                    Event::ReadDone {
+                        proc: p.0,
+                        node: node.0,
+                        latency: cost.as_nanos(),
+                    },
+                );
+            }
             self.queue.schedule(now + cost, Ev::Resume(p));
         } else {
             self.reqs.push(ReqState {
@@ -361,11 +455,12 @@ impl Simulation {
         let req = Request::from_bytes(offset, len, bs).expect("validated non-empty");
         let node = self.procs[p.0 as usize].node;
 
+        let snap = self.snap_stats();
         let mut all_local = true;
         for b in req.blocks() {
             let block = BlockId::new(file, b);
             let outcome = self.cache.access(node, block, true);
-            self.handle_evictions(&outcome.evicted, now);
+            self.handle_evictions(node, &outcome.evicted, now);
             match outcome.lookup {
                 Lookup::LocalHit => {}
                 Lookup::RemoteHit { .. } => all_local = false,
@@ -373,10 +468,20 @@ impl Simulation {
                     all_local = false;
                     // Write-allocate: the block materialises dirty.
                     let ev = self.cache.insert(node, block, InsertOrigin::Demand, true);
-                    self.handle_evictions(&ev, now);
+                    if self.rec.enabled() {
+                        self.rec.record(
+                            now.as_nanos(),
+                            Event::CacheInsert {
+                                node: node.0,
+                                prefetch: false,
+                            },
+                        );
+                    }
+                    self.handle_evictions(node, &ev, now);
                 }
             }
         }
+        self.emit_cache_delta(snap, now);
 
         // Writes allocate in place and never need the data fetched, so
         // they carry no residency signal for the walk.
@@ -384,6 +489,16 @@ impl Simulation {
 
         let cost = self.transfer_cost(req.size * bs, all_local);
         self.metrics.record_write(now, cost);
+        if self.rec.enabled() {
+            self.rec.record(
+                now.as_nanos(),
+                Event::WriteDone {
+                    proc: p.0,
+                    node: node.0,
+                    latency: cost.as_nanos(),
+                },
+            );
+        }
         self.queue.schedule(now + cost, Ev::Resume(p));
     }
 
@@ -392,8 +507,21 @@ impl Simulation {
         debug_assert_eq!(req.remaining, 0);
         // Classify by request *start* time so hit and miss reads use
         // the same clock for the warm-up boundary and the time series.
-        self.metrics.record_read(req.started, now - req.started);
-        self.queue.schedule(now, Ev::Resume(req.proc));
+        let latency = now - req.started;
+        self.metrics.record_read(req.started, latency);
+        if self.rec.enabled() {
+            let proc = req.proc;
+            let node = self.procs[proc.0 as usize].node;
+            self.rec.record(
+                now.as_nanos(),
+                Event::ReadDone {
+                    proc: proc.0,
+                    node: node.0,
+                    latency: latency.as_nanos(),
+                },
+            );
+        }
+        self.queue.schedule(now, Ev::Resume(self.reqs[rid].proc));
     }
 
     // ----- disks ---------------------------------------------------------
@@ -413,7 +541,14 @@ impl Simulation {
             PRIO_DEMAND
         };
         let service = self.config.machine.disk_read_service();
-        if let Some(started) = self.disks[disk].arrive(now, prio, service, DiskJob::Fetch(key)) {
+        if let Some(started) = self.disks[disk].arrive_obs(
+            now,
+            prio,
+            service,
+            DiskJob::Fetch(key),
+            Self::disk_sid(disk),
+            &mut self.rec,
+        ) {
             self.queue.schedule(
                 started.completes_at,
                 Ev::DiskDone {
@@ -426,11 +561,25 @@ impl Simulation {
 
     fn issue_disk_write(&mut self, block: BlockId, now: SimTime) {
         self.metrics.record_disk_write(now, block);
+        if self.rec.enabled() {
+            self.rec.record(
+                now.as_nanos(),
+                Event::WriteBack {
+                    file: block.file.0,
+                    block: block.index,
+                },
+            );
+        }
         let disk = self.disk_of(block);
         let service = self.config.machine.disk_write_service();
-        if let Some(started) =
-            self.disks[disk].arrive(now, PRIO_WRITEBACK, service, DiskJob::Write(block))
-        {
+        if let Some(started) = self.disks[disk].arrive_obs(
+            now,
+            PRIO_WRITEBACK,
+            service,
+            DiskJob::Write(block),
+            Self::disk_sid(disk),
+            &mut self.rec,
+        ) {
             self.queue.schedule(
                 started.completes_at,
                 Ev::DiskDone {
@@ -442,7 +591,9 @@ impl Simulation {
     }
 
     fn disk_done(&mut self, disk: usize, job: DiskJob, now: SimTime) {
-        if let Some(started) = self.disks[disk].complete(now) {
+        if let Some(started) =
+            self.disks[disk].complete_obs(now, Self::disk_sid(disk), &mut self.rec)
+        {
             self.queue.schedule(
                 started.completes_at,
                 Ev::DiskDone {
@@ -470,8 +621,19 @@ impl Simulation {
         } else {
             InsertOrigin::Demand
         };
+        let snap = self.snap_stats();
         let ev = self.cache.insert(pf.node, key.block, origin, false);
-        self.handle_evictions(&ev, now);
+        if self.rec.enabled() {
+            self.rec.record(
+                now.as_nanos(),
+                Event::CacheInsert {
+                    node: pf.node.0,
+                    prefetch: origin == InsertOrigin::Prefetch,
+                },
+            );
+        }
+        self.handle_evictions(pf.node, &ev, now);
+        self.emit_cache_delta(snap, now);
 
         for rid in pf.waiters {
             self.reqs[rid].remaining -= 1;
@@ -490,8 +652,21 @@ impl Simulation {
         }
     }
 
-    fn handle_evictions(&mut self, evicted: &[Evicted], now: SimTime) {
+    /// Process the fallout of a cache operation performed on behalf of
+    /// `node` (the cache does not report which node's buffer each
+    /// victim left, so the events are attributed to the acting node).
+    fn handle_evictions(&mut self, node: NodeId, evicted: &[Evicted], now: SimTime) {
         for e in evicted {
+            if self.rec.enabled() {
+                self.rec.record(
+                    now.as_nanos(),
+                    Event::CacheEvict {
+                        node: node.0,
+                        dirty: e.dirty,
+                        wasted_prefetch: e.wasted_prefetch,
+                    },
+                );
+            }
             if e.dirty {
                 self.issue_disk_write(e.block, now);
             }
@@ -544,10 +719,14 @@ impl Simulation {
         let key = self.pf_key(node, file);
         let blocks = self.file_blocks[file.0 as usize];
         let cfg = self.config.prefetch;
-        self.engines
-            .entry(key)
-            .or_insert_with(|| FilePrefetcher::new(cfg, blocks))
-            .on_demand_with_residency(req, fully_cached);
+        {
+            let Simulation { engines, rec, .. } = self;
+            let mut obs = Obs::new(now.as_nanos(), file.0, rec);
+            engines
+                .entry(key)
+                .or_insert_with(|| FilePrefetcher::new(cfg, blocks))
+                .on_demand_with_residency_obs(req, fully_cached, &mut obs);
+        }
         self.pump_prefetcher(key, now);
     }
 
@@ -565,11 +744,13 @@ impl Simulation {
                 cache,
                 pending,
                 config,
+                rec,
                 ..
             } = self;
             let Some(engine) = engines.get_mut(&key) else {
                 return;
             };
+            let mut obs = Obs::new(now.as_nanos(), key.file.0, rec);
             let scope = key.node;
             // Without cooperation a node knows only its own cache; the
             // cooperative systems consult the global state (PAFS's
@@ -586,17 +767,20 @@ impl Simulation {
                 // scope already has a fetch in flight. Other nodes'
                 // in-flight fetches are invisible on xFS, which is what
                 // duplicates prefetch work on shared files (§4).
-                let next = engine.next_block(|idx| {
-                    let block = BlockId::new(key.file, idx);
-                    let resident = if local_only {
-                        cache.contains_local(scope.expect("local scope"), block)
-                    } else {
-                        cache.contains(block)
-                    };
-                    resident
-                        || pending.contains_key(&FetchKey { scope, block })
-                        || to_issue_set.contains(&idx)
-                });
+                let next = engine.next_block_obs(
+                    |idx| {
+                        let block = BlockId::new(key.file, idx);
+                        let resident = if local_only {
+                            cache.contains_local(scope.expect("local scope"), block)
+                        } else {
+                            cache.contains(block)
+                        };
+                        resident
+                            || pending.contains_key(&FetchKey { scope, block })
+                            || to_issue_set.contains(&idx)
+                    },
+                    &mut obs,
+                );
                 match next {
                     Some(idx) => {
                         to_issue.push(idx);
@@ -631,6 +815,14 @@ impl Simulation {
 
     fn sweep(&mut self, now: SimTime, reschedule: bool) {
         let dirty = self.cache.sweep_dirty();
+        if self.rec.enabled() {
+            self.rec.record(
+                now.as_nanos(),
+                Event::SweepStart {
+                    dirty: dirty.len() as u32,
+                },
+            );
+        }
         for block in dirty {
             self.issue_disk_write(block, now);
         }
@@ -650,7 +842,7 @@ impl Simulation {
         }
     }
 
-    fn finish(mut self) -> SimReport {
+    fn finish(mut self) -> (SimReport, R) {
         let end = self.queue.now();
         self.cache.finalize();
         let cache_stats = *self.cache.stats();
@@ -678,10 +870,27 @@ impl Simulation {
         let writes_per_block = if wpb.is_empty() {
             0.0
         } else {
-            wpb.values().map(|&c| c as f64).sum::<f64>() / wpb.len() as f64
+            // Sum in integers: an f64 sum would depend on the HashMap's
+            // iteration order, breaking run-to-run byte stability.
+            let total: u64 = wpb.values().map(|&c| u64::from(c)).sum();
+            total as f64 / wpb.len() as f64
         };
 
-        SimReport {
+        let mut obs = lapobs::Registry::default();
+        self.metrics.register_into(&mut obs);
+        cache_stats.register_into(&mut obs, "cache");
+        pf_stats.register_into(&mut obs, "prefetch");
+        for (i, d) in self.disks.iter().enumerate() {
+            let prefix = format!("disk{i}");
+            d.stats().register_into(&mut obs, &prefix);
+            obs.time_weighted(format!("{prefix}.queue_len"), d.mean_queue_len(end));
+            obs.gauge(format!("{prefix}.utilization"), d.utilization(end));
+        }
+        obs.gauge("sim.disk_utilization", disk_utilization);
+        obs.gauge("sim.mispredict_ratio", mispredict_ratio);
+        obs.gauge("sim.seconds", end.as_secs_f64());
+
+        let report = SimReport {
             label: self.config.label(),
             workload: self.workload.name.clone(),
             avg_read_ms: self.metrics.read_time.mean(),
@@ -713,6 +922,8 @@ impl Simulation {
                     reads: s.count(),
                 })
                 .collect(),
-        }
+            obs,
+        };
+        (report, self.rec)
     }
 }

@@ -27,16 +27,14 @@
 //! * long compute phases, as befits compute-bound scientific codes on
 //!   10 MB/s disks.
 //!
-//! Everything is driven by a seeded [`StdRng`], so a `(params, seed)`
+//! Everything is driven by a seeded [`Rng64`], so a `(params, seed)`
 //! pair always produces the identical workload.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use simkit::SimDuration;
 
 use crate::trace::{FileMeta, Op, ProcessTrace, Workload};
 use crate::types::{FileId, NodeId, ProcId};
-use crate::util::{jitter, ms};
+use crate::util::{jitter, ms, Rng64};
 
 /// How one application's processes divide a file among themselves.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -143,7 +141,7 @@ impl CharismaParams {
     /// Generate the workload for a seed.
     pub fn generate(&self, seed: u64) -> Workload {
         assert!(self.apps > 0 && self.procs_per_app > 0 && self.nodes > 0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let block_size = 8192u64;
 
         let mut files = Vec::with_capacity(self.apps);
@@ -151,7 +149,7 @@ impl CharismaParams {
 
         for app in 0..self.apps {
             let file = FileId(app as u32);
-            let blocks = rng.gen_range(self.file_blocks.0..=self.file_blocks.1);
+            let blocks = rng.range_u64(self.file_blocks.0, self.file_blocks.1);
             files.push(FileMeta {
                 id: file,
                 size: blocks * block_size,
@@ -159,14 +157,14 @@ impl CharismaParams {
 
             let pattern = self.pick_pattern(&mut rng);
             let record = rng
-                .gen_range(self.record_blocks.0..=self.record_blocks.1)
+                .range_u64(self.record_blocks.0, self.record_blocks.1)
                 .min(blocks);
-            let frac = rng.gen_range(self.accessed_fraction.0..=self.accessed_fraction.1);
+            let frac = rng.range_f64(self.accessed_fraction.0, self.accessed_fraction.1);
             let accessed = ((blocks as f64 * frac) as u64).max(record).min(blocks);
-            let passes = rng.gen_range(self.passes.0..=self.passes.1);
-            let writer = rng.gen_bool(self.writer_fraction);
+            let passes = rng.range_u32(self.passes.0, self.passes.1);
+            let writer = rng.chance(self.writer_fraction);
             let hot = rng
-                .gen_range(self.hot_blocks.0..=self.hot_blocks.1)
+                .range_u64(self.hot_blocks.0, self.hot_blocks.1)
                 .min(accessed);
             let procs = self.procs_per_app;
 
@@ -187,7 +185,7 @@ impl CharismaParams {
                 while covered < max_reads_per_proc {
                     let phase = ms(&mut rng, self.compute_phase_ms);
                     let burst =
-                        rng.gen_range(self.burst_requests.0..=self.burst_requests.1) as usize;
+                        rng.range_u32(self.burst_requests.0, self.burst_requests.1) as usize;
                     rounds.push((phase, burst));
                     covered += burst as u64;
                 }
@@ -233,10 +231,10 @@ impl CharismaParams {
         wl
     }
 
-    fn pick_pattern(&self, rng: &mut StdRng) -> AppPattern {
+    fn pick_pattern(&self, rng: &mut Rng64) -> AppPattern {
         let (wi, ws, wb) = self.pattern_weights;
         let total = wi + ws + wb;
-        let x = rng.gen_range(0.0..total);
+        let x = rng.range_f64(0.0, total);
         if x < wi {
             AppPattern::Interleaved
         } else if x < wi + ws {
@@ -253,7 +251,7 @@ impl CharismaParams {
     #[allow(clippy::too_many_arguments)]
     fn emit_pass(
         &self,
-        rng: &mut StdRng,
+        rng: &mut Rng64,
         ops: &mut Vec<Op>,
         pattern: AppPattern,
         file: FileId,

@@ -41,7 +41,7 @@ pub mod streams;
 mod text;
 mod trace;
 mod types;
-mod util;
+pub mod util;
 
 pub use named::generate_named;
 pub use stats::WorkloadStats;

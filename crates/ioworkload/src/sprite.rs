@@ -22,12 +22,9 @@
 //! tends to be read the same way every time) and is what makes learned
 //! per-file prediction graphs useful across opens.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::trace::{FileMeta, Op, ProcessTrace, Workload};
 use crate::types::{FileId, NodeId, ProcId};
-use crate::util::{log_uniform, ms};
+use crate::util::{log_uniform, ms, Rng64};
 
 /// How a file is accessed on every open.
 #[derive(Clone, Copy, Debug)]
@@ -129,7 +126,7 @@ impl SpriteParams {
     /// Generate the workload for a seed.
     pub fn generate(&self, seed: u64) -> Workload {
         assert!(self.users > 0 && self.nodes > 0 && self.files_per_user > 0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let block_size = 8192u64;
 
         // Shared files first, then each user's private files.
@@ -154,18 +151,18 @@ impl SpriteParams {
             ops.push(Op::Compute(ms(&mut rng, (0.0, 3000.0))));
             for _ in 0..self.opens_per_user {
                 ops.push(Op::Compute(ms(&mut rng, self.open_gap_ms)));
-                let file = if rng.gen_bool(self.shared_open_prob) {
-                    FileId(rng.gen_range(0..self.shared_files))
+                let file = if self.shared_files > 0 && rng.chance(self.shared_open_prob) {
+                    FileId(rng.range_u32(0, self.shared_files - 1))
                 } else {
                     // Geometric popularity over the user's own files:
                     // file k chosen with probability ∝ (1-b)^k.
                     let mut k = 0;
-                    while k + 1 < self.files_per_user && !rng.gen_bool(self.reuse_bias) {
+                    while k + 1 < self.files_per_user && !rng.chance(self.reuse_bias) {
                         k += 1;
                     }
                     FileId(my_first + k)
                 };
-                let write = rng.gen_bool(self.write_open_prob);
+                let write = rng.chance(self.write_open_prob);
                 self.emit_open(
                     &mut rng,
                     &mut ops,
@@ -194,24 +191,24 @@ impl SpriteParams {
         wl
     }
 
-    fn pick_profile(&self, rng: &mut StdRng, blocks: u64) -> Profile {
+    fn pick_profile(&self, rng: &mut Rng64, blocks: u64) -> Profile {
         let (ws, wt, wb) = self.profile_weights;
-        let x = rng.gen_range(0.0..ws + wt + wb);
+        let x = rng.range_f64(0.0, ws + wt + wb);
         if x < ws || blocks < 6 {
             // Tiny files are always read sequentially.
             Profile::Sequential {
-                frac: rng.gen_range(self.prefix_fraction.0..=self.prefix_fraction.1),
-                req: rng.gen_range(1..=2u64.min(blocks)),
+                frac: rng.range_f64(self.prefix_fraction.0, self.prefix_fraction.1),
+                req: rng.range_u64(1, 2u64.min(blocks).max(1)),
             }
         } else if x < ws + wt {
-            let stride = rng.gen_range(3..=6u64);
+            let stride = rng.range_u64(3, 6);
             Profile::Strided {
                 stride,
-                req: rng.gen_range(1..=2u64),
+                req: rng.range_u64(1, 2),
             }
         } else {
             Profile::Backward {
-                req: rng.gen_range(1..=2u64),
+                req: rng.range_u64(1, 2),
             }
         }
     }
@@ -220,7 +217,7 @@ impl SpriteParams {
     #[allow(clippy::too_many_arguments)]
     fn emit_open(
         &self,
-        rng: &mut StdRng,
+        rng: &mut Rng64,
         ops: &mut Vec<Op>,
         file: FileId,
         blocks: u64,
@@ -228,7 +225,7 @@ impl SpriteParams {
         block_size: u64,
         write: bool,
     ) {
-        let emit = |rng: &mut StdRng, ops: &mut Vec<Op>, start_blk: u64, nblk: u64| {
+        let emit = |rng: &mut Rng64, ops: &mut Vec<Op>, start_blk: u64, nblk: u64| {
             if nblk == 0 {
                 return;
             }
@@ -338,7 +335,7 @@ mod tests {
 
     #[test]
     fn log_uniform_within_bounds() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         for _ in 0..1000 {
             let v = log_uniform(&mut rng, (1, 64));
             assert!((1..=64).contains(&v));

@@ -8,8 +8,7 @@
 //! evaluation and property tests want. Each generator is seeded and
 //! deterministic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::util::Rng64;
 
 /// One block-granular request of a stream: `(first_block, num_blocks)`.
 pub type StreamRequest = (u64, u64);
@@ -72,7 +71,7 @@ impl StreamKind {
     /// Panics if `file_blocks == 0` or a configured size is zero.
     pub fn generate(&self, file_blocks: u64, n: usize, seed: u64) -> Vec<StreamRequest> {
         assert!(file_blocks > 0, "empty file");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let mut out = Vec::with_capacity(n);
         match self {
             StreamKind::Sequential { req } => {
@@ -132,8 +131,8 @@ impl StreamKind {
             StreamKind::Random { max_req } => {
                 assert!(*max_req > 0);
                 for _ in 0..n {
-                    let size = rng.gen_range(1..=*max_req).min(file_blocks);
-                    let off = rng.gen_range(0..=file_blocks - size);
+                    let size = rng.range_u64(1, *max_req).min(file_blocks);
+                    let off = rng.range_u64(0, file_blocks - size);
                     out.push((off, size));
                 }
             }
@@ -144,8 +143,8 @@ impl StreamKind {
                 assert!(*req > 0);
                 let mut off = 0u64;
                 for _ in 0..n {
-                    if rng.gen_range(0..1000) < *jump_per_mille {
-                        off = rng.gen_range(0..file_blocks);
+                    if rng.range_u64(0, 999) < *jump_per_mille as u64 {
+                        off = rng.range_u64(0, file_blocks - 1);
                     }
                     if off + req > file_blocks {
                         off = 0;

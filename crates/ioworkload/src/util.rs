@@ -1,43 +1,203 @@
-//! Shared random-draw helpers for the workload generators.
+//! The in-repo seeded PRNG and shared random-draw helpers for the
+//! workload generators.
+//!
+//! The repo must build and test on machines with no network access, so
+//! instead of depending on an external `rand` crate the generators draw
+//! from [`Rng64`], a xoshiro256** generator seeded via SplitMix64
+//! (Blackman & Vigna, <https://prng.di.unimi.it/>). The stream for a
+//! given seed is part of the repo's golden values: changing it changes
+//! every generated workload, so it is pinned by unit tests below.
 
-use rand::rngs::StdRng;
-use rand::Rng;
 use simkit::SimDuration;
+
+/// SplitMix64 step — used to expand a 64-bit seed into the xoshiro
+/// state, and good enough as a standalone mixer.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, deterministic PRNG: xoshiro256** seeded with
+/// SplitMix64. Same seed ⇒ same stream, on every platform, forever.
+///
+/// ```
+/// use ioworkload::util::Rng64;
+///
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Build a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in the half-open range `[lo, hi)`; degenerate or
+    /// inverted ranges return `lo`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        if lo >= hi {
+            lo
+        } else {
+            lo + (hi - lo) * self.next_f64()
+        }
+    }
+
+    /// Uniform draw from the inclusive integer range `[lo, hi]`.
+    /// Inverted ranges return `lo`. Uses Lemire's multiply-shift
+    /// reduction (bias < 2⁻⁶⁴·span — irrelevant for simulation draws).
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return lo;
+        }
+        let span = hi - lo + 1;
+        if span == 0 {
+            // [0, u64::MAX]: the full range.
+            return self.next_u64();
+        }
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// Uniform draw from the inclusive integer range `[lo, hi]`.
+    #[inline]
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to [0, 1]).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
 
 /// A random duration drawn uniformly from a millisecond range
 /// (degenerate ranges return the lower bound).
-pub(crate) fn ms(rng: &mut StdRng, range: (f64, f64)) -> SimDuration {
-    let v = if range.0 >= range.1 {
-        range.0
-    } else {
-        rng.gen_range(range.0..range.1)
-    };
-    SimDuration::from_millis_f64(v)
+pub(crate) fn ms(rng: &mut Rng64, range: (f64, f64)) -> SimDuration {
+    SimDuration::from_millis_f64(rng.range_f64(range.0, range.1))
 }
 
 /// Apply ±10% per-process jitter to a shared schedule entry.
-pub(crate) fn jitter(rng: &mut StdRng, d: SimDuration) -> SimDuration {
-    SimDuration::from_secs_f64(d.as_secs_f64() * rng.gen_range(0.9..1.1))
+pub(crate) fn jitter(rng: &mut Rng64, d: SimDuration) -> SimDuration {
+    SimDuration::from_secs_f64(d.as_secs_f64() * rng.range_f64(0.9, 1.1))
 }
 
 /// Log-uniform draw over an inclusive range: small values dominate, as
 /// in real file-size distributions.
-pub(crate) fn log_uniform(rng: &mut StdRng, range: (u64, u64)) -> u64 {
+pub(crate) fn log_uniform(rng: &mut Rng64, range: (u64, u64)) -> u64 {
     let (lo, hi) = range;
     assert!(lo >= 1 && hi >= lo);
     let (llo, lhi) = ((lo as f64).ln(), ((hi + 1) as f64).ln());
-    let x = rng.gen_range(llo..lhi).exp();
+    let x = rng.range_f64(llo, lhi).exp();
     (x as u64).clamp(lo, hi)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+
+    /// The PRNG stream is a golden value: generated workloads (and the
+    /// golden trace fixtures downstream) depend on it bit-for-bit.
+    #[test]
+    fn stream_is_pinned_per_seed() {
+        let mut r = Rng64::new(0);
+        assert_eq!(
+            [r.next_u64(), r.next_u64(), r.next_u64()],
+            [
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768
+            ]
+        );
+        let mut r = Rng64::new(42);
+        assert_eq!(
+            [r.next_u64(), r.next_u64(), r.next_u64()],
+            [
+                1546998764402558742,
+                6990951692964543102,
+                12544586762248559009
+            ]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::new(123);
+        let mut b = Rng64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::new(124);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng64::new(7);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            let v = r.range_u64(3, 9);
+            assert!((3..=9).contains(&v));
+            let w = r.range_u32(5, 5);
+            assert_eq!(w, 5);
+            let x = r.range_f64(2.0, 4.0);
+            assert!((2.0..4.0).contains(&x));
+        }
+        assert_eq!(r.range_f64(5.0, 5.0), 5.0);
+        assert_eq!(r.range_u64(9, 3), 9, "inverted range returns lo");
+    }
+
+    #[test]
+    fn chance_is_calibrated() {
+        let mut r = Rng64::new(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.1));
+    }
 
     #[test]
     fn ms_handles_degenerate_range() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng64::new(0);
         assert_eq!(ms(&mut rng, (5.0, 5.0)).as_millis(), 5);
         let v = ms(&mut rng, (1.0, 2.0));
         assert!(v.as_millis_f64() >= 1.0 && v.as_millis_f64() < 2.0);
@@ -45,7 +205,7 @@ mod tests {
 
     #[test]
     fn jitter_stays_within_ten_percent() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::new(1);
         for _ in 0..100 {
             let d = jitter(&mut rng, SimDuration::from_millis(100));
             assert!(d.as_millis_f64() >= 90.0 && d.as_millis_f64() <= 110.0);
@@ -54,7 +214,7 @@ mod tests {
 
     #[test]
     fn log_uniform_within_bounds() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::new(2);
         for _ in 0..1000 {
             let v = log_uniform(&mut rng, (1, 64));
             assert!((1..=64).contains(&v));

@@ -1,84 +1,71 @@
-//! Property-based tests for the workload generators and the trace
-//! format.
+//! Property tests for the workload generators and the trace format,
+//! driven by the in-repo seeded PRNG (no external dependencies).
 
 use ioworkload::charisma::CharismaParams;
 use ioworkload::sprite::SpriteParams;
+use ioworkload::util::Rng64;
 use ioworkload::{Op, Workload};
-use proptest::prelude::*;
 
-fn arb_charisma() -> impl Strategy<Value = CharismaParams> {
-    (
-        1u32..6,    // nodes ..
-        1usize..4,  // apps
-        1u32..5,    // procs per app
-        16u64..128, // min file blocks
-        1u64..6,    // record max
-        1u32..3,    // passes max
-    )
-        .prop_map(|(nodes, apps, procs, fmin, rmax, pmax)| {
-            let mut p = CharismaParams::small();
-            p.nodes = nodes;
-            p.apps = apps;
-            p.procs_per_app = procs;
-            p.file_blocks = (fmin, fmin * 2);
-            p.record_blocks = (1, rmax);
-            p.passes = (1, pmax);
-            p
-        })
+fn random_charisma(rng: &mut Rng64) -> CharismaParams {
+    let mut p = CharismaParams::small();
+    p.nodes = rng.range_u32(1, 5);
+    p.apps = rng.range_u32(1, 3) as usize;
+    p.procs_per_app = rng.range_u32(1, 4);
+    let fmin = rng.range_u64(16, 127);
+    p.file_blocks = (fmin, fmin * 2);
+    p.record_blocks = (1, rng.range_u64(1, 5));
+    p.passes = (1, rng.range_u32(1, 2));
+    p
 }
 
-fn arb_sprite() -> impl Strategy<Value = SpriteParams> {
-    (
-        1u32..6,  // nodes
-        1u32..8,  // users
-        1u32..8,  // files per user
-        1u64..40, // max file blocks
-        1u32..20, // opens
-        0u32..3,  // shared files
-    )
-        .prop_map(|(nodes, users, files, fmax, opens, shared)| {
-            let mut p = SpriteParams::small();
-            p.nodes = nodes;
-            p.users = users;
-            p.files_per_user = files;
-            p.file_blocks = (1, fmax);
-            p.opens_per_user = opens;
-            p.shared_files = shared;
-            if shared == 0 {
-                p.shared_open_prob = 0.0;
-            }
-            p
-        })
+fn random_sprite(rng: &mut Rng64) -> SpriteParams {
+    let mut p = SpriteParams::small();
+    p.nodes = rng.range_u32(1, 5);
+    p.users = rng.range_u32(1, 7);
+    p.files_per_user = rng.range_u32(1, 7);
+    p.file_blocks = (1, rng.range_u64(1, 39));
+    p.opens_per_user = rng.range_u32(1, 19);
+    p.shared_files = rng.range_u32(0, 2);
+    if p.shared_files == 0 {
+        p.shared_open_prob = 0.0;
+    }
+    p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any parameterisation produces a valid workload (validate()
-    /// panics internally on inconsistency) that survives a text
-    /// round-trip bit-exactly.
-    #[test]
-    fn charisma_generates_valid_workloads(params in arb_charisma(), seed in 0u64..500) {
+/// Any parameterisation produces a valid workload (validate() panics
+/// internally on inconsistency) that survives a text round-trip
+/// bit-exactly.
+#[test]
+fn charisma_generates_valid_workloads() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(case);
+        let params = random_charisma(&mut rng);
+        let seed = rng.range_u64(0, 499);
         let wl = params.generate(seed);
         let text = wl.to_text();
         let back = Workload::from_text(&text).unwrap();
-        prop_assert_eq!(back.to_text(), text);
+        assert_eq!(back.to_text(), text, "case {case}");
     }
+}
 
-    #[test]
-    fn sprite_generates_valid_workloads(params in arb_sprite(), seed in 0u64..500) {
+#[test]
+fn sprite_generates_valid_workloads() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(case ^ 0x5B41);
+        let params = random_sprite(&mut rng);
+        let seed = rng.range_u64(0, 499);
         let wl = params.generate(seed);
         let text = wl.to_text();
         let back = Workload::from_text(&text).unwrap();
-        prop_assert_eq!(back.to_text(), text);
+        assert_eq!(back.to_text(), text, "case {case}");
     }
+}
 
-    /// Reads in a CHARISMA interleaved/segmented/broadcast pass never
-    /// overlap *within one process* in a single pass more blocks than
-    /// the file has, and every access respects the accessed fraction
-    /// upper bound plus one record of slack.
-    #[test]
-    fn charisma_accesses_respect_fraction(seed in 0u64..200) {
+/// Every access respects the accessed-fraction upper bound plus one
+/// record of slack.
+#[test]
+fn charisma_accesses_respect_fraction() {
+    for seed in 0..48u64 {
         let mut params = CharismaParams::small();
         params.accessed_fraction = (0.5, 0.7);
         let wl = params.generate(seed);
@@ -87,36 +74,46 @@ proptest! {
                 if let Op::Read { file, offset, len } | Op::Write { file, offset, len } = op {
                     let fsize = wl.files[file.0 as usize].size;
                     let slack = 16 * wl.block_size;
-                    prop_assert!(
+                    assert!(
                         offset + len <= (fsize as f64 * 0.7) as u64 + slack,
-                        "access past accessed fraction: {}..{} of {}",
-                        offset, offset + len, fsize
+                        "access past accessed fraction: {}..{} of {} (seed {seed})",
+                        offset,
+                        offset + len,
+                        fsize
                     );
                 }
             }
         }
     }
+}
 
-    /// Workload statistics are internally consistent for any seed.
-    #[test]
-    fn stats_are_consistent(seed in 0u64..200) {
+/// Workload statistics are internally consistent for any seed.
+#[test]
+fn stats_are_consistent() {
+    for seed in 0..48u64 {
         let wl = SpriteParams::small().generate(seed);
         let s = wl.stats();
-        prop_assert_eq!(s.files, wl.files.len());
-        prop_assert!(s.bytes_read >= s.reads as u64); // every read >= 1 byte
+        assert_eq!(s.files, wl.files.len(), "seed {seed}");
+        assert!(s.bytes_read >= s.reads as u64, "seed {seed}");
         let min_mean = if s.reads > 0 { 1.0 } else { 0.0 };
-        prop_assert!(s.mean_read_blocks >= min_mean);
-        prop_assert!((0.0..=1.0).contains(&s.shared_file_fraction));
+        assert!(s.mean_read_blocks >= min_mean, "seed {seed}");
+        assert!((0.0..=1.0).contains(&s.shared_file_fraction), "seed {seed}");
         let total_io: usize = s.reads + s.writes;
-        prop_assert_eq!(total_io, wl.io_ops());
+        assert_eq!(total_io, wl.io_ops(), "seed {seed}");
     }
+}
 
-    /// The text parser never panics on mangled input (errors instead).
-    #[test]
-    fn parser_rejects_garbage_gracefully(
-        mut text in "[a-z0-9 \\n#]{0,200}",
-    ) {
-        text.insert_str(0, "workload t\nblocksize 8192\nnodes 1\n");
+/// The text parser never panics on mangled input (errors instead).
+#[test]
+fn parser_rejects_garbage_gracefully() {
+    let alphabet: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789 \n#".chars().collect();
+    for case in 0..64u64 {
+        let mut rng = Rng64::new(case ^ 0x6A4B);
+        let len = rng.range_u64(0, 200) as usize;
+        let mut text = String::from("workload t\nblocksize 8192\nnodes 1\n");
+        for _ in 0..len {
+            text.push(alphabet[rng.range_u64(0, alphabet.len() as u64 - 1) as usize]);
+        }
         // Must not panic; any Result is fine unless it parses, in which
         // case validate() already ran.
         let _ = Workload::from_text(&text);

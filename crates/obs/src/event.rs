@@ -1,0 +1,235 @@
+//! The typed simulation event model.
+//!
+//! Events are small `Copy` values with plain-integer ids so they can be
+//! emitted from any crate in the workspace without pulling in that
+//! crate's types. Timestamps travel separately (see
+//! [`Recorder::record`](crate::Recorder::record)) as simulated
+//! nanoseconds.
+
+/// A simulated timestamp in nanoseconds since the start of the run.
+pub type Nanos = u64;
+
+/// What kind of service station an event refers to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StationKind {
+    /// A disk (one per storage node).
+    Disk,
+    /// A network link / NIC station.
+    Net,
+}
+
+/// Identifies one service station (e.g. disk 3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StationId {
+    /// The station family.
+    pub kind: StationKind,
+    /// Index within the family (disk number, link number).
+    pub index: u32,
+}
+
+/// Why a prefetch walk stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WalkStopReason {
+    /// The predictor ran out of predictions (end of file / no edge).
+    Exhausted,
+    /// The per-demand walk budget was used up.
+    Budget,
+    /// A long run of already-cached blocks ended the walk early.
+    CachedRun,
+}
+
+/// One simulation event. Every variant is flat `Copy` data: recording
+/// an event never allocates.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Event {
+    /// A job joined a station queue (the server was busy). `depth` is
+    /// the queue length after the push.
+    QueuePush {
+        /// Station whose queue grew.
+        station: StationId,
+        /// Priority class of the queued job (0 = demand, 1 =
+        /// write-back, 2 = prefetch).
+        class: u8,
+        /// Queue length after the push.
+        depth: u32,
+    },
+    /// A queued job left the queue to start service.
+    QueuePop {
+        /// Station whose queue shrank.
+        station: StationId,
+        /// Priority class of the dequeued job.
+        class: u8,
+        /// Queue length after the pop.
+        depth: u32,
+    },
+    /// A station began serving a job (span opens).
+    ServiceBegin {
+        /// The serving station.
+        station: StationId,
+        /// Priority class of the job being served.
+        class: u8,
+    },
+    /// A station finished serving a job (span closes).
+    ServiceEnd {
+        /// The serving station.
+        station: StationId,
+        /// Priority class of the finished job.
+        class: u8,
+    },
+    /// Queued jobs were cancelled (e.g. in-flight prefetches absorbed
+    /// by a demand fetch).
+    Cancelled {
+        /// The station whose queue was purged.
+        station: StationId,
+        /// How many jobs were removed.
+        count: u32,
+    },
+    /// Sampled depth of the central simulation event list.
+    SimQueueDepth {
+        /// Pending events after the sample point.
+        depth: u32,
+    },
+
+    /// A demand access hit in the requesting node's own buffers.
+    CacheHitLocal {
+        /// The requesting node.
+        node: u32,
+    },
+    /// A demand access was served from another node's buffers.
+    CacheHitRemote {
+        /// The requesting node.
+        node: u32,
+        /// The node whose copy served the request.
+        holder: u32,
+    },
+    /// A demand access missed everywhere and goes to disk.
+    CacheMiss {
+        /// The requesting node.
+        node: u32,
+    },
+    /// A block was inserted into the cache.
+    CacheInsert {
+        /// The node receiving the copy.
+        node: u32,
+        /// True when the insert was prefetch-initiated.
+        prefetch: bool,
+    },
+    /// A block copy left the cache.
+    CacheEvict {
+        /// The node that lost the copy.
+        node: u32,
+        /// The copy was dirty (a write-back is due).
+        dirty: bool,
+        /// The copy was prefetched and never used — a materialized
+        /// miss-prediction (§5.2).
+        wasted_prefetch: bool,
+    },
+    /// Singlet copies were forwarded to a peer (xFS N-chance).
+    CacheForward {
+        /// How many forwards happened during this cache operation.
+        count: u32,
+    },
+    /// Singlets whose recirculation count expired were dropped.
+    CacheForwardDrop {
+        /// How many drops happened during this cache operation.
+        count: u32,
+    },
+    /// Stale copies were invalidated by a write.
+    CacheInvalidate {
+        /// How many copies were invalidated.
+        count: u32,
+    },
+
+    /// An aggressive walk started on a fresh prediction path.
+    WalkStart {
+        /// The file being walked.
+        file: u32,
+        /// The block the walk starts from.
+        block: u64,
+    },
+    /// The walk was restarted because the application left the
+    /// predicted path (§3.1's restart rule).
+    WalkRestart {
+        /// The file being walked.
+        file: u32,
+        /// The demand block the walk restarts from.
+        block: u64,
+    },
+    /// The walk stopped.
+    WalkStop {
+        /// The file that was being walked.
+        file: u32,
+        /// Why it stopped.
+        reason: WalkStopReason,
+    },
+    /// A demand request fell off the predicted path — a predictor
+    /// miss-prediction observed at demand time.
+    Mispredict {
+        /// The file.
+        file: u32,
+        /// The off-path demand block.
+        block: u64,
+    },
+    /// The engine issued a prefetch for a block.
+    PrefetchIssue {
+        /// The file.
+        file: u32,
+        /// The block being prefetched.
+        block: u64,
+    },
+    /// A demand arrived for a block whose prefetch was still in flight;
+    /// the demand absorbed it.
+    PrefetchAbsorbed {
+        /// The file.
+        file: u32,
+        /// The absorbed block.
+        block: u64,
+    },
+
+    /// The write-back daemon queued one dirty block to disk.
+    WriteBack {
+        /// The file the block belongs to.
+        file: u32,
+        /// The block being written.
+        block: u64,
+    },
+    /// A periodic write-back sweep fired.
+    SweepStart {
+        /// Number of dirty blocks collected by the sweep.
+        dirty: u32,
+    },
+
+    /// A read request completed.
+    ReadDone {
+        /// The issuing process.
+        proc: u32,
+        /// The node it runs on.
+        node: u32,
+        /// Wall-clock (simulated) latency of the whole request.
+        latency: Nanos,
+    },
+    /// A write request completed.
+    WriteDone {
+        /// The issuing process.
+        proc: u32,
+        /// The node it runs on.
+        node: u32,
+        /// Wall-clock (simulated) latency of the whole request.
+        latency: Nanos,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_copy_values() {
+        // Recording must stay allocation-free; a fat event enum would
+        // bloat the ring buffer. 24 bytes is the current layout.
+        assert!(std::mem::size_of::<Event>() <= 24);
+        let e = Event::CacheMiss { node: 3 };
+        let f = e; // Copy
+        assert_eq!(e, f);
+    }
+}

@@ -1,0 +1,235 @@
+//! Recorders: where emitted events go.
+
+use crate::event::{Event, Nanos};
+
+/// An event sink. Emission sites are written as
+///
+/// ```ignore
+/// if rec.enabled() {
+///     rec.record(now_ns, Event::CacheMiss { node });
+/// }
+/// ```
+///
+/// and instrumented code is generic over `R: Recorder` (static
+/// dispatch). With [`NoopRecorder`], `enabled()` is an inlineable
+/// constant `false`, so the whole site — including construction of the
+/// event value — is dead code the optimizer removes.
+///
+/// The trait is object-safe: layers that cannot be generic (e.g.
+/// behind a `dyn` trait) may take `&mut dyn Recorder` instead, paying
+/// one virtual call per emission when tracing is on.
+pub trait Recorder {
+    /// Whether events will actually be kept. Guard every emission site
+    /// with this; it is the hook that makes the no-op path free.
+    fn enabled(&self) -> bool;
+
+    /// Record one event at simulated time `t`.
+    fn record(&mut self, t: Nanos, ev: Event);
+}
+
+/// The default recorder: drops everything, compiles to nothing.
+///
+/// A zero-sized type — embedding it in a simulation adds no state, and
+/// `enabled()` folds to `false` at compile time under static dispatch.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _t: Nanos, _ev: Event) {}
+}
+
+/// A bounded ring buffer of timestamped events.
+///
+/// When full, the oldest events are overwritten and counted in
+/// [`dropped`](TraceRecorder::dropped) — a long run keeps its *tail*,
+/// which is normally what a trace viewer wants.
+#[derive(Clone, Debug)]
+pub struct TraceRecorder {
+    buf: Vec<(Nanos, Event)>,
+    cap: usize,
+    /// Index of the oldest element once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// Default capacity: 2²⁰ events (~24 MB) — enough for the full
+    /// event stream of the small experiment scales.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Create a recorder with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Create a recorder keeping at most `cap` events (`cap >= 1`).
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap >= 1, "capacity must be at least 1");
+        TraceRecorder {
+            buf: Vec::new(),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded (or everything dropped).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events were overwritten after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(Nanos, Event)> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder for TraceRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn record(&mut self, t: Nanos, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push((t, ev));
+        } else {
+            self.buf[self.head] = (t, ev);
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// A borrowed emission context: a timestamp, a scope id (e.g. the file
+/// a prefetch engine works on), and the recorder — bundled so that
+/// instrumented inner loops take one extra argument instead of three.
+pub struct Obs<'a, R: Recorder> {
+    t: Nanos,
+    scope: u32,
+    rec: &'a mut R,
+}
+
+impl<'a, R: Recorder> Obs<'a, R> {
+    /// Bundle a context. `scope` is passed back to every emission
+    /// closure (see [`emit`](Obs::emit)).
+    pub fn new(t: Nanos, scope: u32, rec: &'a mut R) -> Self {
+        Obs { t, scope, rec }
+    }
+
+    /// Whether emissions will be kept; cheap enough to guard loops.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        self.rec.enabled()
+    }
+
+    /// Emit the event built by `f` (called with the scope id) — only
+    /// when the recorder is enabled, so the closure body is free on the
+    /// no-op path.
+    #[inline(always)]
+    pub fn emit(&mut self, f: impl FnOnce(u32) -> Event) {
+        if self.rec.enabled() {
+            let ev = f(self.scope);
+            self.rec.record(self.t, ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{StationId, StationKind};
+
+    #[test]
+    fn noop_recorder_is_zero_sized_and_disabled() {
+        assert_eq!(std::mem::size_of::<NoopRecorder>(), 0);
+        let mut r = NoopRecorder;
+        assert!(!r.enabled());
+        r.record(0, Event::CacheMiss { node: 0 }); // accepted, dropped
+    }
+
+    #[test]
+    fn trace_recorder_keeps_events_in_order() {
+        let mut r = TraceRecorder::with_capacity(8);
+        assert!(r.enabled());
+        for i in 0..5u64 {
+            r.record(i * 10, Event::SimQueueDepth { depth: i as u32 });
+        }
+        let ts: Vec<Nanos> = r.events().map(|&(t, _)| t).collect();
+        assert_eq!(ts, vec![0, 10, 20, 30, 40]);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut r = TraceRecorder::with_capacity(4);
+        for i in 0..10u64 {
+            r.record(i, Event::SimQueueDepth { depth: i as u32 });
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let ts: Vec<Nanos> = r.events().map(|&(t, _)| t).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9], "tail survives, oldest first");
+    }
+
+    #[test]
+    fn obs_context_emits_with_scope() {
+        let mut rec = TraceRecorder::with_capacity(4);
+        let mut obs = Obs::new(500, 7, &mut rec);
+        assert!(obs.enabled());
+        obs.emit(|file| Event::WalkStart { file, block: 3 });
+        let evs: Vec<_> = rec.events().cloned().collect();
+        assert_eq!(evs, vec![(500, Event::WalkStart { file: 7, block: 3 })]);
+    }
+
+    #[test]
+    fn obs_context_on_noop_emits_nothing() {
+        let mut rec = NoopRecorder;
+        let mut obs = Obs::new(1, 2, &mut rec);
+        assert!(!obs.enabled());
+        obs.emit(|file| Event::WalkStart { file, block: 0 });
+    }
+
+    #[test]
+    fn recorder_is_object_safe() {
+        let mut tr = TraceRecorder::with_capacity(2);
+        let dynrec: &mut dyn Recorder = &mut tr;
+        dynrec.record(
+            1,
+            Event::ServiceBegin {
+                station: StationId {
+                    kind: StationKind::Disk,
+                    index: 0,
+                },
+                class: 0,
+            },
+        );
+        assert_eq!(tr.len(), 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! The unified metrics registry.
+//!
+//! Every stats module in the workspace registers its aggregates here
+//! under a dotted prefix (`disk0.completed`, `cache.local_hits`,
+//! `prefetch.restarts`, `read.time`...), giving one namespace for the
+//! CSV exporter and the human-readable summary instead of four ad-hoc
+//! report formats.
+
+use std::fmt::Write as _;
+
+/// One registered metric value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MetricValue {
+    /// A monotonic count of events.
+    Counter(u64),
+    /// A point-in-time scalar.
+    Gauge(f64),
+    /// Summary of a sampled series (e.g. per-request latencies).
+    Series {
+        /// Number of samples.
+        count: u64,
+        /// Sample mean.
+        mean: f64,
+        /// Sample standard deviation.
+        std_dev: f64,
+        /// Smallest sample.
+        min: f64,
+        /// Largest sample.
+        max: f64,
+    },
+    /// Mean of a value weighted by how long it held (e.g. queue
+    /// length).
+    TimeWeighted {
+        /// The time-weighted mean over the observation window.
+        mean: f64,
+    },
+    /// Summary of a latency histogram, in microseconds.
+    Histogram {
+        /// Number of recorded latencies.
+        count: u64,
+        /// Mean latency (µs).
+        mean_us: f64,
+        /// Median (µs, upper bucket edge).
+        p50_us: f64,
+        /// 95th percentile (µs, upper bucket edge).
+        p95_us: f64,
+        /// 99th percentile (µs, upper bucket edge).
+        p99_us: f64,
+    },
+}
+
+/// An ordered collection of named metrics.
+///
+/// Registration order is preserved — exports are byte-deterministic
+/// for a deterministic simulation.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Registry {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a counter.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.entries
+            .push((name.into(), MetricValue::Counter(value)));
+    }
+
+    /// Register a gauge.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.entries.push((name.into(), MetricValue::Gauge(value)));
+    }
+
+    /// Register a sampled-series summary.
+    pub fn series(
+        &mut self,
+        name: impl Into<String>,
+        count: u64,
+        mean: f64,
+        std_dev: f64,
+        min: f64,
+        max: f64,
+    ) {
+        self.entries.push((
+            name.into(),
+            MetricValue::Series {
+                count,
+                mean,
+                std_dev,
+                min,
+                max,
+            },
+        ));
+    }
+
+    /// Register a time-weighted mean.
+    pub fn time_weighted(&mut self, name: impl Into<String>, mean: f64) {
+        self.entries
+            .push((name.into(), MetricValue::TimeWeighted { mean }));
+    }
+
+    /// Register a latency-histogram summary (microseconds).
+    pub fn histogram(
+        &mut self,
+        name: impl Into<String>,
+        count: u64,
+        mean_us: f64,
+        p50_us: f64,
+        p95_us: f64,
+        p99_us: f64,
+    ) {
+        self.entries.push((
+            name.into(),
+            MetricValue::Histogram {
+                count,
+                mean_us,
+                p50_us,
+                p95_us,
+                p99_us,
+            },
+        ));
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a metric by exact name (first match).
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Iterate metrics in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Export as a `metric,value` CSV. Composite metrics flatten into
+    /// dotted sub-rows (`read.time.mean`, `read.time.p95_us`, ...).
+    /// Floats print in Rust's shortest-roundtrip form, so output is
+    /// byte-stable for identical values.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name},{v}");
+                }
+                MetricValue::Gauge(v) | MetricValue::TimeWeighted { mean: v } => {
+                    let _ = writeln!(out, "{name},{v}");
+                }
+                MetricValue::Series {
+                    count,
+                    mean,
+                    std_dev,
+                    min,
+                    max,
+                } => {
+                    let _ = writeln!(out, "{name}.count,{count}");
+                    let _ = writeln!(out, "{name}.mean,{mean}");
+                    let _ = writeln!(out, "{name}.std_dev,{std_dev}");
+                    let _ = writeln!(out, "{name}.min,{min}");
+                    let _ = writeln!(out, "{name}.max,{max}");
+                }
+                MetricValue::Histogram {
+                    count,
+                    mean_us,
+                    p50_us,
+                    p95_us,
+                    p99_us,
+                } => {
+                    let _ = writeln!(out, "{name}.count,{count}");
+                    let _ = writeln!(out, "{name}.mean_us,{mean_us}");
+                    let _ = writeln!(out, "{name}.p50_us,{p50_us}");
+                    let _ = writeln!(out, "{name}.p95_us,{p95_us}");
+                    let _ = writeln!(out, "{name}.p99_us,{p99_us}");
+                }
+            }
+        }
+        out
+    }
+
+    /// A human-readable aligned listing of every metric.
+    pub fn render_summary(&self) -> String {
+        let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let rendered = match value {
+                MetricValue::Counter(v) => format!("{v}"),
+                MetricValue::Gauge(v) => format!("{v:.4}"),
+                MetricValue::TimeWeighted { mean } => format!("{mean:.4} (time-weighted)"),
+                MetricValue::Series {
+                    count,
+                    mean,
+                    std_dev,
+                    min,
+                    max,
+                } => format!("n={count} mean={mean:.4} sd={std_dev:.4} min={min:.4} max={max:.4}"),
+                MetricValue::Histogram {
+                    count,
+                    mean_us,
+                    p50_us,
+                    p95_us,
+                    p99_us,
+                } => format!(
+                    "n={count} mean={mean_us:.1}us p50={p50_us:.0}us p95={p95_us:.0}us p99={p99_us:.0}us"
+                ),
+            };
+            let _ = writeln!(out, "{name:width$}  {rendered}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.counter("cache.local_hits", 42);
+        r.gauge("cache.hit_ratio", 0.875);
+        r.time_weighted("disk0.queue_len", 1.5);
+        r.series("read.time_ms", 10, 2.5, 0.5, 1.0, 4.0);
+        r.histogram("read.latency", 10, 2500.0, 2048.0, 4096.0, 4096.0);
+        r
+    }
+
+    #[test]
+    fn registration_order_is_preserved() {
+        let r = sample();
+        let names: Vec<&str> = r.iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cache.local_hits",
+                "cache.hit_ratio",
+                "disk0.queue_len",
+                "read.time_ms",
+                "read.latency"
+            ]
+        );
+        assert_eq!(r.get("cache.local_hits"), Some(&MetricValue::Counter(42)));
+        assert_eq!(r.get("missing"), None);
+    }
+
+    #[test]
+    fn csv_is_flat_and_stable() {
+        let a = sample().to_csv();
+        let b = sample().to_csv();
+        assert_eq!(a, b);
+        assert!(a.starts_with("metric,value\n"));
+        assert!(a.contains("cache.local_hits,42\n"));
+        assert!(a.contains("read.time_ms.mean,2.5\n"));
+        assert!(a.contains("read.latency.p95_us,4096\n"));
+        // One header + 2 scalars + 1 time-weighted + 5 series + 5 histogram rows.
+        assert_eq!(a.lines().count(), 1 + 2 + 1 + 5 + 5);
+    }
+
+    #[test]
+    fn summary_lists_every_metric() {
+        let s = sample().render_summary();
+        for name in [
+            "cache.local_hits",
+            "cache.hit_ratio",
+            "disk0.queue_len",
+            "read.time_ms",
+            "read.latency",
+        ] {
+            assert!(s.contains(name), "{name} missing from summary:\n{s}");
+        }
+    }
+
+    #[test]
+    fn registries_compare_by_value() {
+        assert_eq!(sample(), sample());
+        let mut other = sample();
+        other.counter("extra", 1);
+        assert_ne!(sample(), other);
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::collections::{HashSet, VecDeque};
 
+use lapobs::{Event, NoopRecorder, Obs, Recorder, WalkStopReason};
+
 use crate::config::{AlgorithmKind, PrefetchConfig};
 use crate::predictor::{FilePredictor, PredictionSource, Walk};
 use crate::request::Request;
@@ -145,6 +147,20 @@ impl FilePrefetcher {
     /// uselessly ahead of a thrashing cache (or dormant, if it already
     /// ended), so prefetching restarts from the current position.
     pub fn on_demand_with_residency(&mut self, req: Request, fully_cached: bool) {
+        let mut noop = NoopRecorder;
+        self.on_demand_with_residency_obs(req, fully_cached, &mut Obs::new(0, 0, &mut noop));
+    }
+
+    /// [`on_demand_with_residency`](Self::on_demand_with_residency),
+    /// emitting walk lifecycle and mispredict events into `obs` (whose
+    /// scope id should be the file this engine serves). With a no-op
+    /// recorder this is exactly the plain method.
+    pub fn on_demand_with_residency_obs<R: Recorder>(
+        &mut self,
+        req: Request,
+        fully_cached: bool,
+        obs: &mut Obs<'_, R>,
+    ) {
         if self.config.algorithm == AlgorithmKind::None {
             return;
         }
@@ -155,6 +171,10 @@ impl FilePrefetcher {
                 self.stats.requests_on_path += 1;
             } else {
                 self.stats.requests_off_path += 1;
+                obs.emit(|file| Event::Mispredict {
+                    file,
+                    block: req.offset,
+                });
             }
         } else {
             self.stats.requests_unpredicted += 1;
@@ -175,6 +195,15 @@ impl FilePrefetcher {
             if !on_path || stale_path {
                 if had_prediction {
                     self.stats.restarts += 1;
+                    obs.emit(|file| Event::WalkRestart {
+                        file,
+                        block: req.offset,
+                    });
+                } else {
+                    obs.emit(|file| Event::WalkStart {
+                        file,
+                        block: req.offset,
+                    });
                 }
                 self.restart_walk();
             }
@@ -208,7 +237,18 @@ impl FilePrefetcher {
     /// Call in a loop after [`on_demand`](Self::on_demand) and after
     /// every [`on_prefetch_complete`](Self::on_prefetch_complete) until
     /// it returns `None`.
-    pub fn next_block(&mut self, mut is_cached: impl FnMut(u64) -> bool) -> Option<u64> {
+    pub fn next_block(&mut self, is_cached: impl FnMut(u64) -> bool) -> Option<u64> {
+        let mut noop = NoopRecorder;
+        self.next_block_obs(is_cached, &mut Obs::new(0, 0, &mut noop))
+    }
+
+    /// [`next_block`](Self::next_block), emitting issue and walk-stop
+    /// events into `obs`.
+    pub fn next_block_obs<R: Recorder>(
+        &mut self,
+        mut is_cached: impl FnMut(u64) -> bool,
+        obs: &mut Obs<'_, R>,
+    ) -> Option<u64> {
         let cap = match self.config.aggressive {
             Some(limit) => limit.cap(),
             None => usize::MAX,
@@ -220,7 +260,7 @@ impl FilePrefetcher {
             let (block, source) = match self.queue.pop_front() {
                 Some(entry) => entry,
                 None => {
-                    if !self.refill_from_walk() {
+                    if !self.refill_from_walk(obs) {
                         return None;
                     }
                     continue;
@@ -234,6 +274,10 @@ impl FilePrefetcher {
                         self.stats.cached_stops += 1;
                         self.walk = None;
                         self.queue.clear();
+                        obs.emit(|file| Event::WalkStop {
+                            file,
+                            reason: WalkStopReason::CachedRun,
+                        });
                         return None;
                     }
                 }
@@ -248,6 +292,7 @@ impl FilePrefetcher {
             if source == PredictionSource::ObaFallback {
                 self.stats.issued_by_fallback += 1;
             }
+            obs.emit(|file| Event::PrefetchIssue { file, block });
             return Some(block);
         }
     }
@@ -256,7 +301,7 @@ impl FilePrefetcher {
     /// the queue. Returns false when the walk is over (or absent), or
     /// when the walk has reached its lead cap and must wait for the
     /// consumer to catch up (the walk itself stays alive).
-    fn refill_from_walk(&mut self) -> bool {
+    fn refill_from_walk<R: Recorder>(&mut self, obs: &mut Obs<'_, R>) -> bool {
         if let Some(cap) = self.config.lead_cap {
             if self.lead >= cap {
                 return false;
@@ -268,6 +313,10 @@ impl FilePrefetcher {
         if self.walk_budget == 0 {
             self.stats.budget_stops += 1;
             self.walk = None;
+            obs.emit(|file| Event::WalkStop {
+                file,
+                reason: WalkStopReason::Budget,
+            });
             return false;
         }
         match self.predictor.walk_next(walk, self.file_blocks) {
@@ -287,6 +336,10 @@ impl FilePrefetcher {
             None => {
                 self.stats.walk_stops += 1;
                 self.walk = None;
+                obs.emit(|file| Event::WalkStop {
+                    file,
+                    reason: WalkStopReason::Exhausted,
+                });
                 false
             }
         }

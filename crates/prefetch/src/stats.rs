@@ -58,6 +58,32 @@ impl PrefetchStats {
         }
     }
 
+    /// Register all counters (plus the derived shares) under
+    /// `prefix.` in a metrics registry.
+    pub fn register_into(&self, reg: &mut lapobs::Registry, prefix: &str) {
+        reg.counter(format!("{prefix}.issued"), self.issued);
+        reg.counter(
+            format!("{prefix}.issued_by_fallback"),
+            self.issued_by_fallback,
+        );
+        reg.counter(format!("{prefix}.already_cached"), self.already_cached);
+        reg.counter(format!("{prefix}.requests_on_path"), self.requests_on_path);
+        reg.counter(
+            format!("{prefix}.requests_off_path"),
+            self.requests_off_path,
+        );
+        reg.counter(
+            format!("{prefix}.requests_unpredicted"),
+            self.requests_unpredicted,
+        );
+        reg.counter(format!("{prefix}.restarts"), self.restarts);
+        reg.counter(format!("{prefix}.walk_stops"), self.walk_stops);
+        reg.counter(format!("{prefix}.budget_stops"), self.budget_stops);
+        reg.counter(format!("{prefix}.cached_stops"), self.cached_stops);
+        reg.gauge(format!("{prefix}.fallback_share"), self.fallback_share());
+        reg.gauge(format!("{prefix}.on_path_share"), self.on_path_share());
+    }
+
     /// Fraction of predicted demand requests that stayed on the path.
     pub fn on_path_share(&self) -> f64 {
         let judged = self.requests_on_path + self.requests_off_path;

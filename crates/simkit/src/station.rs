@@ -15,8 +15,17 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use lapobs::{Event, NoopRecorder, Recorder, StationId, StationKind};
+
 use crate::stats::TimeWeighted;
 use crate::time::{SimDuration, SimTime};
+
+/// Placeholder station identity for the un-instrumented entry points —
+/// only ever paired with [`NoopRecorder`], which drops it unseen.
+const NO_STATION: StationId = StationId {
+    kind: StationKind::Disk,
+    index: u32::MAX,
+};
 
 /// Scheduling priority of a job. **Lower values are served first.**
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -58,6 +67,16 @@ pub struct StationStats {
     pub cancelled: u64,
 }
 
+impl StationStats {
+    /// Register all counters under `prefix.` in a metrics registry.
+    pub fn register_into(&self, reg: &mut lapobs::Registry, prefix: &str) {
+        reg.counter(format!("{prefix}.completed"), self.completed);
+        reg.gauge(format!("{prefix}.busy_s"), self.busy.as_secs_f64());
+        reg.gauge(format!("{prefix}.waited_s"), self.waited.as_secs_f64());
+        reg.counter(format!("{prefix}.cancelled"), self.cancelled);
+    }
+}
+
 /// A single server with priority classes and FIFO order within each
 /// class.
 ///
@@ -77,10 +96,11 @@ pub struct StationStats {
 /// assert_eq!(next.tag, "prefetch");
 /// ```
 pub struct Station<T> {
-    /// Completion time of the in-service job, if any. The tag itself is
-    /// not stored: the caller keeps it inside the completion event it
-    /// schedules, so storing it here would only force `T: Clone`.
-    current: Option<SimTime>,
+    /// Completion time and priority class of the in-service job, if
+    /// any. The tag itself is not stored: the caller keeps it inside
+    /// the completion event it schedules, so storing it here would only
+    /// force `T: Clone`.
+    current: Option<(SimTime, Priority)>,
     /// Waiting jobs, keyed by priority (lower key = served first).
     queues: BTreeMap<Priority, VecDeque<Waiting<T>>>,
     queued_len: usize,
@@ -140,10 +160,35 @@ impl<T> Station<T> {
         service: SimDuration,
         tag: T,
     ) -> Option<StartedJob<T>> {
+        self.arrive_obs(now, prio, service, tag, NO_STATION, &mut NoopRecorder)
+    }
+
+    /// [`arrive`](Self::arrive), emitting queue/service events for
+    /// station `sid` into `rec`. With [`NoopRecorder`] this is exactly
+    /// `arrive` — the emission sites compile away under static
+    /// dispatch.
+    pub fn arrive_obs<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        prio: Priority,
+        service: SimDuration,
+        tag: T,
+        sid: StationId,
+        rec: &mut R,
+    ) -> Option<StartedJob<T>> {
         if self.current.is_none() {
             let completes_at = now + service;
             self.stats.busy += service;
-            self.current = Some(completes_at);
+            self.current = Some((completes_at, prio));
+            if rec.enabled() {
+                rec.record(
+                    now.as_nanos(),
+                    Event::ServiceBegin {
+                        station: sid,
+                        class: prio.0,
+                    },
+                );
+            }
             Some(StartedJob { tag, completes_at })
         } else {
             self.queues.entry(prio).or_default().push_back(Waiting {
@@ -153,6 +198,16 @@ impl<T> Station<T> {
             });
             self.queued_len += 1;
             self.queue_track.set(now, self.queued_len as f64);
+            if rec.enabled() {
+                rec.record(
+                    now.as_nanos(),
+                    Event::QueuePush {
+                        station: sid,
+                        class: prio.0,
+                        depth: self.queued_len as u32,
+                    },
+                );
+            }
             None
         }
     }
@@ -165,16 +220,41 @@ impl<T> Station<T> {
     /// Panics if the station is idle — a completion without a job in
     /// service means the driving loop lost track of the station state.
     pub fn complete(&mut self, now: SimTime) -> Option<StartedJob<T>> {
-        let completes_at = self
+        self.complete_obs(now, NO_STATION, &mut NoopRecorder)
+    }
+
+    /// [`complete`](Self::complete), emitting the closing service span
+    /// (and the queue-pop/service-begin of the next job) into `rec`.
+    pub fn complete_obs<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        sid: StationId,
+        rec: &mut R,
+    ) -> Option<StartedJob<T>> {
+        let (completes_at, class) = self
             .current
             .take()
             .expect("Station::complete called while idle");
         debug_assert_eq!(completes_at, now, "completion at the wrong time");
         self.stats.completed += 1;
-        self.start_next(now)
+        if rec.enabled() {
+            rec.record(
+                now.as_nanos(),
+                Event::ServiceEnd {
+                    station: sid,
+                    class: class.0,
+                },
+            );
+        }
+        self.start_next(now, sid, rec)
     }
 
-    fn start_next(&mut self, now: SimTime) -> Option<StartedJob<T>> {
+    fn start_next<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        sid: StationId,
+        rec: &mut R,
+    ) -> Option<StartedJob<T>> {
         // BTreeMap iterates keys in ascending order: lowest value =
         // highest priority first.
         let prio = *self
@@ -188,7 +268,24 @@ impl<T> Station<T> {
         self.stats.waited += now.saturating_since(job.enqueued_at);
         let completes_at = now + job.service;
         self.stats.busy += job.service;
-        self.current = Some(completes_at);
+        self.current = Some((completes_at, prio));
+        if rec.enabled() {
+            rec.record(
+                now.as_nanos(),
+                Event::QueuePop {
+                    station: sid,
+                    class: prio.0,
+                    depth: self.queued_len as u32,
+                },
+            );
+            rec.record(
+                now.as_nanos(),
+                Event::ServiceBegin {
+                    station: sid,
+                    class: prio.0,
+                },
+            );
+        }
         Some(StartedJob {
             tag: job.tag,
             completes_at,
@@ -215,6 +312,28 @@ impl<T> Station<T> {
         self.queued_len -= out.len();
         self.stats.cancelled += out.len() as u64;
         self.queue_track.set(now, self.queued_len as f64);
+        out
+    }
+
+    /// [`cancel_where`](Self::cancel_where), emitting one
+    /// [`Event::Cancelled`] with the removal count into `rec`.
+    pub fn cancel_where_obs<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        pred: impl FnMut(&T) -> bool,
+        sid: StationId,
+        rec: &mut R,
+    ) -> Vec<T> {
+        let out = self.cancel_where(now, pred);
+        if !out.is_empty() && rec.enabled() {
+            rec.record(
+                now.as_nanos(),
+                Event::Cancelled {
+                    station: sid,
+                    count: out.len() as u32,
+                },
+            );
+        }
         out
     }
 

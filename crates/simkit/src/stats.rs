@@ -97,6 +97,18 @@ impl Series {
         }
     }
 
+    /// Register this series under `name` in a metrics registry.
+    pub fn register_into(&self, reg: &mut lapobs::Registry, name: &str) {
+        reg.series(
+            name,
+            self.count(),
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.max(),
+        );
+    }
+
     /// Merge another series into this one (parallel reduction).
     pub fn merge(&mut self, other: &Series) {
         if other.n == 0 {
@@ -169,6 +181,12 @@ impl TimeWeighted {
     /// Current value of the quantity.
     pub fn current(&self) -> f64 {
         self.value
+    }
+
+    /// Register the time-weighted mean over `[start, now]` under
+    /// `name` in a metrics registry.
+    pub fn register_into(&self, reg: &mut lapobs::Registry, name: &str, now: SimTime) {
+        reg.time_weighted(name, self.mean(now));
     }
 
     /// Time-weighted mean over `[start, now]`.
@@ -252,6 +270,20 @@ impl LatencyHistogram {
             }
         }
         unreachable!("histogram counts are consistent");
+    }
+
+    /// Register count, mean and tail quantiles (all in µs) under
+    /// `name` in a metrics registry.
+    pub fn register_into(&self, reg: &mut lapobs::Registry, name: &str) {
+        let us = |d: SimDuration| d.as_nanos() as f64 / 1e3;
+        reg.histogram(
+            name,
+            self.count(),
+            us(self.mean()),
+            us(self.quantile(0.5)),
+            us(self.quantile(0.95)),
+            us(self.quantile(0.99)),
+        );
     }
 
     /// Merge another histogram into this one.

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-command CI gate. Everything runs --offline: the workspace has no
+# external dependencies and must keep building from a cold registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+run cargo build --offline --workspace --all-targets
+run cargo test --offline --workspace
+
+echo "==> ci: all green"

@@ -6,6 +6,9 @@
 //!
 //! # Run a trace file produced by lapgen (or by hand):
 //! lapsim --trace charisma.trace --machine pm --system xfs --algo np --cache-mb 2
+//!
+//! # Capture a Chrome trace and a metrics CSV while simulating:
+//! lapsim --workload charisma --trace-out trace.json --metrics-out metrics.csv
 //! ```
 
 use std::fs;
@@ -24,6 +27,8 @@ struct Args {
     scale: String,
     warmup_secs: u64,
     verbose: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -31,6 +36,7 @@ fn usage() -> ! {
     eprintln!("              [--machine pm|now] [--system pafs|xfs|local]");
     eprintln!("              [--algo NAME] [--cache-mb N] [--seed N]");
     eprintln!("              [--scale small|paper] [--warmup SECS] [-v]");
+    eprintln!("              [--trace-out FILE] [--metrics-out FILE]");
     eprintln!();
     eprintln!("algorithms: np, oba, ln_agr_oba, is_ppm:J, ln_agr_is_ppm:J,");
     eprintln!("            is_ppm_backoff:J, ln_agr_is_ppm_backoff:J");
@@ -66,6 +72,8 @@ fn parse_args() -> Args {
         scale: "small".into(),
         warmup_secs: 0,
         verbose: false,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -101,6 +109,8 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--trace-out" => out.trace_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => out.metrics_out = Some(args.next().unwrap_or_else(|| usage())),
             "-v" | "--verbose" => out.verbose = true,
             "-h" | "--help" => usage(),
             _ => usage(),
@@ -153,7 +163,31 @@ fn main() {
     config.warmup = SimDuration::from_secs(args.warmup_secs);
 
     let t0 = std::time::Instant::now();
-    let report = run_simulation(config, workload);
+    let report = if let Some(trace_path) = &args.trace_out {
+        // Tracing requested: run with a recording backend and export
+        // the event stream as Chrome trace-event JSON.
+        let (report, rec) = run_simulation_traced(config, std::sync::Arc::new(workload));
+        if rec.dropped() > 0 {
+            eprintln!(
+                "warning: trace ring buffer overflowed, oldest {} events dropped",
+                rec.dropped()
+            );
+        }
+        let json = lap::lapobs::chrome::export(rec.events());
+        fs::write(trace_path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {trace_path}: {e}");
+            exit(1);
+        });
+        report
+    } else {
+        run_simulation(config, workload)
+    };
+    if let Some(metrics_path) = &args.metrics_out {
+        fs::write(metrics_path, report.obs.to_csv()).unwrap_or_else(|e| {
+            eprintln!("cannot write {metrics_path}: {e}");
+            exit(1);
+        });
+    }
     if args.verbose {
         print!("{}", report.render_detailed());
         println!("  wall time           {:.2} s", t0.elapsed().as_secs_f64());

@@ -15,6 +15,9 @@
 //! * [`ioworkload`] — the trace model and the synthetic CHARISMA-like
 //!   (parallel machine) and Sprite-like (NOW) workload generators.
 //! * [`simkit`] — the deterministic discrete-event engine underneath.
+//! * [`lapobs`] — zero-overhead observability: typed simulation
+//!   events, the unified metrics registry, and the Chrome-trace
+//!   exporter (`lapsim --trace-out`).
 //! * [`lap_core`] — machine models (Table 1), the full file-system
 //!   simulation, and the metrics behind every figure and table.
 //!
@@ -50,6 +53,7 @@
 pub use coopcache;
 pub use ioworkload;
 pub use lap_core;
+pub use lapobs;
 pub use prefetch;
 pub use simkit;
 
@@ -61,7 +65,11 @@ pub mod prelude {
     pub use ioworkload::charisma::CharismaParams;
     pub use ioworkload::sprite::SpriteParams;
     pub use ioworkload::{BlockId, FileId, NodeId, Op, ProcId, Workload};
-    pub use lap_core::{run_simulation, CacheSystem, MachineConfig, SimConfig, SimReport};
+    pub use lap_core::{
+        run_simulation, run_simulation_traced, CacheSystem, MachineConfig, SimConfig, SimReport,
+        Simulation,
+    };
+    pub use lapobs::{NoopRecorder, Recorder, Registry, TraceRecorder};
     pub use prefetch::{
         AggressiveLimit, AlgorithmKind, FilePrefetcher, IsPpm, Oba, PrefetchConfig, Request,
     };

@@ -91,6 +91,40 @@ fn lapsim_generates_and_runs_inline() {
 }
 
 #[test]
+fn lapsim_writes_trace_and_metrics_files() {
+    let dir = std::env::temp_dir().join(format!("lap-cli-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.json");
+    let metrics = dir.join("m.csv");
+
+    let out = lapsim()
+        .args(["--workload", "charisma", "--cache-mb", "1", "--trace-out"])
+        .arg(&trace)
+        .arg("--metrics-out")
+        .arg(&metrics)
+        .output()
+        .expect("run lapsim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let json = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\","));
+    assert!(json.contains("\"traceEvents\":["));
+    assert!(json.contains("\"ph\":\"B\""), "no disk service spans");
+    assert!(json.contains("\"mispredict\""), "no mispredict instants");
+    assert!(json.trim_end().ends_with("]}"), "trace JSON is truncated");
+
+    let csv = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(csv.starts_with("metric,value\n"));
+    assert!(csv.contains("cache.local_hits,"), "csv: {csv}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn lapsim_rejects_unknown_algorithm() {
     let out = lapsim()
         .args(["--workload", "sprite", "--algo", "wizardry"])
