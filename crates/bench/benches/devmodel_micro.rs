@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the device-model layer: geometry pricing (seek
+//! curve + rotational wait + layout hash), the schedulers' pick loops,
+//! and the end-to-end cost of swapping the fixed model for the
+//! geometry model in a full simulation step.
+
+use std::hint::black_box;
+
+use bench::timing::time_case;
+use devmodel::{DiskGeometry, DiskModel, DiskSched, LinkModel};
+use simkit::{DeviceOp, JobSpec, ServiceModel, SimTime};
+
+fn read_job(pos: u64) -> JobSpec {
+    JobSpec {
+        op: DeviceOp::Read,
+        pos: Some(pos),
+        bytes: 8192,
+    }
+}
+
+/// Deterministic stream of scattered LBAs via the model's own layout.
+fn lbas(model: &DiskModel, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| model.lba_of((i % 64) as u32, i.wrapping_mul(37)).unwrap())
+        .collect()
+}
+
+fn bench_pricing() {
+    let geom = DiskGeometry::pm();
+    let mut model = DiskModel::geometry(geom, 8192);
+    let stream = lbas(&model, 4096);
+    time_case("geom/price_4096_reads", 200, || {
+        let mut t = SimTime::ZERO;
+        for &lba in &stream {
+            let c = model.service(t, &read_job(black_box(lba)));
+            t += c.total;
+        }
+        black_box(t)
+    });
+
+    let mut fixed = DiskModel::fixed(
+        simkit::SimDuration::from_micros(11_319),
+        simkit::SimDuration::from_micros(13_319),
+    );
+    time_case("fixed/price_4096_reads", 200, || {
+        let mut t = SimTime::ZERO;
+        for &lba in &stream {
+            let c = fixed.service(t, &read_job(black_box(lba)));
+            t += c.total;
+        }
+        black_box(t)
+    });
+}
+
+fn bench_layout() {
+    let geom = DiskGeometry::pm();
+    time_case("geom/lba_of", 100_000, || {
+        black_box(geom.lba_of(black_box(17), black_box(123_456), 8192))
+    });
+}
+
+fn bench_schedulers() {
+    // A queue of 32 scattered positions — deeper than the simulator
+    // ever sees, to expose the pick loop's O(n) scaling.
+    let geom = DiskGeometry::pm();
+    let model = DiskModel::geometry(geom, 8192);
+    let queue: Vec<Option<u64>> = lbas(&model, 32).into_iter().map(Some).collect();
+    for sched in DiskSched::ALL {
+        let mut s = sched.build();
+        time_case(&format!("sched/{}_pick32", sched.name()), 100_000, || {
+            black_box(s.pick(black_box(9_999), black_box(&queue)))
+        });
+    }
+}
+
+fn bench_link() {
+    let link = LinkModel::flat(simkit::SimDuration::from_micros(15), 200.0e6);
+    time_case("link/transfer_time", 100_000, || {
+        black_box(link.transfer_time(black_box(8192)))
+    });
+}
+
+fn main() {
+    println!("== devmodel micro-benchmarks ==");
+    bench_pricing();
+    bench_layout();
+    bench_schedulers();
+    bench_link();
+}

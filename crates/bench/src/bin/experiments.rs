@@ -18,6 +18,7 @@ use bench::{
     build_config, build_workload, experiment, render_csv, render_table, run_grid, Scale,
     WorkloadKind, CACHE_MBS, EXPERIMENTS,
 };
+use devmodel::DiskSched;
 use lap_core::{run_simulation, CacheSystem, MachineConfig, Replacement};
 use prefetch::{AggressiveLimit, EdgeChoice, PrefetchConfig};
 
@@ -42,6 +43,13 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--smoke" => {
+                // CI sanity mode: a fast, deterministic subset at small
+                // scale. Any panic (bad table, broken invariant) fails
+                // the run.
+                opts.scale = Scale::Small;
+                opts.ids = vec!["table1".into(), "devmodel".into()];
+            }
             "--scale" => {
                 opts.scale = match args.next().as_deref() {
                     Some("small") => Scale::Small,
@@ -91,10 +99,11 @@ fn parse_args() -> Options {
 
 fn print_help() {
     eprintln!(
-        "usage: experiments <ids...> [--scale small|paper] [--seed N] [--out DIR] [--threads N] [--obs]"
+        "usage: experiments <ids...> [--scale small|paper] [--seed N] [--out DIR] [--threads N] [--obs] [--smoke]"
     );
+    eprintln!("  --smoke  CI sanity mode: runs table1 + devmodel at small scale");
     eprintln!(
-        "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, or any of:"
+        "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, devmodel, or any of:"
     );
     for e in EXPERIMENTS {
         eprintln!("  {:<8} {}", e.id, e.title);
@@ -116,6 +125,7 @@ fn main() {
             ids.push("ablations".into());
             ids.push("cooperation".into());
             ids.push("robustness".into());
+            ids.push("devmodel".into());
         } else {
             ids.push(id.clone());
         }
@@ -129,6 +139,7 @@ fn main() {
             "ablations" => ablations(&opts),
             "cooperation" => cooperation(&opts),
             "robustness" => robustness(&opts),
+            "devmodel" => devmodel_ablation(&opts),
             id => {
                 let Some(exp) = experiment(id) else {
                     eprintln!("unknown experiment {id:?}");
@@ -496,6 +507,63 @@ fn ablations(opts: &Options) {
             4,
         );
         show(name, &run_simulation(cfg, wl.clone()));
+    }
+    println!();
+}
+
+/// Device-model ablation: NP / OBA / IS_PPM (linear and unlimited
+/// aggressive) × disk scheduler, on the calibrated geometry preset.
+/// The first column is the fixed Table-1 service-time model; under
+/// FIFO the geometry column must sit within a couple percent of it
+/// (the calibration contract), while SSTF/C-LOOK shift read times —
+/// most visibly for the prefetch-heavy configurations whose queued
+/// requests give the scheduler something to reorder.
+fn devmodel_ablation(opts: &Options) {
+    let kind = WorkloadKind::CharismaPm;
+    let wl = build_workload(kind, opts.scale, opts.seed);
+    println!(
+        "devmodel — CHARISMA on PAFS at 4 MB: disk model × scheduler, read time in ms \
+         (seed {}, scale {:?})",
+        opts.seed, opts.scale
+    );
+    let algos: [(&str, PrefetchConfig); 4] = [
+        ("NP", PrefetchConfig::np()),
+        ("OBA", PrefetchConfig::oba()),
+        (
+            "Agr_IS_PPM:1",
+            PrefetchConfig {
+                aggressive: Some(AggressiveLimit::Unlimited),
+                ..PrefetchConfig::ln_agr_is_ppm(1)
+            },
+        ),
+        ("Ln_Agr_IS_PPM:1", PrefetchConfig::ln_agr_is_ppm(1)),
+    ];
+    print!("{:<18} {:>9}", "algorithm", "fixed");
+    for sched in DiskSched::ALL {
+        print!(" {:>9}", format!("geom/{}", sched.name()));
+    }
+    println!();
+    for (name, pf) in algos {
+        let fixed = run_simulation(
+            build_config(kind, opts.scale, CacheSystem::Pafs, pf, 4),
+            wl.clone(),
+        );
+        print!("{name:<18} {:>9.3}", fixed.avg_read_ms);
+        for sched in DiskSched::ALL {
+            let mut cfg = build_config(kind, opts.scale, CacheSystem::Pafs, pf, 4);
+            cfg.machine = cfg.machine.with_geometry();
+            cfg.machine.disk_sched = sched;
+            let r = run_simulation(cfg, wl.clone());
+            print!(" {:>9.3}", r.avg_read_ms);
+            // Smoke-level sanity: the simulation must have done real
+            // work and produced a finite, positive read time.
+            assert!(
+                r.avg_read_ms.is_finite() && r.avg_read_ms > 0.0 && r.reads > 0,
+                "degenerate devmodel cell: {name} geom/{}",
+                sched.name()
+            );
+        }
+        println!();
     }
     println!();
 }

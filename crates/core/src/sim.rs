@@ -42,10 +42,11 @@ use coopcache::{
     CacheStats, CooperativeCache, Evicted, InsertOrigin, LocalOnlyCache, Lookup, PafsCache,
     XfsCache,
 };
+use devmodel::DiskModel;
 use ioworkload::{BlockId, FileId, NodeId, Op, ProcId, Workload};
-use lapobs::{Event, NoopRecorder, Obs, Recorder, StationId, StationKind};
+use lapobs::{Event, NoopRecorder, Obs, Recorder, StationId};
 use prefetch::{FilePrefetcher, PrefetchStats, Request};
-use simkit::{EventQueue, Priority, SimDuration, SimTime, Station};
+use simkit::{DeviceOp, EventQueue, JobSpec, Priority, SimDuration, SimTime, Station};
 
 use crate::config::{CacheSystem, SimConfig};
 use crate::metrics::{Metrics, SimReport};
@@ -139,6 +140,10 @@ pub struct Simulation<R: Recorder = NoopRecorder> {
     queue: EventQueue<Ev>,
     cache: Box<dyn CooperativeCache>,
     disks: Vec<Station<DiskJob>>,
+    /// One service model per disk, indexed like `disks`. Owns the arm
+    /// position / platter state under the geometry model; prices the
+    /// fixed constants otherwise.
+    disk_models: Vec<DiskModel>,
     pending: HashMap<FetchKey, PendingFetch>,
     engines: HashMap<PfKey, FilePrefetcher>,
     procs: Vec<ProcState>,
@@ -210,7 +215,12 @@ impl<R: Recorder> Simulation<R> {
                 config.replacement,
             )),
         };
-        let disks = (0..config.machine.disks).map(|_| Station::new()).collect();
+        let disks = (0..config.machine.disks)
+            .map(|i| Station::with_scheduler(StationId::disk(i), config.machine.disk_sched.build()))
+            .collect();
+        let disk_models = (0..config.machine.disks)
+            .map(|_| config.machine.build_disk_model())
+            .collect();
         let procs = workload
             .processes
             .iter()
@@ -231,6 +241,7 @@ impl<R: Recorder> Simulation<R> {
             queue: EventQueue::new(),
             cache,
             disks,
+            disk_models,
             pending: HashMap::new(),
             engines: HashMap::new(),
             procs,
@@ -275,14 +286,6 @@ impl<R: Recorder> Simulation<R> {
             }
         }
         self.finish()
-    }
-
-    /// The [`StationId`] of disk `disk` on the trace timeline.
-    fn disk_sid(disk: usize) -> StationId {
-        StationId {
-            kind: StationKind::Disk,
-            index: disk as u32,
-        }
     }
 
     /// Snapshot the cache counters when tracing — paired with
@@ -540,23 +543,14 @@ impl<R: Recorder> Simulation<R> {
         } else {
             PRIO_DEMAND
         };
-        let service = self.config.machine.disk_read_service();
-        if let Some(started) = self.disks[disk].arrive_obs(
-            now,
+        self.submit_disk_job(
+            disk,
             prio,
-            service,
+            DeviceOp::Read,
+            key.block,
             DiskJob::Fetch(key),
-            Self::disk_sid(disk),
-            &mut self.rec,
-        ) {
-            self.queue.schedule(
-                started.completes_at,
-                Ev::DiskDone {
-                    disk,
-                    job: started.tag,
-                },
-            );
-        }
+            now,
+        );
     }
 
     fn issue_disk_write(&mut self, block: BlockId, now: SimTime) {
@@ -571,15 +565,42 @@ impl<R: Recorder> Simulation<R> {
             );
         }
         let disk = self.disk_of(block);
-        let service = self.config.machine.disk_write_service();
-        if let Some(started) = self.disks[disk].arrive_obs(
-            now,
+        self.submit_disk_job(
+            disk,
             PRIO_WRITEBACK,
-            service,
+            DeviceOp::Write,
+            block,
             DiskJob::Write(block),
-            Self::disk_sid(disk),
-            &mut self.rec,
-        ) {
+            now,
+        );
+    }
+
+    /// Hand one operation on `block` to disk `disk`: the disk's service
+    /// model supplies the position (geometry) and later the price.
+    fn submit_disk_job(
+        &mut self,
+        disk: usize,
+        prio: Priority,
+        op: DeviceOp,
+        block: BlockId,
+        tag: DiskJob,
+        now: SimTime,
+    ) {
+        let spec = JobSpec {
+            op,
+            pos: self.disk_models[disk].lba_of(block.file.0, block.index),
+            bytes: self.config.machine.block_size,
+        };
+        let started = {
+            let Simulation {
+                disks,
+                disk_models,
+                rec,
+                ..
+            } = self;
+            disks[disk].arrive_job(now, prio, spec, tag, &mut disk_models[disk], rec)
+        };
+        if let Some(started) = started {
             self.queue.schedule(
                 started.completes_at,
                 Ev::DiskDone {
@@ -591,9 +612,16 @@ impl<R: Recorder> Simulation<R> {
     }
 
     fn disk_done(&mut self, disk: usize, job: DiskJob, now: SimTime) {
-        if let Some(started) =
-            self.disks[disk].complete_obs(now, Self::disk_sid(disk), &mut self.rec)
-        {
+        let started = {
+            let Simulation {
+                disks,
+                disk_models,
+                rec,
+                ..
+            } = self;
+            disks[disk].complete_job(now, &mut disk_models[disk], rec)
+        };
+        if let Some(started) = started {
             self.queue.schedule(
                 started.completes_at,
                 Ev::DiskDone {
@@ -885,6 +913,9 @@ impl<R: Recorder> Simulation<R> {
             d.stats().register_into(&mut obs, &prefix);
             obs.time_weighted(format!("{prefix}.queue_len"), d.mean_queue_len(end));
             obs.gauge(format!("{prefix}.utilization"), d.utilization(end));
+            if let Some(mech) = self.disk_models[i].stats() {
+                mech.register_into(&mut obs, &prefix);
+            }
         }
         obs.gauge("sim.disk_utilization", disk_utilization);
         obs.gauge("sim.mispredict_ratio", mispredict_ratio);

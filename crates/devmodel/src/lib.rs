@@ -1,0 +1,185 @@
+//! # devmodel — device models for the simulator
+//!
+//! The paper (and the seed reproduction) prices every disk operation
+//! with one constant: `10.5 ms + size / 10 MB/s` for reads. That makes
+//! queueing order and block placement invisible — the very effects the
+//! paper's per-file linear limit is designed to exploit across files.
+//! This crate turns the cost model into a layer:
+//!
+//! * [`DiskGeometry`] / [`DiskModel`] — a mechanical disk: cylinders,
+//!   a settle-plus-√distance seek curve, rotational position derived
+//!   from the deterministic simulation clock, media transfer, and an
+//!   extent-based block→LBA layout. The `Fixed` variant reproduces the
+//!   seed's constants bit-for-bit, so geometry is strictly opt-in.
+//! * [`LinkModel`] — startup + bandwidth network links with optional
+//!   per-segment overhead for large messages.
+//! * [`Sstf`] / [`Clook`] — seek-aware request schedulers plugging
+//!   into [`simkit::Station`], reordering only *within* a priority
+//!   class (the demand-before-prefetch rule is structural).
+//!
+//! The [`DiskModelKind`], [`DiskSched`] and [`NetModelKind`] enums are
+//! the `Copy` configuration surface that `lap-core`'s `MachineConfig`
+//! embeds and the CLIs parse.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod disk;
+mod geometry;
+mod net;
+mod sched;
+
+pub use disk::{DiskModel, DiskModelStats, GeomDisk};
+pub use geometry::DiskGeometry;
+pub use net::LinkModel;
+pub use sched::{Clook, Sstf};
+
+use simkit::{FifoSched, Scheduler, SimDuration};
+
+/// Which disk cost model a machine uses.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum DiskModelKind {
+    /// The paper's fixed per-operation cost (seed behaviour).
+    Fixed,
+    /// The mechanical model with this geometry.
+    Geometry(DiskGeometry),
+}
+
+impl DiskModelKind {
+    /// True for the fixed (constant-cost) model.
+    pub fn is_fixed(&self) -> bool {
+        matches!(self, DiskModelKind::Fixed)
+    }
+
+    /// Name used in reports and CLI round-trips.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiskModelKind::Fixed => "fixed",
+            DiskModelKind::Geometry(_) => "geom",
+        }
+    }
+
+    /// Instantiate one disk's model. `read`/`write` are the full fixed
+    /// service times (used by the `Fixed` variant); `block_bytes` is
+    /// the file-system block size (used by the layout).
+    pub fn build(&self, read: SimDuration, write: SimDuration, block_bytes: u64) -> DiskModel {
+        match self {
+            DiskModelKind::Fixed => DiskModel::fixed(read, write),
+            DiskModelKind::Geometry(g) => DiskModel::geometry(*g, block_bytes),
+        }
+    }
+}
+
+/// Which within-class dispatch order the disks use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiskSched {
+    /// Arrival order (seed behaviour).
+    Fifo,
+    /// Shortest seek time first.
+    Sstf,
+    /// Circular LOOK.
+    Clook,
+}
+
+impl DiskSched {
+    /// Name used in reports and CLI round-trips.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DiskSched::Fifo => "fifo",
+            DiskSched::Sstf => "sstf",
+            DiskSched::Clook => "clook",
+        }
+    }
+
+    /// Parse a CLI spelling (`fifo`, `sstf`, `clook`/`c-look`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "fifo" => Some(DiskSched::Fifo),
+            "sstf" => Some(DiskSched::Sstf),
+            "clook" | "c-look" | "look" => Some(DiskSched::Clook),
+            _ => None,
+        }
+    }
+
+    /// All variants, in ablation order.
+    pub const ALL: [DiskSched; 3] = [DiskSched::Fifo, DiskSched::Sstf, DiskSched::Clook];
+
+    /// Instantiate the scheduler for one station.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            DiskSched::Fifo => Box::new(FifoSched),
+            DiskSched::Sstf => Box::new(Sstf::new()),
+            DiskSched::Clook => Box::new(Clook::new()),
+        }
+    }
+}
+
+/// Which network cost model a machine uses.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum NetModelKind {
+    /// Flat `startup + size / bandwidth` (seed behaviour).
+    Fixed,
+    /// Segmented: large messages pay `per_segment` for every
+    /// `segment_bytes` hop beyond the first.
+    Segmented {
+        /// Segment size in bytes.
+        segment_bytes: u64,
+        /// Extra cost per segment beyond the first.
+        per_segment: SimDuration,
+    },
+}
+
+impl NetModelKind {
+    /// Build the [`LinkModel`] for a link with the given flat
+    /// parameters.
+    pub fn link(&self, startup: SimDuration, bandwidth: f64) -> LinkModel {
+        let mut l = LinkModel::flat(startup, bandwidth);
+        if let NetModelKind::Segmented {
+            segment_bytes,
+            per_segment,
+        } = *self
+        {
+            l.segment_bytes = segment_bytes;
+            l.per_segment = per_segment;
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sched_parse_round_trips() {
+        for s in DiskSched::ALL {
+            assert_eq!(DiskSched::parse(s.name()), Some(s));
+        }
+        assert_eq!(DiskSched::parse("C-LOOK"), Some(DiskSched::Clook));
+        assert_eq!(DiskSched::parse("elevator"), None);
+    }
+
+    #[test]
+    fn kind_builds_matching_model() {
+        let r = SimDuration::from_millis(10);
+        let w = SimDuration::from_millis(12);
+        assert!(DiskModelKind::Fixed
+            .build(r, w, 8192)
+            .lba_of(0, 0)
+            .is_none());
+        let g = DiskModelKind::Geometry(DiskGeometry::tiny()).build(r, w, 8192);
+        assert!(g.lba_of(0, 0).is_some());
+    }
+
+    #[test]
+    fn net_kind_configures_link() {
+        let flat = NetModelKind::Fixed.link(SimDuration::from_micros(15), 200.0e6);
+        assert_eq!(flat.segment_bytes, 0);
+        let seg = NetModelKind::Segmented {
+            segment_bytes: 4096,
+            per_segment: SimDuration::from_micros(2),
+        }
+        .link(SimDuration::from_micros(15), 200.0e6);
+        assert!(seg.transfer_time(8192) > flat.transfer_time(8192));
+    }
+}

@@ -1,0 +1,93 @@
+//! The network link model: startup + bandwidth, with optional per-hop
+//! message segmentation.
+//!
+//! The paper's communication model (inherited from DIMEMAS) is
+//! `startup + size / bandwidth`. Real interconnects move large
+//! messages as fixed-size segments, each paying a small per-segment
+//! overhead (DMA setup, switch header). [`LinkModel`] generalizes the
+//! flat model: with `per_segment = 0` (or messages no larger than one
+//! segment) it is bit-identical to the original formula.
+
+use simkit::{JobSpec, ServiceCost, ServiceModel, SimDuration, SimTime};
+
+/// One link's cost model.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LinkModel {
+    /// Fixed cost of any message (software + wire startup).
+    pub startup: SimDuration,
+    /// Link bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Segment size; messages larger than this are cut into
+    /// `ceil(bytes / segment_bytes)` hops. `0` disables segmentation.
+    pub segment_bytes: u64,
+    /// Extra cost per segment beyond the first.
+    pub per_segment: SimDuration,
+}
+
+impl LinkModel {
+    /// A flat (unsegmented) link: `startup + bytes / bandwidth`.
+    pub fn flat(startup: SimDuration, bandwidth: f64) -> Self {
+        LinkModel {
+            startup,
+            bandwidth,
+            segment_bytes: 0,
+            per_segment: SimDuration::ZERO,
+        }
+    }
+
+    /// Number of segments a `bytes`-long message travels as.
+    pub fn segments(&self, bytes: u64) -> u64 {
+        if self.segment_bytes == 0 || bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(self.segment_bytes)
+        }
+    }
+
+    /// Time to move `bytes` across the link.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        let base = self.startup + SimDuration::transfer(bytes, self.bandwidth);
+        let extra_segments = self.segments(bytes) - 1;
+        base + SimDuration::from_nanos(self.per_segment.as_nanos() * extra_segments)
+    }
+}
+
+impl ServiceModel for LinkModel {
+    fn service(&mut self, _now: SimTime, job: &JobSpec) -> ServiceCost {
+        ServiceCost::flat(self.transfer_time(job.bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_link_matches_the_original_formula() {
+        // PM remote transfer: 5 µs copy startup + 10 µs startup,
+        // 200 MB/s — 8 KB must cost 15 µs + 40.96 µs.
+        let l = LinkModel::flat(SimDuration::from_micros(15), 200.0e6);
+        assert_eq!(l.transfer_time(8192).as_nanos(), 15_000 + 40_960);
+        assert_eq!(l.segments(8192), 1);
+    }
+
+    #[test]
+    fn segmentation_adds_per_hop_cost() {
+        let mut l = LinkModel::flat(SimDuration::from_micros(15), 200.0e6);
+        l.segment_bytes = 4096;
+        l.per_segment = SimDuration::from_micros(2);
+        assert_eq!(l.segments(8192), 2);
+        assert_eq!(l.segments(8193), 3);
+        // One extra segment beyond the first → +2 µs.
+        assert_eq!(l.transfer_time(8192).as_nanos(), 15_000 + 40_960 + 2_000);
+        // Small messages are unaffected.
+        assert_eq!(l.transfer_time(1024).as_nanos(), 15_000 + 5_120);
+    }
+
+    #[test]
+    fn zero_segment_bytes_disables_segmentation() {
+        let mut l = LinkModel::flat(SimDuration::from_micros(1), 100.0e6);
+        l.per_segment = SimDuration::from_micros(99);
+        assert_eq!(l.segments(u64::MAX / 2), 1);
+    }
+}

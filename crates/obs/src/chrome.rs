@@ -172,6 +172,31 @@ pub fn export<'a>(events: impl IntoIterator<Item = &'a (Nanos, Event)>) -> Strin
             Event::SimQueueDepth { depth } => {
                 w.counter(t, "event-loop", "pending", depth);
             }
+            Event::DiskService {
+                station,
+                seek_cylinders,
+                rot_wait_ns,
+            } => {
+                let tid = station_tid(station);
+                w.ensure_track(tid, &station_name(station));
+                let args = format!(
+                    ",\"args\":{{\"seek_cyls\":{seek_cylinders},\"rot_wait_ns\":{rot_wait_ns}}}"
+                );
+                w.instant(t, tid, "mech", &args);
+            }
+            Event::QueueReorder {
+                station,
+                class,
+                picked,
+            } => {
+                let tid = station_tid(station);
+                w.ensure_track(tid, &station_name(station));
+                let args = format!(
+                    ",\"args\":{{\"class\":\"{}\",\"picked\":{picked}}}",
+                    class_name(class)
+                );
+                w.instant(t, tid, "reorder", &args);
+            }
             Event::CacheHitLocal { node } => {
                 let tid = w.node_track(node);
                 w.instant(t, tid, "hit local", "");

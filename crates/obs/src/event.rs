@@ -27,6 +27,24 @@ pub struct StationId {
     pub index: u32,
 }
 
+impl StationId {
+    /// The id of disk `index`.
+    pub const fn disk(index: u32) -> Self {
+        StationId {
+            kind: StationKind::Disk,
+            index,
+        }
+    }
+
+    /// The id of network link `index`.
+    pub const fn net(index: u32) -> Self {
+        StationId {
+            kind: StationKind::Net,
+            index,
+        }
+    }
+}
+
 /// Why a prefetch walk stopped.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WalkStopReason {
@@ -88,6 +106,30 @@ pub enum Event {
     SimQueueDepth {
         /// Pending events after the sample point.
         depth: u32,
+    },
+    /// A geometry-aware disk model costed one operation: the mechanical
+    /// breakdown of the service time (the transfer part is implicit in
+    /// the surrounding `ServiceBegin`/`ServiceEnd` span).
+    DiskService {
+        /// The serving disk.
+        station: StationId,
+        /// Cylinders the arm travelled to reach the target.
+        seek_cylinders: u32,
+        /// Rotational wait after the seek, in nanoseconds (always well
+        /// under one revolution, so `u32` never saturates).
+        rot_wait_ns: u32,
+    },
+    /// A request scheduler served a job out of arrival order (SSTF,
+    /// C-LOOK). Only reorders *within* a priority class — the
+    /// demand-before-prefetch rule is structural.
+    QueueReorder {
+        /// The station whose queue was reordered.
+        station: StationId,
+        /// Priority class the pick happened in.
+        class: u8,
+        /// Arrival-order index of the job that was served (≥ 1; index 0
+        /// would be FIFO order and is not reported).
+        picked: u32,
     },
 
     /// A demand access hit in the requesting node's own buffers.

@@ -43,10 +43,13 @@
 #![forbid(unsafe_code)]
 
 mod queue;
+pub mod service;
 mod station;
 pub mod stats;
 mod time;
 
+pub use lapobs::{StationId, StationKind};
 pub use queue::EventQueue;
+pub use service::{DeviceOp, FifoSched, JobSpec, MechDetail, Scheduler, ServiceCost, ServiceModel};
 pub use station::{Priority, StartedJob, Station, StationStats};
 pub use time::{SimDuration, SimTime};

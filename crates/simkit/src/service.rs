@@ -1,0 +1,149 @@
+//! Dispatch-time service models and pluggable request schedulers.
+//!
+//! The original [`Station`](crate::Station) API takes a
+//! caller-precomputed [`SimDuration`] at arrival time, which is exact
+//! for cost models of the form `constant + size/bandwidth` but cannot
+//! express geometry: on a real disk the cost of a request depends on
+//! where the head is *when the request starts*, i.e. on every job
+//! served in between. This module adds the two traits that move the
+//! cost decision to dispatch time:
+//!
+//! * [`ServiceModel`] — computes a [`ServiceCost`] for a [`JobSpec`]
+//!   the moment the job starts service, advancing its own internal
+//!   state (head position). The concrete disk and network models live
+//!   in the `devmodel` crate; `simkit` only defines the contract so the
+//!   station can consume it without a dependency cycle.
+//! * [`Scheduler`] — picks which waiting job of the *highest-priority
+//!   class* is served next. The class is always chosen first by the
+//!   station (demand before write-back before prefetch, the paper's §4
+//!   rule), so a scheduler can only reorder within a class.
+//!
+//! [`FifoSched`] is the built-in arrival-order discipline and the
+//! default of every station; its `is_fifo()` fast path keeps the
+//! classic FIFO dispatch allocation-free.
+
+use crate::time::{SimDuration, SimTime};
+
+/// What a station job asks of the device.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeviceOp {
+    /// Read `bytes` from position `pos`.
+    Read,
+    /// Write `bytes` to position `pos`.
+    Write,
+    /// Move `bytes` across a link (no position).
+    Message,
+}
+
+/// Device-level description of a job, consumed by a [`ServiceModel`]
+/// at dispatch time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JobSpec {
+    /// Operation kind.
+    pub op: DeviceOp,
+    /// Linear device position (e.g. the first LBA of the target
+    /// block); `None` for position-independent jobs.
+    pub pos: Option<u64>,
+    /// Bytes moved by the job.
+    pub bytes: u64,
+}
+
+/// Mechanical breakdown of a geometry-aware service, carried inside
+/// [`ServiceCost`] for observability.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MechDetail {
+    /// Cylinders the arm travelled.
+    pub seek_cylinders: u32,
+    /// Rotational wait after the seek.
+    pub rot_wait: SimDuration,
+}
+
+/// What serving one job costs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServiceCost {
+    /// Total service time (the station occupies the server this long).
+    pub total: SimDuration,
+    /// Mechanical breakdown, if the model computes one. Flat-cost
+    /// models return `None`, which also suppresses the per-operation
+    /// `DiskService` trace event.
+    pub mech: Option<MechDetail>,
+}
+
+impl ServiceCost {
+    /// A flat cost with no mechanical breakdown.
+    pub fn flat(total: SimDuration) -> Self {
+        ServiceCost { total, mech: None }
+    }
+}
+
+/// Computes service times at dispatch time, advancing internal device
+/// state (e.g. head position) as jobs are served.
+pub trait ServiceModel {
+    /// Current device position in the same linear space as
+    /// [`JobSpec::pos`], for seek-aware schedulers.
+    fn position(&self) -> u64 {
+        0
+    }
+
+    /// Cost of serving `job` starting at `now`. Must be deterministic
+    /// in `(self, now, job)` and update the model's state.
+    fn service(&mut self, now: SimTime, job: &JobSpec) -> ServiceCost;
+}
+
+/// Chooses which waiting job of the highest-priority class a station
+/// serves next.
+pub trait Scheduler: Send {
+    /// Short name for reports (`"fifo"`, `"sstf"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Given the device's current `head` position and the queued jobs'
+    /// positions in arrival order (`None` = position-independent),
+    /// return the index of the job to serve next. `queue` is never
+    /// empty and the result must be a valid index.
+    fn pick(&mut self, head: u64, queue: &[Option<u64>]) -> usize;
+
+    /// True if this scheduler always picks index 0. Lets the station
+    /// skip building the position slice on the hot path.
+    fn is_fifo(&self) -> bool {
+        false
+    }
+}
+
+/// Arrival-order service — the default discipline of every station and
+/// the baseline the reordering schedulers must degrade to.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FifoSched;
+
+impl Scheduler for FifoSched {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn pick(&mut self, _head: u64, _queue: &[Option<u64>]) -> usize {
+        0
+    }
+
+    fn is_fifo(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_always_picks_the_oldest() {
+        let mut s = FifoSched;
+        assert!(s.is_fifo());
+        assert_eq!(s.pick(100, &[Some(900), Some(100), None]), 0);
+        assert_eq!(s.name(), "fifo");
+    }
+
+    #[test]
+    fn flat_cost_has_no_breakdown() {
+        let c = ServiceCost::flat(SimDuration::from_micros(10));
+        assert_eq!(c.total.as_micros(), 10);
+        assert!(c.mech.is_none());
+    }
+}

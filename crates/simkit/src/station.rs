@@ -9,23 +9,32 @@
 //! non-preemptive: a prefetch already on the platter finishes even if a
 //! demand request arrives meanwhile.
 //!
+//! Two cost styles coexist:
+//!
+//! * **Fixed** — the caller precomputes a [`SimDuration`] at arrival
+//!   time ([`arrive`](Station::arrive)). This is the paper's original
+//!   `latency + size/bandwidth` model.
+//! * **Modelled** — the caller submits a [`JobSpec`] and a
+//!   [`ServiceModel`] prices the job *when it starts service*
+//!   ([`arrive_job`](Station::arrive_job)), so the cost can depend on
+//!   device state such as head position.
+//!
+//! Within a priority class, the pluggable [`Scheduler`] decides which
+//! waiting job starts next (FIFO by default; SSTF/C-LOOK live in
+//! `devmodel`). The class is always chosen first, so reordering can
+//! never serve a prefetch while demand work waits.
+//!
 //! The station is passive: `arrive` and `complete` tell the caller
 //! *when* the started job will finish, and the caller schedules that
 //! completion on its [`EventQueue`](crate::EventQueue).
 
 use std::collections::{BTreeMap, VecDeque};
 
-use lapobs::{Event, NoopRecorder, Recorder, StationId, StationKind};
+use lapobs::{Event, NoopRecorder, Recorder, StationId};
 
+use crate::service::{FifoSched, JobSpec, Scheduler, ServiceCost, ServiceModel};
 use crate::stats::TimeWeighted;
 use crate::time::{SimDuration, SimTime};
-
-/// Placeholder station identity for the un-instrumented entry points —
-/// only ever paired with [`NoopRecorder`], which drops it unseen.
-const NO_STATION: StationId = StationId {
-    kind: StationKind::Disk,
-    index: u32::MAX,
-};
 
 /// Scheduling priority of a job. **Lower values are served first.**
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -48,9 +57,26 @@ pub struct StartedJob<T> {
     pub completes_at: SimTime,
 }
 
+/// How a waiting job will be priced when it starts.
+enum JobCost {
+    /// Caller-precomputed service time.
+    Fixed(SimDuration),
+    /// Priced by a [`ServiceModel`] at dispatch time.
+    Modelled(JobSpec),
+}
+
+impl JobCost {
+    fn pos(&self) -> Option<u64> {
+        match self {
+            JobCost::Fixed(_) => None,
+            JobCost::Modelled(spec) => spec.pos,
+        }
+    }
+}
+
 struct Waiting<T> {
     tag: T,
-    service: SimDuration,
+    cost: JobCost,
     enqueued_at: SimTime,
 }
 
@@ -65,6 +91,8 @@ pub struct StationStats {
     pub waited: SimDuration,
     /// Jobs cancelled while still waiting in queue.
     pub cancelled: u64,
+    /// Jobs served out of arrival order by the scheduler.
+    pub reordered: u64,
 }
 
 impl StationStats {
@@ -74,16 +102,17 @@ impl StationStats {
         reg.gauge(format!("{prefix}.busy_s"), self.busy.as_secs_f64());
         reg.gauge(format!("{prefix}.waited_s"), self.waited.as_secs_f64());
         reg.counter(format!("{prefix}.cancelled"), self.cancelled);
+        reg.counter(format!("{prefix}.reordered"), self.reordered);
     }
 }
 
-/// A single server with priority classes and FIFO order within each
-/// class.
+/// A single server with priority classes and a pluggable dispatch order
+/// (FIFO by default) within each class.
 ///
 /// ```
-/// use simkit::{Priority, SimDuration, SimTime, Station};
+/// use simkit::{Priority, SimDuration, SimTime, Station, StationId};
 ///
-/// let mut disk: Station<&str> = Station::new();
+/// let mut disk: Station<&str> = Station::new(StationId::disk(0));
 /// let job = disk
 ///     .arrive(SimTime::ZERO, Priority::DEMAND, SimDuration::from_millis(10), "read")
 ///     .expect("idle disk starts immediately");
@@ -96,6 +125,10 @@ impl StationStats {
 /// assert_eq!(next.tag, "prefetch");
 /// ```
 pub struct Station<T> {
+    /// Identity of this station in the observability event stream.
+    sid: StationId,
+    /// Dispatch order within a priority class.
+    sched: Box<dyn Scheduler>,
     /// Completion time and priority class of the in-service job, if
     /// any. The tag itself is not stored: the caller keeps it inside
     /// the completion event it schedules, so storing it here would only
@@ -109,22 +142,35 @@ pub struct Station<T> {
     stats: StationStats,
 }
 
-impl<T> Default for Station<T> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 impl<T> Station<T> {
-    /// Create an idle station.
-    pub fn new() -> Self {
+    /// Create an idle station identified as `sid`, serving each
+    /// priority class in FIFO order.
+    pub fn new(sid: StationId) -> Self {
+        Self::with_scheduler(sid, Box::new(FifoSched))
+    }
+
+    /// Create an idle station with an explicit within-class dispatch
+    /// order.
+    pub fn with_scheduler(sid: StationId, sched: Box<dyn Scheduler>) -> Self {
         Station {
+            sid,
+            sched,
             current: None,
             queues: BTreeMap::new(),
             queued_len: 0,
             queue_track: TimeWeighted::new(SimTime::ZERO, 0.0),
             stats: StationStats::default(),
         }
+    }
+
+    /// This station's identity in the event stream.
+    pub fn sid(&self) -> StationId {
+        self.sid
+    }
+
+    /// Name of the within-class dispatch order (`"fifo"`, `"sstf"`, ...).
+    pub fn scheduler_name(&self) -> &'static str {
+        self.sched.name()
     }
 
     /// True if a job is currently in service.
@@ -147,7 +193,7 @@ impl<T> Station<T> {
         self.stats
     }
 
-    /// Submit a job at time `now` needing `service` time.
+    /// Submit a fixed-cost job at time `now` needing `service` time.
     ///
     /// If the server is idle the job starts immediately and its
     /// completion descriptor is returned — the caller must schedule a
@@ -160,56 +206,111 @@ impl<T> Station<T> {
         service: SimDuration,
         tag: T,
     ) -> Option<StartedJob<T>> {
-        self.arrive_obs(now, prio, service, tag, NO_STATION, &mut NoopRecorder)
+        self.arrive_obs(now, prio, service, tag, &mut NoopRecorder)
     }
 
-    /// [`arrive`](Self::arrive), emitting queue/service events for
-    /// station `sid` into `rec`. With [`NoopRecorder`] this is exactly
-    /// `arrive` — the emission sites compile away under static
-    /// dispatch.
+    /// [`arrive`](Self::arrive), emitting queue/service events into
+    /// `rec`. With [`NoopRecorder`] this is exactly `arrive` — the
+    /// emission sites compile away under static dispatch.
     pub fn arrive_obs<R: Recorder>(
         &mut self,
         now: SimTime,
         prio: Priority,
         service: SimDuration,
         tag: T,
-        sid: StationId,
         rec: &mut R,
     ) -> Option<StartedJob<T>> {
         if self.current.is_none() {
-            let completes_at = now + service;
-            self.stats.busy += service;
-            self.current = Some((completes_at, prio));
-            if rec.enabled() {
-                rec.record(
-                    now.as_nanos(),
-                    Event::ServiceBegin {
-                        station: sid,
-                        class: prio.0,
-                    },
-                );
-            }
-            Some(StartedJob { tag, completes_at })
+            Some(self.begin_service(now, prio, ServiceCost::flat(service), tag, rec))
         } else {
-            self.queues.entry(prio).or_default().push_back(Waiting {
-                tag,
-                service,
-                enqueued_at: now,
-            });
-            self.queued_len += 1;
-            self.queue_track.set(now, self.queued_len as f64);
-            if rec.enabled() {
-                rec.record(
-                    now.as_nanos(),
-                    Event::QueuePush {
-                        station: sid,
-                        class: prio.0,
-                        depth: self.queued_len as u32,
-                    },
-                );
-            }
+            self.push_waiting(now, prio, JobCost::Fixed(service), tag, rec);
             None
         }
+    }
+
+    /// Submit a model-priced job at time `now`. If the server is idle,
+    /// `model` prices the job immediately and it starts; otherwise the
+    /// [`JobSpec`] waits and is priced when dispatched (by
+    /// [`complete_job`](Self::complete_job)).
+    pub fn arrive_job<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        prio: Priority,
+        spec: JobSpec,
+        tag: T,
+        model: &mut dyn ServiceModel,
+        rec: &mut R,
+    ) -> Option<StartedJob<T>> {
+        if self.current.is_none() {
+            let cost = model.service(now, &spec);
+            Some(self.begin_service(now, prio, cost, tag, rec))
+        } else {
+            self.push_waiting(now, prio, JobCost::Modelled(spec), tag, rec);
+            None
+        }
+    }
+
+    fn push_waiting<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        prio: Priority,
+        cost: JobCost,
+        tag: T,
+        rec: &mut R,
+    ) {
+        self.queues.entry(prio).or_default().push_back(Waiting {
+            tag,
+            cost,
+            enqueued_at: now,
+        });
+        self.queued_len += 1;
+        self.queue_track.set(now, self.queued_len as f64);
+        if rec.enabled() {
+            rec.record(
+                now.as_nanos(),
+                Event::QueuePush {
+                    station: self.sid,
+                    class: prio.0,
+                    depth: self.queued_len as u32,
+                },
+            );
+        }
+    }
+
+    /// Mark the server busy with a freshly priced job and emit the
+    /// opening span (plus the mechanical breakdown, if the cost model
+    /// produced one).
+    fn begin_service<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        prio: Priority,
+        cost: ServiceCost,
+        tag: T,
+        rec: &mut R,
+    ) -> StartedJob<T> {
+        let completes_at = now + cost.total;
+        self.stats.busy += cost.total;
+        self.current = Some((completes_at, prio));
+        if rec.enabled() {
+            rec.record(
+                now.as_nanos(),
+                Event::ServiceBegin {
+                    station: self.sid,
+                    class: prio.0,
+                },
+            );
+            if let Some(mech) = cost.mech {
+                rec.record(
+                    now.as_nanos(),
+                    Event::DiskService {
+                        station: self.sid,
+                        seek_cylinders: mech.seek_cylinders,
+                        rot_wait_ns: mech.rot_wait.as_nanos().min(u32::MAX as u64) as u32,
+                    },
+                );
+            }
+        }
+        StartedJob { tag, completes_at }
     }
 
     /// Report that the in-service job finished at `now` (which must be
@@ -219,8 +320,11 @@ impl<T> Station<T> {
     /// # Panics
     /// Panics if the station is idle — a completion without a job in
     /// service means the driving loop lost track of the station state.
+    /// Also panics if the next queued job was submitted via
+    /// [`arrive_job`](Self::arrive_job): model-priced jobs must be
+    /// completed through [`complete_job`](Self::complete_job).
     pub fn complete(&mut self, now: SimTime) -> Option<StartedJob<T>> {
-        self.complete_obs(now, NO_STATION, &mut NoopRecorder)
+        self.complete_obs(now, &mut NoopRecorder)
     }
 
     /// [`complete`](Self::complete), emitting the closing service span
@@ -228,9 +332,26 @@ impl<T> Station<T> {
     pub fn complete_obs<R: Recorder>(
         &mut self,
         now: SimTime,
-        sid: StationId,
         rec: &mut R,
     ) -> Option<StartedJob<T>> {
+        self.finish_current(now, rec);
+        self.start_next(now, None, rec)
+    }
+
+    /// [`complete_obs`](Self::complete_obs) for stations fed through
+    /// [`arrive_job`](Self::arrive_job): `model` prices the next job at
+    /// dispatch time and informs the scheduler's head position.
+    pub fn complete_job<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        model: &mut dyn ServiceModel,
+        rec: &mut R,
+    ) -> Option<StartedJob<T>> {
+        self.finish_current(now, rec);
+        self.start_next(now, Some(model), rec)
+    }
+
+    fn finish_current<R: Recorder>(&mut self, now: SimTime, rec: &mut R) {
         let (completes_at, class) = self
             .current
             .take()
@@ -241,55 +362,74 @@ impl<T> Station<T> {
             rec.record(
                 now.as_nanos(),
                 Event::ServiceEnd {
-                    station: sid,
+                    station: self.sid,
                     class: class.0,
                 },
             );
         }
-        self.start_next(now, sid, rec)
     }
 
     fn start_next<R: Recorder>(
         &mut self,
         now: SimTime,
-        sid: StationId,
+        mut model: Option<&mut dyn ServiceModel>,
         rec: &mut R,
     ) -> Option<StartedJob<T>> {
         // BTreeMap iterates keys in ascending order: lowest value =
-        // highest priority first.
+        // highest priority first. The class is chosen before the
+        // scheduler runs, so reordering never crosses class boundaries.
         let prio = *self
             .queues
             .iter()
             .find(|(_, q)| !q.is_empty())
             .map(|(p, _)| p)?;
-        let job = self.queues.get_mut(&prio).unwrap().pop_front().unwrap();
+        let q = self.queues.get_mut(&prio).unwrap();
+        let idx = if self.sched.is_fifo() || q.len() == 1 {
+            0
+        } else {
+            let head = model.as_ref().map_or(0, |m| m.position());
+            let positions: Vec<Option<u64>> = q.iter().map(|w| w.cost.pos()).collect();
+            let idx = self.sched.pick(head, &positions);
+            debug_assert!(idx < q.len(), "scheduler picked an out-of-range job");
+            idx.min(q.len() - 1)
+        };
+        let job = q.remove(idx).unwrap();
+        if idx != 0 {
+            self.stats.reordered += 1;
+            if rec.enabled() {
+                rec.record(
+                    now.as_nanos(),
+                    Event::QueueReorder {
+                        station: self.sid,
+                        class: prio.0,
+                        picked: idx as u32,
+                    },
+                );
+            }
+        }
         self.queued_len -= 1;
         self.queue_track.set(now, self.queued_len as f64);
         self.stats.waited += now.saturating_since(job.enqueued_at);
-        let completes_at = now + job.service;
-        self.stats.busy += job.service;
-        self.current = Some((completes_at, prio));
+        let cost = match job.cost {
+            JobCost::Fixed(service) => ServiceCost::flat(service),
+            JobCost::Modelled(spec) => {
+                let model = model
+                    .as_mut()
+                    .expect("model-priced job dispatched without a ServiceModel: use complete_job");
+                model.service(now, &spec)
+            }
+        };
         if rec.enabled() {
             rec.record(
                 now.as_nanos(),
                 Event::QueuePop {
-                    station: sid,
+                    station: self.sid,
                     class: prio.0,
                     depth: self.queued_len as u32,
                 },
             );
-            rec.record(
-                now.as_nanos(),
-                Event::ServiceBegin {
-                    station: sid,
-                    class: prio.0,
-                },
-            );
         }
-        Some(StartedJob {
-            tag: job.tag,
-            completes_at,
-        })
+        Some(self.begin_service(now, prio, cost, job.tag, rec))
     }
 
     /// Remove all *waiting* jobs for which `pred` returns true at time
@@ -321,7 +461,6 @@ impl<T> Station<T> {
         &mut self,
         now: SimTime,
         pred: impl FnMut(&T) -> bool,
-        sid: StationId,
         rec: &mut R,
     ) -> Vec<T> {
         let out = self.cancel_where(now, pred);
@@ -329,7 +468,7 @@ impl<T> Station<T> {
             rec.record(
                 now.as_nanos(),
                 Event::Cancelled {
-                    station: sid,
+                    station: self.sid,
                     count: out.len() as u32,
                 },
             );
@@ -388,6 +527,7 @@ impl<T> Station<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::{DeviceOp, MechDetail};
 
     fn t(us: u64) -> SimTime {
         SimTime::from_nanos(us * 1_000)
@@ -395,10 +535,13 @@ mod tests {
     fn d(us: u64) -> SimDuration {
         SimDuration::from_micros(us)
     }
+    fn sid() -> StationId {
+        StationId::disk(0)
+    }
 
     #[test]
     fn idle_station_starts_job_immediately() {
-        let mut s: Station<&str> = Station::new();
+        let mut s: Station<&str> = Station::new(sid());
         let started = s.arrive(t(0), Priority::DEMAND, d(10), "a").unwrap();
         assert_eq!(started.completes_at, t(10));
         assert!(s.is_busy());
@@ -407,7 +550,7 @@ mod tests {
 
     #[test]
     fn busy_station_queues_and_serves_fifo() {
-        let mut s: Station<u32> = Station::new();
+        let mut s: Station<u32> = Station::new(sid());
         s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
         assert!(s.arrive(t(1), Priority::DEMAND, d(5), 1).is_none());
         assert!(s.arrive(t(2), Priority::DEMAND, d(5), 2).is_none());
@@ -417,11 +560,12 @@ mod tests {
         assert_eq!((n2.tag, n2.completes_at), (2, t(20)));
         assert!(s.complete(t(20)).is_none());
         assert_eq!(s.stats().completed, 3);
+        assert_eq!(s.stats().reordered, 0);
     }
 
     #[test]
     fn demand_overtakes_prefetch() {
-        let mut s: Station<&str> = Station::new();
+        let mut s: Station<&str> = Station::new(sid());
         s.arrive(t(0), Priority::DEMAND, d(10), "busy").unwrap();
         s.arrive(t(1), Priority::PREFETCH, d(5), "pf");
         s.arrive(t(2), Priority::DEMAND, d(5), "demand");
@@ -433,7 +577,7 @@ mod tests {
 
     #[test]
     fn service_is_non_preemptive() {
-        let mut s: Station<&str> = Station::new();
+        let mut s: Station<&str> = Station::new(sid());
         s.arrive(t(0), Priority::PREFETCH, d(10), "pf").unwrap();
         // Demand arrival does not interrupt the prefetch in service.
         s.arrive(t(1), Priority::DEMAND, d(2), "demand");
@@ -444,7 +588,7 @@ mod tests {
 
     #[test]
     fn cancel_where_removes_only_waiting_jobs() {
-        let mut s: Station<u32> = Station::new();
+        let mut s: Station<u32> = Station::new(sid());
         s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
         s.arrive(t(1), Priority::PREFETCH, d(5), 1);
         s.arrive(t(2), Priority::PREFETCH, d(5), 2);
@@ -460,7 +604,7 @@ mod tests {
 
     #[test]
     fn promote_moves_prefetch_to_demand_class() {
-        let mut s: Station<u32> = Station::new();
+        let mut s: Station<u32> = Station::new(sid());
         s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
         s.arrive(t(1), Priority::PREFETCH, d(5), 10);
         s.arrive(t(2), Priority::PREFETCH, d(5), 11);
@@ -474,7 +618,7 @@ mod tests {
 
     #[test]
     fn wait_time_accounting() {
-        let mut s: Station<u32> = Station::new();
+        let mut s: Station<u32> = Station::new(sid());
         s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
         s.arrive(t(4), Priority::DEMAND, d(1), 1);
         s.complete(t(10));
@@ -484,7 +628,7 @@ mod tests {
 
     #[test]
     fn utilization_tracks_busy_fraction() {
-        let mut s: Station<u32> = Station::new();
+        let mut s: Station<u32> = Station::new(sid());
         s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
         s.complete(t(10));
         assert!((s.utilization(t(20)) - 0.5).abs() < 1e-12);
@@ -493,7 +637,7 @@ mod tests {
 
     #[test]
     fn mean_queue_length_is_time_weighted() {
-        let mut s: Station<u32> = Station::new();
+        let mut s: Station<u32> = Station::new(sid());
         s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
         // One job waits from t=0 to t=10, then none until t=20.
         s.arrive(t(0), Priority::DEMAND, d(10), 1);
@@ -505,7 +649,181 @@ mod tests {
     #[test]
     #[should_panic(expected = "while idle")]
     fn completing_idle_station_panics() {
-        let mut s: Station<u32> = Station::new();
+        let mut s: Station<u32> = Station::new(sid());
         s.complete(t(0));
+    }
+
+    /// A toy model: service = 1 µs per unit of distance from the head
+    /// to the job, plus 1 µs; the head moves to the job's position.
+    struct ToyDisk {
+        head: u64,
+    }
+
+    impl ServiceModel for ToyDisk {
+        fn position(&self) -> u64 {
+            self.head
+        }
+        fn service(&mut self, _now: SimTime, job: &JobSpec) -> ServiceCost {
+            let pos = job.pos.unwrap_or(self.head);
+            let dist = pos.abs_diff(self.head);
+            self.head = pos;
+            ServiceCost {
+                total: d(1 + dist),
+                mech: Some(MechDetail {
+                    seek_cylinders: dist as u32,
+                    rot_wait: SimDuration::ZERO,
+                }),
+            }
+        }
+    }
+
+    fn read_at(pos: u64) -> JobSpec {
+        JobSpec {
+            op: DeviceOp::Read,
+            pos: Some(pos),
+            bytes: 8192,
+        }
+    }
+
+    #[test]
+    fn modelled_jobs_are_priced_at_dispatch_time() {
+        let mut disk = ToyDisk { head: 0 };
+        let mut s: Station<u32> = Station::new(sid());
+        // Starts immediately: distance 5 → 6 µs.
+        let j = s
+            .arrive_job(
+                t(0),
+                Priority::DEMAND,
+                read_at(5),
+                0,
+                &mut disk,
+                &mut NoopRecorder,
+            )
+            .unwrap();
+        assert_eq!(j.completes_at, t(6));
+        // Queued while busy; priced only when it starts, from the head
+        // position the first job left behind (5 → 7 is distance 2).
+        assert!(s
+            .arrive_job(
+                t(1),
+                Priority::DEMAND,
+                read_at(7),
+                1,
+                &mut disk,
+                &mut NoopRecorder
+            )
+            .is_none());
+        let n = s.complete_job(t(6), &mut disk, &mut NoopRecorder).unwrap();
+        assert_eq!((n.tag, n.completes_at), (1, t(9)));
+        assert_eq!(disk.head, 7);
+    }
+
+    /// A scheduler that always serves the job closest to the head.
+    struct Nearest;
+    impl Scheduler for Nearest {
+        fn name(&self) -> &'static str {
+            "nearest"
+        }
+        fn pick(&mut self, head: u64, queue: &[Option<u64>]) -> usize {
+            queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, p)| (p.map_or(0, |p| p.abs_diff(head)), *i))
+                .map(|(i, _)| i)
+                .unwrap()
+        }
+    }
+
+    #[test]
+    fn scheduler_reorders_within_class_only() {
+        let mut disk = ToyDisk { head: 0 };
+        let mut s: Station<u32> = Station::with_scheduler(sid(), Box::new(Nearest));
+        s.arrive_job(
+            t(0),
+            Priority::DEMAND,
+            read_at(0),
+            0,
+            &mut disk,
+            &mut NoopRecorder,
+        )
+        .unwrap();
+        // Prefetch at distance 1, demands at distance 90 and 80.
+        s.arrive_job(
+            t(1),
+            Priority::PREFETCH,
+            read_at(1),
+            10,
+            &mut disk,
+            &mut NoopRecorder,
+        );
+        s.arrive_job(
+            t(2),
+            Priority::DEMAND,
+            read_at(90),
+            20,
+            &mut disk,
+            &mut NoopRecorder,
+        );
+        s.arrive_job(
+            t(3),
+            Priority::DEMAND,
+            read_at(80),
+            21,
+            &mut disk,
+            &mut NoopRecorder,
+        );
+        // Demand class drains first even though the prefetch is nearer,
+        // and within the class the nearer demand (80) wins.
+        let n = s.complete_job(t(1), &mut disk, &mut NoopRecorder).unwrap();
+        assert_eq!(n.tag, 21);
+        assert_eq!(s.stats().reordered, 1);
+        let n = s
+            .complete_job(n.completes_at, &mut disk, &mut NoopRecorder)
+            .unwrap();
+        assert_eq!(n.tag, 20);
+        let n = s
+            .complete_job(n.completes_at, &mut disk, &mut NoopRecorder)
+            .unwrap();
+        assert_eq!(n.tag, 10);
+    }
+
+    #[test]
+    fn reorder_emits_event_and_stat() {
+        let mut disk = ToyDisk { head: 0 };
+        let mut s: Station<u32> = Station::with_scheduler(sid(), Box::new(Nearest));
+        s.arrive_job(
+            t(0),
+            Priority::DEMAND,
+            read_at(0),
+            0,
+            &mut disk,
+            &mut NoopRecorder,
+        )
+        .unwrap();
+        s.arrive_job(
+            t(1),
+            Priority::DEMAND,
+            read_at(50),
+            1,
+            &mut disk,
+            &mut NoopRecorder,
+        );
+        s.arrive_job(
+            t(2),
+            Priority::DEMAND,
+            read_at(2),
+            2,
+            &mut disk,
+            &mut NoopRecorder,
+        );
+        let mut rec = lapobs::TraceRecorder::new();
+        let n = s.complete_job(t(1), &mut disk, &mut rec).unwrap();
+        assert_eq!(n.tag, 2);
+        assert!(rec
+            .events()
+            .any(|(_, e)| matches!(e, Event::QueueReorder { picked: 1, .. })));
+        assert!(rec
+            .events()
+            .any(|(_, e)| matches!(e, Event::DiskService { .. })));
     }
 }

@@ -3,7 +3,7 @@
 //! offline). Each test sweeps many seeds; a failure message names the
 //! seed so the case can be replayed exactly.
 
-use simkit::{EventQueue, Priority, SimDuration, SimTime, Station};
+use simkit::{EventQueue, Priority, SimDuration, SimTime, Station, StationId};
 
 /// SplitMix64 — enough randomness for generating test cases.
 struct Rng(u64);
@@ -64,7 +64,7 @@ fn station_conserves_jobs() {
             .map(|_| (rng.below(0, 2) as u8, rng.below(1, 100)))
             .collect();
 
-        let mut station: Station<usize> = Station::new();
+        let mut station: Station<usize> = Station::new(StationId::disk(0));
         let mut queue: EventQueue<usize> = EventQueue::new();
         let mut started = std::collections::HashSet::new();
         let mut completed = std::collections::HashSet::new();
@@ -110,7 +110,7 @@ fn station_fifo_within_class() {
     for seed in 0..32u64 {
         let mut rng = Rng(seed ^ 0xF1F0);
         let n = rng.below(2, 50) as usize;
-        let mut station: Station<usize> = Station::new();
+        let mut station: Station<usize> = Station::new(StationId::disk(0));
         let first = station
             .arrive(
                 SimTime::ZERO,

@@ -14,4 +14,18 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --offline --workspace --all-targets
 run cargo test --offline --workspace
 
+# Experiment-harness smoke: table1 + the devmodel ablation at small
+# scale. Catches panics and degenerate results the unit tests can't —
+# the binary asserts every cell is finite and did real work.
+run ./target/debug/experiments --smoke
+
+# Golden-trace freshness: the test suite passes when golden files match,
+# but a stale tree (someone regenerated with UPDATE_GOLDEN and forgot to
+# commit, or edited a golden by hand) must not slip through.
+echo "==> golden-trace freshness"
+if ! git diff --exit-code -- tests/golden; then
+    echo "tests/golden is dirty — commit the regenerated files" >&2
+    exit 1
+fi
+
 echo "==> ci: all green"

@@ -26,6 +26,8 @@ struct Args {
     seed: u64,
     scale: String,
     warmup_secs: u64,
+    disk_model: String,
+    disk_sched: DiskSched,
     verbose: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -36,10 +38,14 @@ fn usage() -> ! {
     eprintln!("              [--machine pm|now] [--system pafs|xfs|local]");
     eprintln!("              [--algo NAME] [--cache-mb N] [--seed N]");
     eprintln!("              [--scale small|paper] [--warmup SECS] [-v]");
+    eprintln!("              [--disk-model fixed|geom] [--disk-sched fifo|sstf|clook]");
     eprintln!("              [--trace-out FILE] [--metrics-out FILE]");
     eprintln!();
     eprintln!("algorithms: np, oba, ln_agr_oba, is_ppm:J, ln_agr_is_ppm:J,");
     eprintln!("            is_ppm_backoff:J, ln_agr_is_ppm_backoff:J");
+    eprintln!();
+    eprintln!("disk models: fixed = the paper's constant service times (default);");
+    eprintln!("             geom  = calibrated geometry (seek curve + rotation)");
     exit(2);
 }
 
@@ -71,6 +77,8 @@ fn parse_args() -> Args {
         seed: 42,
         scale: "small".into(),
         warmup_secs: 0,
+        disk_model: "fixed".into(),
+        disk_sched: DiskSched::Fifo,
         verbose: false,
         trace_out: None,
         metrics_out: None,
@@ -107,6 +115,19 @@ fn parse_args() -> Args {
                 out.warmup_secs = args
                     .next()
                     .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--disk-model" => {
+                out.disk_model = match args.next().as_deref() {
+                    Some(m @ ("fixed" | "geom")) => m.into(),
+                    _ => usage(),
+                }
+            }
+            "--disk-sched" => {
+                out.disk_sched = args
+                    .next()
+                    .as_deref()
+                    .and_then(DiskSched::parse)
                     .unwrap_or_else(|| usage())
             }
             "--trace-out" => out.trace_out = Some(args.next().unwrap_or_else(|| usage())),
@@ -161,6 +182,10 @@ fn main() {
         config.machine.disks = config.machine.disks.min(workload.nodes.max(2));
     }
     config.warmup = SimDuration::from_secs(args.warmup_secs);
+    if args.disk_model == "geom" {
+        config.machine = config.machine.with_geometry();
+    }
+    config.machine.disk_sched = args.disk_sched;
 
     let t0 = std::time::Instant::now();
     let report = if let Some(trace_path) = &args.trace_out {

@@ -14,6 +14,9 @@
 //!   evaluates on: PAFS (centralized) and xFS (serverless, N-chance).
 //! * [`ioworkload`] — the trace model and the synthetic CHARISMA-like
 //!   (parallel machine) and Sprite-like (NOW) workload generators.
+//! * [`devmodel`] — device models: geometry-aware disks (seek curve,
+//!   rotational latency, extent layout), segmented network links, and
+//!   the SSTF/C-LOOK request schedulers.
 //! * [`simkit`] — the deterministic discrete-event engine underneath.
 //! * [`lapobs`] — zero-overhead observability: typed simulation
 //!   events, the unified metrics registry, and the Chrome-trace
@@ -51,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub use coopcache;
+pub use devmodel;
 pub use ioworkload;
 pub use lap_core;
 pub use lapobs;
@@ -62,6 +66,7 @@ pub mod prelude {
     pub use coopcache::{
         CacheStats, CooperativeCache, LocalOnlyCache, PafsCache, Replacement, XfsCache,
     };
+    pub use devmodel::{DiskGeometry, DiskModelKind, DiskSched, LinkModel, NetModelKind};
     pub use ioworkload::charisma::CharismaParams;
     pub use ioworkload::sprite::SpriteParams;
     pub use ioworkload::{BlockId, FileId, NodeId, Op, ProcId, Workload};
