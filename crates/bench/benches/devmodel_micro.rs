@@ -14,6 +14,7 @@ fn read_job(pos: u64) -> JobSpec {
         op: DeviceOp::Read,
         pos: Some(pos),
         bytes: 8192,
+        rid: 0,
     }
 }
 

@@ -29,6 +29,7 @@ struct Options {
     out: Option<PathBuf>,
     threads: usize,
     obs: bool,
+    bench_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -39,6 +40,7 @@ fn parse_args() -> Options {
         out: None,
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         obs: false,
+        bench_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -79,6 +81,12 @@ fn parse_args() -> Options {
                 })
             }
             "--obs" => opts.obs = true,
+            "--bench-out" => {
+                opts.bench_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--bench-out needs a file path");
+                    std::process::exit(2);
+                })))
+            }
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -86,7 +94,7 @@ fn parse_args() -> Options {
             id => opts.ids.push(id.to_string()),
         }
     }
-    if opts.ids.is_empty() {
+    if opts.ids.is_empty() && opts.bench_out.is_none() {
         print_help();
         std::process::exit(2);
     }
@@ -102,6 +110,8 @@ fn print_help() {
         "usage: experiments <ids...> [--scale small|paper] [--seed N] [--out DIR] [--threads N] [--obs] [--smoke]"
     );
     eprintln!("  --smoke  CI sanity mode: runs table1 + devmodel at small scale");
+    eprintln!("  --bench-out FILE  write a machine-readable BENCH.json snapshot of the");
+    eprintln!("                    seed scenarios (diff with `lapreport bench-diff`)");
     eprintln!(
         "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, devmodel, or any of:"
     );
@@ -172,6 +182,73 @@ fn main() {
             }
         }
     }
+
+    if let Some(path) = &opts.bench_out {
+        bench_json(&opts, path);
+    }
+}
+
+/// The benchmark seed scenarios: one cell per workload × system ×
+/// predictor that the regression snapshot tracks (mirrors the seed
+/// scenarios in `tests/devmodel.rs`).
+fn bench_scenarios() -> [(&'static str, WorkloadKind, CacheSystem, PrefetchConfig, u64); 4] {
+    [
+        (
+            "charisma/pafs/ln_agr_is_ppm:1/4MB",
+            WorkloadKind::CharismaPm,
+            CacheSystem::Pafs,
+            PrefetchConfig::ln_agr_is_ppm(1),
+            4,
+        ),
+        (
+            "charisma/pafs/np/4MB",
+            WorkloadKind::CharismaPm,
+            CacheSystem::Pafs,
+            PrefetchConfig::np(),
+            4,
+        ),
+        (
+            "charisma/pafs/oba/4MB",
+            WorkloadKind::CharismaPm,
+            CacheSystem::Pafs,
+            PrefetchConfig::oba(),
+            4,
+        ),
+        (
+            "sprite/xfs/ln_agr_is_ppm:1/2MB",
+            WorkloadKind::SpriteNow,
+            CacheSystem::Xfs,
+            PrefetchConfig::ln_agr_is_ppm(1),
+            2,
+        ),
+    ]
+}
+
+/// Write a machine-readable benchmark snapshot: one scenario object
+/// per line (so `lapreport bench-diff` can scan it without a JSON
+/// parser). Simulated results are deterministic; `wall_ms` is machine
+/// noise and explicitly ignored by the differ.
+fn bench_json(opts: &Options, path: &PathBuf) {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n\"schema\": 1,\n\"scenarios\": [\n");
+    for (i, (name, kind, system, pf, mb)) in bench_scenarios().into_iter().enumerate() {
+        let wl = build_workload(kind, opts.scale, opts.seed);
+        let cfg = build_config(kind, opts.scale, system, pf, mb);
+        let t0 = std::time::Instant::now();
+        let r = run_simulation(cfg, wl);
+        let _ = writeln!(
+            out,
+            "{{\"name\":\"{name}\",\"avg_read_ms\":{},\"reads\":{},\"disk_accesses\":{},\"wall_ms\":{}}}{}",
+            r.avg_read_ms,
+            r.reads,
+            r.disk_accesses(),
+            t0.elapsed().as_millis(),
+            if i + 1 < 4 { "," } else { "" }
+        );
+    }
+    out.push_str("]\n}\n");
+    fs::write(path, &out).expect("write bench snapshot");
+    println!("wrote {}", path.display());
 }
 
 /// Flatten every cell's unified metrics registry into one long-format

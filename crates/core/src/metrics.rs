@@ -8,6 +8,119 @@ use prefetch::PrefetchStats;
 use simkit::stats::{LatencyHistogram, Series};
 use simkit::{SimDuration, SimTime};
 
+/// Where a completed read's latency went — one duration per span
+/// component, summing exactly to the request's end-to-end latency.
+///
+/// The components mirror the stages a request can spend time in:
+/// `cache_lookup` (directory/coordination lookups — priced at zero by
+/// the current machine model, kept in the schema so the breakdown is
+/// stable if a lookup cost is ever added), disk-queue wait, seek,
+/// rotational wait, the on-platter transfer, the final local memory
+/// copy, the remote-delivery startup hops (`coordination`) and the
+/// wire time (`network`).
+#[derive(Clone, Copy, Default, Debug)]
+pub(crate) struct SpanBreakdown {
+    pub cache_lookup: SimDuration,
+    pub queue: SimDuration,
+    pub seek: SimDuration,
+    pub rotation: SimDuration,
+    pub disk_transfer: SimDuration,
+    pub transfer: SimDuration,
+    pub coordination: SimDuration,
+    pub network: SimDuration,
+}
+
+impl SpanBreakdown {
+    /// Sum of every component — must equal the request latency.
+    pub fn total(&self) -> SimDuration {
+        self.cache_lookup
+            + self.queue
+            + self.seek
+            + self.rotation
+            + self.disk_transfer
+            + self.transfer
+            + self.coordination
+            + self.network
+    }
+}
+
+/// How prefetching worked out for one completed read.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ReadOutcome {
+    /// Every block was cached and none of them came from a prefetch.
+    DemandHit,
+    /// Every block was cached and at least one was prefetched — the
+    /// prefetcher fully hid the disk.
+    CoveredByPrefetch,
+    /// The read waited on an in-flight prefetch: the prediction was
+    /// right but late. The slack is how long the read stalled.
+    LatePrefetch,
+    /// At least one block needed a fresh demand fetch (or the read
+    /// waited on another request's demand fetch).
+    Miss,
+}
+
+/// Per-component latency histograms plus prefetch-outcome counters,
+/// accumulated for every post-warm-up read. Always on — the breakdown
+/// is pure arithmetic on state the simulation already tracks, so the
+/// traced and untraced paths stay identical.
+#[derive(Debug, Default)]
+pub(crate) struct SpanMetrics {
+    pub cache_lookup: LatencyHistogram,
+    pub queue: LatencyHistogram,
+    pub seek: LatencyHistogram,
+    pub rotation: LatencyHistogram,
+    pub disk_transfer: LatencyHistogram,
+    pub transfer: LatencyHistogram,
+    pub coordination: LatencyHistogram,
+    pub network: LatencyHistogram,
+    /// Stall time of late-prefetch reads only.
+    pub late_slack: LatencyHistogram,
+    pub demand_hit: u64,
+    pub covered: u64,
+    pub late: u64,
+    pub miss: u64,
+}
+
+impl SpanMetrics {
+    fn record(&mut self, b: &SpanBreakdown, outcome: ReadOutcome, slack: SimDuration) {
+        self.cache_lookup.record(b.cache_lookup);
+        self.queue.record(b.queue);
+        self.seek.record(b.seek);
+        self.rotation.record(b.rotation);
+        self.disk_transfer.record(b.disk_transfer);
+        self.transfer.record(b.transfer);
+        self.coordination.record(b.coordination);
+        self.network.record(b.network);
+        match outcome {
+            ReadOutcome::DemandHit => self.demand_hit += 1,
+            ReadOutcome::CoveredByPrefetch => self.covered += 1,
+            ReadOutcome::LatePrefetch => {
+                self.late += 1;
+                self.late_slack.record(slack);
+            }
+            ReadOutcome::Miss => self.miss += 1,
+        }
+    }
+
+    fn register_into(&self, reg: &mut lapobs::Registry) {
+        self.cache_lookup.register_into(reg, "span.cache_lookup_us");
+        self.queue.register_into(reg, "span.queue_us");
+        self.seek.register_into(reg, "span.seek_us");
+        self.rotation.register_into(reg, "span.rotation_us");
+        self.disk_transfer
+            .register_into(reg, "span.disk_transfer_us");
+        self.transfer.register_into(reg, "span.transfer_us");
+        self.coordination.register_into(reg, "span.coordination_us");
+        self.network.register_into(reg, "span.network_us");
+        self.late_slack.register_into(reg, "prefetch.late_slack_us");
+        reg.counter("span.outcome_demand_hit", self.demand_hit);
+        reg.counter("span.outcome_covered_by_prefetch", self.covered);
+        reg.counter("span.outcome_late_prefetch", self.late);
+        reg.counter("span.outcome_miss", self.miss);
+    }
+}
+
 /// Live metric accumulators, updated by the simulation loop. Samples
 /// taken before the warm-up boundary are kept separately and excluded
 /// from the headline numbers, like the paper's warm-up hours.
@@ -43,6 +156,8 @@ pub(crate) struct Metrics {
     pub prefetch_absorbed: u64,
     /// Demand fetches coalesced onto an already-pending demand fetch.
     pub demand_coalesced: u64,
+    /// Per-read latency attribution and prefetch outcomes.
+    pub spans: SpanMetrics,
 }
 
 impl Metrics {
@@ -62,6 +177,7 @@ impl Metrics {
             writes_per_block: HashMap::new(),
             prefetch_absorbed: 0,
             demand_coalesced: 0,
+            spans: SpanMetrics::default(),
         }
     }
 
@@ -86,6 +202,21 @@ impl Metrics {
     pub fn record_write(&mut self, now: SimTime, latency: SimDuration) {
         if self.warm(now) {
             self.write_time.record_duration_ms(latency);
+        }
+    }
+
+    /// Record one completed read's latency attribution, classified by
+    /// the request *start* time like [`record_read`](Self::record_read)
+    /// (warm-up reads are dropped).
+    pub fn record_span(
+        &mut self,
+        started: SimTime,
+        b: &SpanBreakdown,
+        outcome: ReadOutcome,
+        slack: SimDuration,
+    ) {
+        if self.warm(started) {
+            self.spans.record(b, outcome, slack);
         }
     }
 
@@ -122,6 +253,7 @@ impl Metrics {
         reg.counter("disk.warmup_ops", self.disk_ops_warmup);
         reg.counter("prefetch.absorbed_in_flight", self.prefetch_absorbed);
         reg.counter("demand.coalesced", self.demand_coalesced);
+        self.spans.register_into(reg);
     }
 }
 

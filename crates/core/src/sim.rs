@@ -44,12 +44,14 @@ use coopcache::{
 };
 use devmodel::DiskModel;
 use ioworkload::{BlockId, FileId, NodeId, Op, ProcId, Workload};
-use lapobs::{Event, NoopRecorder, Obs, Recorder, StationId};
+use lapobs::{Event, NoopRecorder, Obs, Recorder, StationId, NO_RID};
 use prefetch::{FilePrefetcher, PrefetchStats, Request};
-use simkit::{DeviceOp, EventQueue, JobSpec, Priority, SimDuration, SimTime, Station};
+use simkit::{
+    DeviceOp, EventQueue, JobSpec, Priority, ServiceCost, SimDuration, SimTime, StartedJob, Station,
+};
 
 use crate::config::{CacheSystem, SimConfig};
-use crate::metrics::{Metrics, SimReport};
+use crate::metrics::{Metrics, ReadOutcome, SimReport, SpanBreakdown};
 
 /// Disk-queue priorities: demand reads first, write-backs next,
 /// prefetches last.
@@ -77,6 +79,17 @@ struct PfKey {
     file: FileId,
 }
 
+/// Dispatch record of an in-flight fetch's disk service, captured when
+/// the job starts — the raw material for attributing a waiting read's
+/// latency to queueing vs. mechanical time once the fetch lands.
+#[derive(Clone, Copy)]
+struct FetchSvc {
+    /// When the disk began serving the fetch.
+    begin: SimTime,
+    /// The priced service, including any mechanical breakdown.
+    cost: ServiceCost,
+}
+
 /// An in-flight disk fetch.
 struct PendingFetch {
     /// Issued by the prefetcher (still counts as a prefetch unless a
@@ -90,6 +103,9 @@ struct PendingFetch {
     node: NodeId,
     /// Requests waiting on this block.
     waiters: Vec<ReqId>,
+    /// Service record, filled when the disk starts the job (`None`
+    /// while the job still waits in queue).
+    svc: Option<FetchSvc>,
 }
 
 /// Work items on a disk queue.
@@ -124,6 +140,13 @@ struct ReqState {
     bytes: u64,
     remaining: usize,
     all_local: bool,
+    /// Request id stamped on this read's trace events.
+    rid: u32,
+    /// At least one block needed a fresh demand fetch.
+    fresh_miss: bool,
+    /// At least one block joined an in-flight *prefetch* fetch — a
+    /// correct-but-late prediction.
+    joined_prefetch: bool,
 }
 
 /// The simulator. Build with [`Simulation::new`], run with
@@ -151,6 +174,10 @@ pub struct Simulation<R: Recorder = NoopRecorder> {
     metrics: Metrics,
     file_blocks: Vec<u64>,
     active_procs: usize,
+    /// Next request id: allocated densely, one per demand read
+    /// (including pure cache hits), so every trace event of one read
+    /// shares an id.
+    next_rid: u32,
     rec: R,
 }
 
@@ -249,6 +276,7 @@ impl<R: Recorder> Simulation<R> {
             metrics,
             file_blocks,
             active_procs,
+            next_rid: 0,
             rec,
         }
     }
@@ -346,8 +374,11 @@ impl<R: Recorder> Simulation<R> {
         let bs = self.workload.block_size;
         let req = Request::from_bytes(offset, len, bs).expect("validated non-empty");
         let node = self.procs[p.0 as usize].node;
+        let rid = self.next_rid;
+        self.next_rid += 1;
 
         let snap = self.snap_stats();
+        let prefetch_used_before = self.cache.stats().prefetch_used;
         let mut all_local = true;
         let mut missing: Vec<BlockId> = Vec::new();
         for b in req.blocks() {
@@ -355,12 +386,13 @@ impl<R: Recorder> Simulation<R> {
             let outcome = self.cache.access(node, block, false);
             if self.rec.enabled() {
                 let ev = match outcome.lookup {
-                    Lookup::LocalHit => Event::CacheHitLocal { node: node.0 },
+                    Lookup::LocalHit => Event::CacheHitLocal { node: node.0, rid },
                     Lookup::RemoteHit { holder } => Event::CacheHitRemote {
                         node: node.0,
                         holder: holder.0,
+                        rid,
                     },
-                    Lookup::Miss => Event::CacheMiss { node: node.0 },
+                    Lookup::Miss => Event::CacheMiss { node: node.0, rid },
                 };
                 self.rec.record(now.as_nanos(), ev);
             }
@@ -375,15 +407,18 @@ impl<R: Recorder> Simulation<R> {
             }
         }
         self.emit_cache_delta(snap, now);
+        let used_prefetch = self.cache.stats().prefetch_used > prefetch_used_before;
 
-        let rid = self.reqs.len();
+        let req_idx = self.reqs.len();
         let mut remaining = 0;
         let mut fresh_misses = 0u32;
+        let mut joined_prefetch = false;
         for block in missing {
             let key = self.fetch_key(node, block);
             remaining += 1;
             if let Some(pf) = self.pending.get_mut(&key) {
-                pf.waiters.push(rid);
+                pf.waiters.push(req_idx);
+                joined_prefetch |= pf.prefetch;
                 if pf.prefetch && !pf.demanded {
                     pf.demanded = true;
                     self.metrics.prefetch_absorbed += 1;
@@ -393,6 +428,7 @@ impl<R: Recorder> Simulation<R> {
                             Event::PrefetchAbsorbed {
                                 file: block.file.0,
                                 block: block.index,
+                                rid,
                             },
                         );
                     }
@@ -413,10 +449,11 @@ impl<R: Recorder> Simulation<R> {
                         demanded: true,
                         pf_owner: None,
                         node,
-                        waiters: vec![rid],
+                        waiters: vec![req_idx],
+                        svc: None,
                     },
                 );
-                self.issue_fetch(key, false, now);
+                self.issue_fetch(key, false, rid, now);
             }
         }
 
@@ -425,12 +462,20 @@ impl<R: Recorder> Simulation<R> {
         // fully covered by residency or in-flight fetches confirms the
         // walk; a fresh miss tells it its prefetched blocks were
         // evicted.
-        self.notify_prefetcher(node, file, req, fresh_misses == 0, now);
+        self.notify_prefetcher(node, file, req, fresh_misses == 0, rid, now);
 
         let bytes = req.size * bs;
         if remaining == 0 {
             let cost = self.transfer_cost(bytes, all_local);
             self.metrics.record_read(now, cost);
+            let breakdown = self.delivery_breakdown(bytes, all_local);
+            let outcome = if used_prefetch {
+                ReadOutcome::CoveredByPrefetch
+            } else {
+                ReadOutcome::DemandHit
+            };
+            self.metrics
+                .record_span(now, &breakdown, outcome, SimDuration::ZERO);
             if self.rec.enabled() {
                 self.rec.record(
                     now.as_nanos(),
@@ -438,6 +483,7 @@ impl<R: Recorder> Simulation<R> {
                         proc: p.0,
                         node: node.0,
                         latency: cost.as_nanos(),
+                        rid,
                     },
                 );
             }
@@ -449,6 +495,9 @@ impl<R: Recorder> Simulation<R> {
                 bytes,
                 remaining,
                 all_local,
+                rid,
+                fresh_miss: fresh_misses > 0,
+                joined_prefetch,
             });
         }
     }
@@ -487,8 +536,9 @@ impl<R: Recorder> Simulation<R> {
         self.emit_cache_delta(snap, now);
 
         // Writes allocate in place and never need the data fetched, so
-        // they carry no residency signal for the walk.
-        self.notify_prefetcher(node, file, req, true, now);
+        // they carry no residency signal for the walk (and no demand
+        // read id to attribute prefetches to).
+        self.notify_prefetcher(node, file, req, true, NO_RID, now);
 
         let cost = self.transfer_cost(req.size * bs, all_local);
         self.metrics.record_write(now, cost);
@@ -505,8 +555,8 @@ impl<R: Recorder> Simulation<R> {
         self.queue.schedule(now + cost, Ev::Resume(p));
     }
 
-    fn request_done(&mut self, rid: ReqId, now: SimTime) {
-        let req = &self.reqs[rid];
+    fn request_done(&mut self, req_idx: ReqId, now: SimTime) {
+        let req = &self.reqs[req_idx];
         debug_assert_eq!(req.remaining, 0);
         // Classify by request *start* time so hit and miss reads use
         // the same clock for the warm-up boundary and the time series.
@@ -521,10 +571,12 @@ impl<R: Recorder> Simulation<R> {
                     proc: proc.0,
                     node: node.0,
                     latency: latency.as_nanos(),
+                    rid: req.rid,
                 },
             );
         }
-        self.queue.schedule(now, Ev::Resume(self.reqs[rid].proc));
+        self.queue
+            .schedule(now, Ev::Resume(self.reqs[req_idx].proc));
     }
 
     // ----- disks ---------------------------------------------------------
@@ -535,7 +587,7 @@ impl<R: Recorder> Simulation<R> {
         ((block.file.0 as u64).wrapping_mul(7919) + block.index) as usize % self.disks.len()
     }
 
-    fn issue_fetch(&mut self, key: FetchKey, prefetch: bool, now: SimTime) {
+    fn issue_fetch(&mut self, key: FetchKey, prefetch: bool, rid: u32, now: SimTime) {
         self.metrics.record_disk_read(now, prefetch);
         let disk = self.disk_of(key.block);
         let prio = if prefetch && self.config.prefetch_priority {
@@ -549,6 +601,7 @@ impl<R: Recorder> Simulation<R> {
             DeviceOp::Read,
             key.block,
             DiskJob::Fetch(key),
+            rid,
             now,
         );
     }
@@ -571,12 +624,14 @@ impl<R: Recorder> Simulation<R> {
             DeviceOp::Write,
             block,
             DiskJob::Write(block),
+            NO_RID,
             now,
         );
     }
 
     /// Hand one operation on `block` to disk `disk`: the disk's service
     /// model supplies the position (geometry) and later the price.
+    #[allow(clippy::too_many_arguments)]
     fn submit_disk_job(
         &mut self,
         disk: usize,
@@ -584,12 +639,14 @@ impl<R: Recorder> Simulation<R> {
         op: DeviceOp,
         block: BlockId,
         tag: DiskJob,
+        rid: u32,
         now: SimTime,
     ) {
         let spec = JobSpec {
             op,
             pos: self.disk_models[disk].lba_of(block.file.0, block.index),
             bytes: self.config.machine.block_size,
+            rid,
         };
         let started = {
             let Simulation {
@@ -601,6 +658,7 @@ impl<R: Recorder> Simulation<R> {
             disks[disk].arrive_job(now, prio, spec, tag, &mut disk_models[disk], rec)
         };
         if let Some(started) = started {
+            self.note_fetch_started(now, &started);
             self.queue.schedule(
                 started.completes_at,
                 Ev::DiskDone {
@@ -608,6 +666,21 @@ impl<R: Recorder> Simulation<R> {
                     job: started.tag,
                 },
             );
+        }
+    }
+
+    /// Record when a fetch's disk service began (and what it cost), so
+    /// the waiting reads can split their latency into queueing and
+    /// mechanical time when the fetch lands. Write jobs need no record:
+    /// nothing waits on them.
+    fn note_fetch_started(&mut self, now: SimTime, started: &StartedJob<DiskJob>) {
+        if let DiskJob::Fetch(key) = started.tag {
+            if let Some(pf) = self.pending.get_mut(&key) {
+                pf.svc = Some(FetchSvc {
+                    begin: now,
+                    cost: started.cost,
+                });
+            }
         }
     }
 
@@ -622,6 +695,7 @@ impl<R: Recorder> Simulation<R> {
             disks[disk].complete_job(now, &mut disk_models[disk], rec)
         };
         if let Some(started) = started {
+            self.note_fetch_started(now, &started);
             self.queue.schedule(
                 started.completes_at,
                 Ev::DiskDone {
@@ -663,12 +737,13 @@ impl<R: Recorder> Simulation<R> {
         self.handle_evictions(pf.node, &ev, now);
         self.emit_cache_delta(snap, now);
 
-        for rid in pf.waiters {
-            self.reqs[rid].remaining -= 1;
-            if self.reqs[rid].remaining == 0 {
-                let (bytes, all_local) = (self.reqs[rid].bytes, self.reqs[rid].all_local);
+        for req_idx in pf.waiters {
+            self.reqs[req_idx].remaining -= 1;
+            if self.reqs[req_idx].remaining == 0 {
+                let (bytes, all_local) = (self.reqs[req_idx].bytes, self.reqs[req_idx].all_local);
                 let cost = self.transfer_cost(bytes, all_local);
-                self.queue.schedule(now + cost, Ev::RequestDone(rid));
+                self.record_read_span(req_idx, pf.svc, now, bytes, all_local);
+                self.queue.schedule(now + cost, Ev::RequestDone(req_idx));
             }
         }
 
@@ -739,6 +814,7 @@ impl<R: Recorder> Simulation<R> {
         file: FileId,
         req: Request,
         fully_cached: bool,
+        rid: u32,
         now: SimTime,
     ) {
         if !self.config.prefetch.prefetches() {
@@ -753,7 +829,7 @@ impl<R: Recorder> Simulation<R> {
             engines
                 .entry(key)
                 .or_insert_with(|| FilePrefetcher::new(cfg, blocks))
-                .on_demand_with_residency_obs(req, fully_cached, &mut obs);
+                .on_demand_with_residency_obs(req, fully_cached, rid, &mut obs);
         }
         self.pump_prefetcher(key, now);
     }
@@ -833,9 +909,13 @@ impl<R: Recorder> Simulation<R> {
                     pf_owner: Some(key),
                     node: home,
                     waiters: Vec::new(),
+                    svc: None,
                 },
             );
-            self.issue_fetch(fkey, true, now);
+            // Disk-level prefetch jobs serve no demand read (yet): the
+            // causal link to the parent demand lives in the
+            // `PrefetchIssue` event the engine emitted.
+            self.issue_fetch(fkey, true, NO_RID, now);
         }
     }
 
@@ -868,6 +948,78 @@ impl<R: Recorder> Simulation<R> {
         } else {
             self.config.machine.remote_transfer(bytes)
         }
+    }
+
+    /// Split the final-delivery cost into span components. A local
+    /// delivery is pure memory copy (`transfer`); a remote one is the
+    /// startup hops (`coordination` — the zero-byte cost of the link,
+    /// i.e. the messaging needed to locate and request the copy) plus
+    /// the wire time for the payload (`network`). The components sum
+    /// exactly to [`transfer_cost`](Self::transfer_cost).
+    fn delivery_breakdown(&self, bytes: u64, all_local: bool) -> SpanBreakdown {
+        let mut b = SpanBreakdown::default();
+        if all_local {
+            b.transfer = self.config.machine.local_transfer(bytes);
+        } else {
+            let total = self.config.machine.remote_transfer(bytes);
+            b.coordination = self.config.machine.remote_transfer(0).min(total);
+            b.network = total - b.coordination;
+        }
+        b
+    }
+
+    /// Attribute a completed read's end-to-end latency to span
+    /// components, using the service record of the fetch that finished
+    /// last (`svc`) and the delivery split. The components sum exactly
+    /// to the latency [`request_done`](Self::request_done) will record:
+    /// `disk_done - started` for the disk part plus the delivery cost.
+    fn record_read_span(
+        &mut self,
+        req_idx: ReqId,
+        svc: Option<FetchSvc>,
+        disk_done: SimTime,
+        bytes: u64,
+        all_local: bool,
+    ) {
+        let req = &self.reqs[req_idx];
+        let started = req.started;
+        let mut b = self.delivery_breakdown(bytes, all_local);
+        match svc {
+            Some(svc) if svc.begin >= started => {
+                // The read waited for the fetch to be dispatched: split
+                // the disk time mechanically. The seek component is the
+                // remainder, so the four parts always sum to
+                // `disk_done - started` exactly (under the fixed model
+                // the whole read seek constant lands in `seek`).
+                b.queue = svc.begin.saturating_since(started);
+                b.rotation = svc.cost.mech.map_or(SimDuration::ZERO, |m| m.rot_wait);
+                let platter = SimDuration::transfer(
+                    self.config.machine.block_size,
+                    self.config.machine.disk_bandwidth,
+                );
+                let after_rot = svc.cost.total - b.rotation.min(svc.cost.total);
+                b.disk_transfer = platter.min(after_rot);
+                b.seek = after_rot - b.disk_transfer;
+            }
+            _ => {
+                // The read joined mid-service (e.g. a late prefetch
+                // already on the platter): only the tail of the service
+                // overlapped its lifetime, and it is all transfer-ish.
+                b.disk_transfer = disk_done.saturating_since(started);
+            }
+        }
+        let outcome = if req.joined_prefetch && !req.fresh_miss {
+            ReadOutcome::LatePrefetch
+        } else {
+            ReadOutcome::Miss
+        };
+        let slack = disk_done.saturating_since(started);
+        debug_assert_eq!(
+            b.total(),
+            slack + self.transfer_cost(bytes, all_local),
+            "span components must sum to the request latency"
+        );
+        self.metrics.record_span(started, &b, outcome, slack);
     }
 
     fn finish(mut self) -> (SimReport, R) {
@@ -920,6 +1072,10 @@ impl<R: Recorder> Simulation<R> {
         obs.gauge("sim.disk_utilization", disk_utilization);
         obs.gauge("sim.mispredict_ratio", mispredict_ratio);
         obs.gauge("sim.seconds", end.as_secs_f64());
+        // Identity rows, so an exported metrics file is self-describing
+        // (lapreport keys its tables on them).
+        obs.text("sim.label", self.config.label());
+        obs.text("sim.workload", self.workload.name.as_str());
 
         let report = SimReport {
             label: self.config.label(),

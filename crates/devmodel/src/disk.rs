@@ -152,6 +152,7 @@ mod tests {
             op: DeviceOp::Read,
             pos,
             bytes: 8192,
+            rid: 0,
         }
     }
 
@@ -165,6 +166,7 @@ mod tests {
             op: DeviceOp::Write,
             pos: None,
             bytes: 8192,
+            rid: 0,
         };
         assert_eq!(m.service(SimTime::ZERO, &wj).total, w);
         assert!(m.service(SimTime::ZERO, &read_job(None)).mech.is_none());
@@ -201,6 +203,7 @@ mod tests {
                     op: DeviceOp::Write,
                     pos: Some(lba),
                     bytes: 8192,
+                    rid: 0,
                 },
             )
             .total;

@@ -140,7 +140,7 @@ impl Writer {
 /// ```
 /// use lapobs::{chrome, Event};
 ///
-/// let events = vec![(1_000u64, Event::CacheMiss { node: 0 })];
+/// let events = vec![(1_000u64, Event::CacheMiss { node: 0, rid: 0 })];
 /// let json = chrome::export(events.iter());
 /// assert!(json.contains("\"traceEvents\""));
 /// ```
@@ -152,13 +152,13 @@ pub fn export<'a>(events: impl IntoIterator<Item = &'a (Nanos, Event)>) -> Strin
                 let name = format!("{} queue", station_name(station));
                 w.counter(t, &name, "len", depth);
             }
-            Event::ServiceBegin { station, class } => {
+            Event::ServiceBegin { station, class, .. } => {
                 let tid = station_tid(station);
                 w.ensure_track(tid, &station_name(station));
                 let args = format!(",\"args\":{{\"class\":{class}}}");
                 w.span('B', t, tid, class_name(class), &args);
             }
-            Event::ServiceEnd { station, class } => {
+            Event::ServiceEnd { station, class, .. } => {
                 let tid = station_tid(station);
                 w.ensure_track(tid, &station_name(station));
                 w.span('E', t, tid, class_name(class), "");
@@ -176,6 +176,7 @@ pub fn export<'a>(events: impl IntoIterator<Item = &'a (Nanos, Event)>) -> Strin
                 station,
                 seek_cylinders,
                 rot_wait_ns,
+                ..
             } => {
                 let tid = station_tid(station);
                 w.ensure_track(tid, &station_name(station));
@@ -188,6 +189,7 @@ pub fn export<'a>(events: impl IntoIterator<Item = &'a (Nanos, Event)>) -> Strin
                 station,
                 class,
                 picked,
+                ..
             } => {
                 let tid = station_tid(station);
                 w.ensure_track(tid, &station_name(station));
@@ -197,16 +199,16 @@ pub fn export<'a>(events: impl IntoIterator<Item = &'a (Nanos, Event)>) -> Strin
                 );
                 w.instant(t, tid, "reorder", &args);
             }
-            Event::CacheHitLocal { node } => {
+            Event::CacheHitLocal { node, .. } => {
                 let tid = w.node_track(node);
                 w.instant(t, tid, "hit local", "");
             }
-            Event::CacheHitRemote { node, holder } => {
+            Event::CacheHitRemote { node, holder, .. } => {
                 let tid = w.node_track(node);
                 let args = format!(",\"args\":{{\"holder\":{holder}}}");
                 w.instant(t, tid, "hit remote", &args);
             }
-            Event::CacheMiss { node } => {
+            Event::CacheMiss { node, .. } => {
                 let tid = w.node_track(node);
                 w.instant(t, tid, "miss", "");
             }
@@ -241,12 +243,12 @@ pub fn export<'a>(events: impl IntoIterator<Item = &'a (Nanos, Event)>) -> Strin
                 let args = format!(",\"args\":{{\"count\":{count}}}");
                 w.instant(t, TID_WRITEBACK, "invalidate", &args);
             }
-            Event::WalkStart { file, block } => {
+            Event::WalkStart { file, block, .. } => {
                 w.ensure_track(TID_PREFETCH, "prefetch");
                 let args = format!(",\"args\":{{\"file\":{file},\"block\":{block}}}");
                 w.instant(t, TID_PREFETCH, "walk start", &args);
             }
-            Event::WalkRestart { file, block } => {
+            Event::WalkRestart { file, block, .. } => {
                 w.ensure_track(TID_PREFETCH, "prefetch");
                 let args = format!(",\"args\":{{\"file\":{file},\"block\":{block}}}");
                 w.instant(t, TID_PREFETCH, "walk restart", &args);
@@ -259,17 +261,17 @@ pub fn export<'a>(events: impl IntoIterator<Item = &'a (Nanos, Event)>) -> Strin
                 );
                 w.instant(t, TID_PREFETCH, "walk stop", &args);
             }
-            Event::Mispredict { file, block } => {
+            Event::Mispredict { file, block, .. } => {
                 w.ensure_track(TID_PREFETCH, "prefetch");
                 let args = format!(",\"args\":{{\"file\":{file},\"block\":{block}}}");
                 w.instant(t, TID_PREFETCH, "mispredict", &args);
             }
-            Event::PrefetchIssue { file, block } => {
+            Event::PrefetchIssue { file, block, .. } => {
                 w.ensure_track(TID_PREFETCH, "prefetch");
                 let args = format!(",\"args\":{{\"file\":{file},\"block\":{block}}}");
                 w.instant(t, TID_PREFETCH, "issue", &args);
             }
-            Event::PrefetchAbsorbed { file, block } => {
+            Event::PrefetchAbsorbed { file, block, .. } => {
                 w.ensure_track(TID_PREFETCH, "prefetch");
                 let args = format!(",\"args\":{{\"file\":{file},\"block\":{block}}}");
                 w.instant(t, TID_PREFETCH, "absorbed", &args);
@@ -288,6 +290,7 @@ pub fn export<'a>(events: impl IntoIterator<Item = &'a (Nanos, Event)>) -> Strin
                 proc,
                 node,
                 latency,
+                ..
             } => {
                 let tid = w.node_track(node);
                 let args = format!(
@@ -316,6 +319,7 @@ pub fn export<'a>(events: impl IntoIterator<Item = &'a (Nanos, Event)>) -> Strin
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::NO_RID;
 
     fn disk(i: u32) -> StationId {
         StationId {
@@ -372,6 +376,7 @@ mod tests {
                     station: disk(0),
                     class: 2,
                     depth: 1,
+                    rid: NO_RID,
                 },
             ),
             (
@@ -379,14 +384,23 @@ mod tests {
                 Event::ServiceBegin {
                     station: disk(0),
                     class: 0,
+                    rid: 0,
                 },
             ),
-            (3_500, Event::Mispredict { file: 4, block: 17 }),
+            (
+                3_500,
+                Event::Mispredict {
+                    file: 4,
+                    block: 17,
+                    rid: 0,
+                },
+            ),
             (
                 9_000,
                 Event::ServiceEnd {
                     station: disk(0),
                     class: 0,
+                    rid: 0,
                 },
             ),
             (9_000, Event::SimQueueDepth { depth: 3 }),
@@ -411,8 +425,15 @@ mod tests {
     #[test]
     fn export_is_deterministic() {
         let events = [
-            (5u64, Event::CacheMiss { node: 1 }),
-            (6, Event::CacheHitRemote { node: 0, holder: 1 }),
+            (5u64, Event::CacheMiss { node: 1, rid: 0 }),
+            (
+                6,
+                Event::CacheHitRemote {
+                    node: 0,
+                    holder: 1,
+                    rid: 1,
+                },
+            ),
             (
                 7,
                 Event::WalkStop {
@@ -427,9 +448,9 @@ mod tests {
     #[test]
     fn thread_metadata_appears_once_per_track() {
         let events = [
-            (1u64, Event::CacheMiss { node: 2 }),
-            (2, Event::CacheMiss { node: 2 }),
-            (3, Event::CacheHitLocal { node: 2 }),
+            (1u64, Event::CacheMiss { node: 2, rid: 0 }),
+            (2, Event::CacheMiss { node: 2, rid: 1 }),
+            (3, Event::CacheHitLocal { node: 2, rid: 2 }),
         ];
         let json = export(events.iter());
         assert_eq!(json.matches("\"name\":\"node 2\"").count(), 1);

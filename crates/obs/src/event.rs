@@ -9,6 +9,14 @@
 /// A simulated timestamp in nanoseconds since the start of the run.
 pub type Nanos = u64;
 
+/// Sentinel request id for events that cannot be attributed to one
+/// demand read (write-backs, sweeps, background prefetch refills).
+///
+/// Real ids are allocated densely from zero by the `lap-core` event
+/// loop — one per demand read, including pure cache hits — and threaded
+/// through every layer so a trace can be grouped into causal spans.
+pub const NO_RID: u32 = u32::MAX;
+
 /// What kind of service station an event refers to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum StationKind {
@@ -70,6 +78,8 @@ pub enum Event {
         class: u8,
         /// Queue length after the push.
         depth: u32,
+        /// Demand read the job serves ([`NO_RID`] when none).
+        rid: u32,
     },
     /// A queued job left the queue to start service.
     QueuePop {
@@ -79,6 +89,8 @@ pub enum Event {
         class: u8,
         /// Queue length after the pop.
         depth: u32,
+        /// Demand read the job serves ([`NO_RID`] when none).
+        rid: u32,
     },
     /// A station began serving a job (span opens).
     ServiceBegin {
@@ -86,6 +98,8 @@ pub enum Event {
         station: StationId,
         /// Priority class of the job being served.
         class: u8,
+        /// Demand read the job serves ([`NO_RID`] when none).
+        rid: u32,
     },
     /// A station finished serving a job (span closes).
     ServiceEnd {
@@ -93,6 +107,8 @@ pub enum Event {
         station: StationId,
         /// Priority class of the finished job.
         class: u8,
+        /// Demand read the job served ([`NO_RID`] when none).
+        rid: u32,
     },
     /// Queued jobs were cancelled (e.g. in-flight prefetches absorbed
     /// by a demand fetch).
@@ -118,6 +134,8 @@ pub enum Event {
         /// Rotational wait after the seek, in nanoseconds (always well
         /// under one revolution, so `u32` never saturates).
         rot_wait_ns: u32,
+        /// Demand read the priced job serves ([`NO_RID`] when none).
+        rid: u32,
     },
     /// A request scheduler served a job out of arrival order (SSTF,
     /// C-LOOK). Only reorders *within* a priority class — the
@@ -130,12 +148,16 @@ pub enum Event {
         /// Arrival-order index of the job that was served (≥ 1; index 0
         /// would be FIFO order and is not reported).
         picked: u32,
+        /// Demand read of the picked job ([`NO_RID`] when none).
+        rid: u32,
     },
 
     /// A demand access hit in the requesting node's own buffers.
     CacheHitLocal {
         /// The requesting node.
         node: u32,
+        /// The demand read performing the lookup.
+        rid: u32,
     },
     /// A demand access was served from another node's buffers.
     CacheHitRemote {
@@ -143,11 +165,15 @@ pub enum Event {
         node: u32,
         /// The node whose copy served the request.
         holder: u32,
+        /// The demand read performing the lookup.
+        rid: u32,
     },
     /// A demand access missed everywhere and goes to disk.
     CacheMiss {
         /// The requesting node.
         node: u32,
+        /// The demand read performing the lookup.
+        rid: u32,
     },
     /// A block was inserted into the cache.
     CacheInsert {
@@ -188,6 +214,10 @@ pub enum Event {
         file: u32,
         /// The block the walk starts from.
         block: u64,
+        /// The demand read that triggered the walk.
+        rid: u32,
+        /// Walk generation (increments on every start/restart).
+        gen: u32,
     },
     /// The walk was restarted because the application left the
     /// predicted path (§3.1's restart rule).
@@ -196,6 +226,10 @@ pub enum Event {
         file: u32,
         /// The demand block the walk restarts from.
         block: u64,
+        /// The demand read that triggered the restart.
+        rid: u32,
+        /// Walk generation (increments on every start/restart).
+        gen: u32,
     },
     /// The walk stopped.
     WalkStop {
@@ -211,6 +245,8 @@ pub enum Event {
         file: u32,
         /// The off-path demand block.
         block: u64,
+        /// The off-path demand read.
+        rid: u32,
     },
     /// The engine issued a prefetch for a block.
     PrefetchIssue {
@@ -218,6 +254,10 @@ pub enum Event {
         file: u32,
         /// The block being prefetched.
         block: u64,
+        /// Parent demand read whose walk issued this prefetch.
+        rid: u32,
+        /// Walk generation the prefetch belongs to.
+        gen: u32,
     },
     /// A demand arrived for a block whose prefetch was still in flight;
     /// the demand absorbed it.
@@ -226,6 +266,8 @@ pub enum Event {
         file: u32,
         /// The absorbed block.
         block: u64,
+        /// The absorbing demand read.
+        rid: u32,
     },
 
     /// The write-back daemon queued one dirty block to disk.
@@ -249,6 +291,8 @@ pub enum Event {
         node: u32,
         /// Wall-clock (simulated) latency of the whole request.
         latency: Nanos,
+        /// The completed demand read.
+        rid: u32,
     },
     /// A write request completed.
     WriteDone {
@@ -268,9 +312,10 @@ mod tests {
     #[test]
     fn events_are_small_copy_values() {
         // Recording must stay allocation-free; a fat event enum would
-        // bloat the ring buffer. 24 bytes is the current layout.
+        // bloat the ring buffer. 24 bytes is the current layout even
+        // with the request-id/generation causal fields.
         assert!(std::mem::size_of::<Event>() <= 24);
-        let e = Event::CacheMiss { node: 3 };
+        let e = Event::CacheMiss { node: 3, rid: 7 };
         let f = e; // Copy
         assert_eq!(e, f);
     }

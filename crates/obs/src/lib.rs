@@ -31,8 +31,8 @@
 //! let mut rec = TraceRecorder::with_capacity(16);
 //! let disk0 = StationId { kind: StationKind::Disk, index: 0 };
 //! if rec.enabled() {
-//!     rec.record(1_000, Event::ServiceBegin { station: disk0, class: 0 });
-//!     rec.record(9_000, Event::ServiceEnd { station: disk0, class: 0 });
+//!     rec.record(1_000, Event::ServiceBegin { station: disk0, class: 0, rid: 0 });
+//!     rec.record(9_000, Event::ServiceEnd { station: disk0, class: 0, rid: 0 });
 //! }
 //! let json = lapobs::chrome::export(rec.events());
 //! assert!(json.contains("\"ph\":\"B\""));
@@ -46,6 +46,6 @@ mod event;
 mod record;
 mod registry;
 
-pub use event::{Event, Nanos, StationId, StationKind, WalkStopReason};
+pub use event::{Event, Nanos, StationId, StationKind, WalkStopReason, NO_RID};
 pub use record::{NoopRecorder, Obs, Recorder, TraceRecorder};
-pub use registry::{MetricValue, Registry};
+pub use registry::{HistogramData, MetricValue, Registry};

@@ -8,6 +8,89 @@
 
 use std::fmt::Write as _;
 
+/// Raw data of a power-of-two-bucketed latency histogram: bucket `i`
+/// counts observations in `[2^i, 2^{i+1})` µs (bucket 0 also absorbs
+/// sub-microsecond values).
+///
+/// Unlike a pre-aggregated p95/p99 summary, raw buckets are
+/// *mergeable*: per-disk histograms can be combined into a fleet-wide
+/// one and the quantiles derived after the fact, at export time.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct HistogramData {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations, in microseconds.
+    pub total_us: f64,
+    /// Log-2 bucket counts (index = floor(log2(µs))).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramData {
+    /// An empty histogram with the standard 48 buckets.
+    pub fn new() -> Self {
+        HistogramData {
+            count: 0,
+            total_us: 0.0,
+            buckets: vec![0; 48],
+        }
+    }
+
+    /// Record one observation of `us` microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; 48];
+        }
+        let idx = if us == 0 {
+            0
+        } else {
+            (63 - us.leading_zeros()) as usize
+        };
+        let idx = idx.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_us += us as f64;
+    }
+
+    /// Mean observation (µs), or zero if empty.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0,1]`) from bucket boundaries —
+    /// the upper edge (µs) of the bucket containing the quantile.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return (1u64 << (i + 1)) as f64;
+            }
+        }
+        unreachable!("histogram counts are consistent");
+    }
+
+    /// Merge another histogram into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramData) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_us += other.total_us;
+    }
+}
+
 /// One registered metric value.
 #[derive(Clone, PartialEq, Debug)]
 pub enum MetricValue {
@@ -34,19 +117,11 @@ pub enum MetricValue {
         /// The time-weighted mean over the observation window.
         mean: f64,
     },
-    /// Summary of a latency histogram, in microseconds.
-    Histogram {
-        /// Number of recorded latencies.
-        count: u64,
-        /// Mean latency (µs).
-        mean_us: f64,
-        /// Median (µs, upper bucket edge).
-        p50_us: f64,
-        /// 95th percentile (µs, upper bucket edge).
-        p95_us: f64,
-        /// 99th percentile (µs, upper bucket edge).
-        p99_us: f64,
-    },
+    /// A latency histogram stored as raw log-2 bucket counts (µs);
+    /// p50/p95/p99 are derived at export time.
+    Histogram(HistogramData),
+    /// A free-form label (configuration name, workload id...).
+    Text(String),
 }
 
 /// An ordered collection of named metrics.
@@ -103,26 +178,17 @@ impl Registry {
             .push((name.into(), MetricValue::TimeWeighted { mean }));
     }
 
-    /// Register a latency-histogram summary (microseconds).
-    pub fn histogram(
-        &mut self,
-        name: impl Into<String>,
-        count: u64,
-        mean_us: f64,
-        p50_us: f64,
-        p95_us: f64,
-        p99_us: f64,
-    ) {
-        self.entries.push((
-            name.into(),
-            MetricValue::Histogram {
-                count,
-                mean_us,
-                p50_us,
-                p95_us,
-                p99_us,
-            },
-        ));
+    /// Register a latency histogram by its raw bucket data
+    /// (microsecond log-2 buckets).
+    pub fn histogram(&mut self, name: impl Into<String>, data: HistogramData) {
+        self.entries
+            .push((name.into(), MetricValue::Histogram(data)));
+    }
+
+    /// Register a free-form text label.
+    pub fn text(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries
+            .push((name.into(), MetricValue::Text(value.into())));
     }
 
     /// Number of registered metrics.
@@ -172,18 +238,22 @@ impl Registry {
                     let _ = writeln!(out, "{name}.min,{min}");
                     let _ = writeln!(out, "{name}.max,{max}");
                 }
-                MetricValue::Histogram {
-                    count,
-                    mean_us,
-                    p50_us,
-                    p95_us,
-                    p99_us,
-                } => {
-                    let _ = writeln!(out, "{name}.count,{count}");
-                    let _ = writeln!(out, "{name}.mean_us,{mean_us}");
-                    let _ = writeln!(out, "{name}.p50_us,{p50_us}");
-                    let _ = writeln!(out, "{name}.p95_us,{p95_us}");
-                    let _ = writeln!(out, "{name}.p99_us,{p99_us}");
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "{name}.count,{}", h.count);
+                    let _ = writeln!(out, "{name}.mean_us,{}", h.mean_us());
+                    let _ = writeln!(out, "{name}.p50_us,{}", h.quantile_us(0.5));
+                    let _ = writeln!(out, "{name}.p95_us,{}", h.quantile_us(0.95));
+                    let _ = writeln!(out, "{name}.p99_us,{}", h.quantile_us(0.99));
+                    // Raw buckets (non-empty only) so exported
+                    // histograms stay mergeable downstream.
+                    for (i, &b) in h.buckets.iter().enumerate() {
+                        if b > 0 {
+                            let _ = writeln!(out, "{name}.bucket{i},{b}");
+                        }
+                    }
+                }
+                MetricValue::Text(v) => {
+                    let _ = writeln!(out, "{name},{v}");
                 }
             }
         }
@@ -206,15 +276,15 @@ impl Registry {
                     min,
                     max,
                 } => format!("n={count} mean={mean:.4} sd={std_dev:.4} min={min:.4} max={max:.4}"),
-                MetricValue::Histogram {
-                    count,
-                    mean_us,
-                    p50_us,
-                    p95_us,
-                    p99_us,
-                } => format!(
-                    "n={count} mean={mean_us:.1}us p50={p50_us:.0}us p95={p95_us:.0}us p99={p99_us:.0}us"
+                MetricValue::Histogram(h) => format!(
+                    "n={} mean={:.1}us p50={:.0}us p95={:.0}us p99={:.0}us",
+                    h.count,
+                    h.mean_us(),
+                    h.quantile_us(0.5),
+                    h.quantile_us(0.95),
+                    h.quantile_us(0.99)
                 ),
+                MetricValue::Text(v) => v.clone(),
             };
             let _ = writeln!(out, "{name:width$}  {rendered}");
         }
@@ -226,13 +296,25 @@ impl Registry {
 mod tests {
     use super::*;
 
+    fn sample_hist() -> HistogramData {
+        let mut h = HistogramData::new();
+        for _ in 0..5 {
+            h.record_us(1500); // bucket 10, upper edge 2048
+        }
+        for _ in 0..5 {
+            h.record_us(3000); // bucket 11, upper edge 4096
+        }
+        h
+    }
+
     fn sample() -> Registry {
         let mut r = Registry::new();
         r.counter("cache.local_hits", 42);
         r.gauge("cache.hit_ratio", 0.875);
         r.time_weighted("disk0.queue_len", 1.5);
         r.series("read.time_ms", 10, 2.5, 0.5, 1.0, 4.0);
-        r.histogram("read.latency", 10, 2500.0, 2048.0, 4096.0, 4096.0);
+        r.histogram("read.latency", sample_hist());
+        r.text("sim.label", "PAFS/Ln_Agr @ 4MB");
         r
     }
 
@@ -247,7 +329,8 @@ mod tests {
                 "cache.hit_ratio",
                 "disk0.queue_len",
                 "read.time_ms",
-                "read.latency"
+                "read.latency",
+                "sim.label"
             ]
         );
         assert_eq!(r.get("cache.local_hits"), Some(&MetricValue::Counter(42)));
@@ -262,9 +345,14 @@ mod tests {
         assert!(a.starts_with("metric,value\n"));
         assert!(a.contains("cache.local_hits,42\n"));
         assert!(a.contains("read.time_ms.mean,2.5\n"));
+        assert!(a.contains("read.latency.p50_us,2048\n"));
         assert!(a.contains("read.latency.p95_us,4096\n"));
-        // One header + 2 scalars + 1 time-weighted + 5 series + 5 histogram rows.
-        assert_eq!(a.lines().count(), 1 + 2 + 1 + 5 + 5);
+        assert!(a.contains("read.latency.bucket10,5\n"));
+        assert!(a.contains("read.latency.bucket11,5\n"));
+        assert!(a.contains("sim.label,PAFS/Ln_Agr @ 4MB\n"));
+        // One header + 2 scalars + 1 time-weighted + 5 series
+        // + (5 derived + 2 non-empty bucket) histogram rows + 1 text.
+        assert_eq!(a.lines().count(), 1 + 2 + 1 + 5 + 7 + 1);
     }
 
     #[test]
@@ -276,9 +364,55 @@ mod tests {
             "disk0.queue_len",
             "read.time_ms",
             "read.latency",
+            "sim.label",
         ] {
             assert!(s.contains(name), "{name} missing from summary:\n{s}");
         }
+    }
+
+    /// Property: merging per-source histograms is exactly the histogram
+    /// of the concatenated samples — quantiles derived after a merge
+    /// are as good as if one recorder had seen everything.
+    #[test]
+    fn merged_histograms_equal_concatenated_samples() {
+        // Deterministic LCG so the test needs no external crates.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % 1_000_000 // µs in [0, 1s)
+        };
+        let samples: Vec<u64> = (0..1000).map(|_| next()).collect();
+
+        let mut whole = HistogramData::new();
+        for &us in &samples {
+            whole.record_us(us);
+        }
+        // Split into three unequal shards and merge.
+        let mut merged = HistogramData::new();
+        for chunk in [&samples[..100], &samples[100..421], &samples[421..]] {
+            let mut shard = HistogramData::new();
+            for &us in chunk {
+                shard.record_us(us);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged, whole);
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            assert_eq!(merged.quantile_us(q), whole.quantile_us(q));
+        }
+        assert_eq!(merged.mean_us(), whole.mean_us());
+    }
+
+    #[test]
+    fn histogram_quantiles_match_bucket_edges() {
+        let h = sample_hist();
+        assert_eq!(h.count, 10);
+        assert_eq!(h.mean_us(), 2250.0);
+        assert_eq!(h.quantile_us(0.5), 2048.0);
+        assert_eq!(h.quantile_us(0.99), 4096.0);
+        assert_eq!(HistogramData::new().quantile_us(0.5), 0.0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::{HashSet, VecDeque};
 
-use lapobs::{Event, NoopRecorder, Obs, Recorder, WalkStopReason};
+use lapobs::{Event, NoopRecorder, Obs, Recorder, WalkStopReason, NO_RID};
 
 use crate::config::{AlgorithmKind, PrefetchConfig};
 use crate::predictor::{FilePredictor, PredictionSource, Walk};
@@ -57,6 +57,13 @@ pub struct FilePrefetcher {
     /// before use, every demand a miss-prediction) then self-clocks to
     /// the demand rate instead of streaming the file over and over.
     lead: u64,
+    /// Request id of the demand read that most recently drove the
+    /// engine ([`NO_RID`] until the first attributed demand) — the
+    /// "parent" stamped on every issued prefetch for causal tracing.
+    parent_rid: u32,
+    /// Walk generation: increments on every walk start/restart, so a
+    /// trace can group prefetch issues into one prediction path.
+    walk_gen: u32,
     stats: PrefetchStats,
 }
 
@@ -83,6 +90,8 @@ impl FilePrefetcher {
             walk_budget: 0,
             cached_run: 0,
             lead: 0,
+            parent_rid: NO_RID,
+            walk_gen: 0,
             stats: PrefetchStats::default(),
         }
     }
@@ -126,6 +135,18 @@ impl FilePrefetcher {
         &self.predictor
     }
 
+    /// Current walk generation (0 before the first walk; increments on
+    /// every start/restart).
+    pub fn walk_gen(&self) -> u32 {
+        self.walk_gen
+    }
+
+    /// Request id of the demand read that most recently drove the
+    /// engine ([`NO_RID`] if none was attributed).
+    pub fn parent_rid(&self) -> u32 {
+        self.parent_rid
+    }
+
     /// Report a demand request (block-granular). Updates the predictor
     /// and the prefetching path.
     ///
@@ -148,22 +169,31 @@ impl FilePrefetcher {
     /// ended), so prefetching restarts from the current position.
     pub fn on_demand_with_residency(&mut self, req: Request, fully_cached: bool) {
         let mut noop = NoopRecorder;
-        self.on_demand_with_residency_obs(req, fully_cached, &mut Obs::new(0, 0, &mut noop));
+        self.on_demand_with_residency_obs(
+            req,
+            fully_cached,
+            NO_RID,
+            &mut Obs::new(0, 0, &mut noop),
+        );
     }
 
     /// [`on_demand_with_residency`](Self::on_demand_with_residency),
     /// emitting walk lifecycle and mispredict events into `obs` (whose
-    /// scope id should be the file this engine serves). With a no-op
-    /// recorder this is exactly the plain method.
+    /// scope id should be the file this engine serves). `rid` is the
+    /// demand read driving the engine; it becomes the parent id stamped
+    /// on every prefetch the engine issues until the next demand. With
+    /// a no-op recorder this is exactly the plain method.
     pub fn on_demand_with_residency_obs<R: Recorder>(
         &mut self,
         req: Request,
         fully_cached: bool,
+        rid: u32,
         obs: &mut Obs<'_, R>,
     ) {
         if self.config.algorithm == AlgorithmKind::None {
             return;
         }
+        self.parent_rid = rid;
         let had_prediction = !self.path.is_empty();
         let on_path = had_prediction && req.blocks().all(|b| self.path.contains(&b));
         if had_prediction {
@@ -174,6 +204,7 @@ impl FilePrefetcher {
                 obs.emit(|file| Event::Mispredict {
                     file,
                     block: req.offset,
+                    rid,
                 });
             }
         } else {
@@ -193,16 +224,22 @@ impl FilePrefetcher {
             // evicted also restarts (see on_demand_with_residency).
             let stale_path = on_path && !fully_cached;
             if !on_path || stale_path {
+                self.walk_gen += 1;
+                let gen = self.walk_gen;
                 if had_prediction {
                     self.stats.restarts += 1;
                     obs.emit(|file| Event::WalkRestart {
                         file,
                         block: req.offset,
+                        rid,
+                        gen,
                     });
                 } else {
                     obs.emit(|file| Event::WalkStart {
                         file,
                         block: req.offset,
+                        rid,
+                        gen,
                     });
                 }
                 self.restart_walk();
@@ -292,7 +329,13 @@ impl FilePrefetcher {
             if source == PredictionSource::ObaFallback {
                 self.stats.issued_by_fallback += 1;
             }
-            obs.emit(|file| Event::PrefetchIssue { file, block });
+            let (rid, gen) = (self.parent_rid, self.walk_gen);
+            obs.emit(|file| Event::PrefetchIssue {
+                file,
+                block,
+                rid,
+                gen,
+            });
             return Some(block);
         }
     }

@@ -46,6 +46,11 @@ pub struct JobSpec {
     pub pos: Option<u64>,
     /// Bytes moved by the job.
     pub bytes: u64,
+    /// Demand read this job serves ([`lapobs::NO_RID`] when none —
+    /// write-backs, background prefetch), threaded into the station's
+    /// queue/service events so a trace can attribute device time to
+    /// the request that paid for it.
+    pub rid: u32,
 }
 
 /// Mechanical breakdown of a geometry-aware service, carried inside

@@ -30,7 +30,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use lapobs::{Event, NoopRecorder, Recorder, StationId};
+use lapobs::{Event, NoopRecorder, Recorder, StationId, NO_RID};
 
 use crate::service::{FifoSched, JobSpec, Scheduler, ServiceCost, ServiceModel};
 use crate::stats::TimeWeighted;
@@ -55,6 +55,12 @@ pub struct StartedJob<T> {
     pub tag: T,
     /// Absolute time at which service finishes.
     pub completes_at: SimTime,
+    /// How long the job waited in queue before starting (zero when it
+    /// started on arrival).
+    pub wait: SimDuration,
+    /// The priced service cost, including any mechanical breakdown —
+    /// the raw material for per-request latency attribution.
+    pub cost: ServiceCost,
 }
 
 /// How a waiting job will be priced when it starts.
@@ -70,6 +76,13 @@ impl JobCost {
         match self {
             JobCost::Fixed(_) => None,
             JobCost::Modelled(spec) => spec.pos,
+        }
+    }
+
+    fn rid(&self) -> u32 {
+        match self {
+            JobCost::Fixed(_) => NO_RID,
+            JobCost::Modelled(spec) => spec.rid,
         }
     }
 }
@@ -129,11 +142,11 @@ pub struct Station<T> {
     sid: StationId,
     /// Dispatch order within a priority class.
     sched: Box<dyn Scheduler>,
-    /// Completion time and priority class of the in-service job, if
-    /// any. The tag itself is not stored: the caller keeps it inside
-    /// the completion event it schedules, so storing it here would only
-    /// force `T: Clone`.
-    current: Option<(SimTime, Priority)>,
+    /// Completion time, priority class and request id of the
+    /// in-service job, if any. The tag itself is not stored: the caller
+    /// keeps it inside the completion event it schedules, so storing it
+    /// here would only force `T: Clone`.
+    current: Option<(SimTime, Priority, u32)>,
     /// Waiting jobs, keyed by priority (lower key = served first).
     queues: BTreeMap<Priority, VecDeque<Waiting<T>>>,
     queued_len: usize,
@@ -221,7 +234,7 @@ impl<T> Station<T> {
         rec: &mut R,
     ) -> Option<StartedJob<T>> {
         if self.current.is_none() {
-            Some(self.begin_service(now, prio, ServiceCost::flat(service), tag, rec))
+            Some(self.begin_service(now, prio, ServiceCost::flat(service), NO_RID, tag, rec))
         } else {
             self.push_waiting(now, prio, JobCost::Fixed(service), tag, rec);
             None
@@ -243,7 +256,7 @@ impl<T> Station<T> {
     ) -> Option<StartedJob<T>> {
         if self.current.is_none() {
             let cost = model.service(now, &spec);
-            Some(self.begin_service(now, prio, cost, tag, rec))
+            Some(self.begin_service(now, prio, cost, spec.rid, tag, rec))
         } else {
             self.push_waiting(now, prio, JobCost::Modelled(spec), tag, rec);
             None
@@ -258,6 +271,7 @@ impl<T> Station<T> {
         tag: T,
         rec: &mut R,
     ) {
+        let rid = cost.rid();
         self.queues.entry(prio).or_default().push_back(Waiting {
             tag,
             cost,
@@ -272,6 +286,7 @@ impl<T> Station<T> {
                     station: self.sid,
                     class: prio.0,
                     depth: self.queued_len as u32,
+                    rid,
                 },
             );
         }
@@ -279,24 +294,42 @@ impl<T> Station<T> {
 
     /// Mark the server busy with a freshly priced job and emit the
     /// opening span (plus the mechanical breakdown, if the cost model
-    /// produced one).
+    /// produced one). Jobs started on arrival pass `wait` zero;
+    /// dispatches out of the queue pass the queueing delay, which the
+    /// returned [`StartedJob`] carries for latency attribution.
     fn begin_service<R: Recorder>(
         &mut self,
         now: SimTime,
         prio: Priority,
         cost: ServiceCost,
+        rid: u32,
+        tag: T,
+        rec: &mut R,
+    ) -> StartedJob<T> {
+        self.begin_service_waited(now, prio, cost, rid, SimDuration::ZERO, tag, rec)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn begin_service_waited<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        prio: Priority,
+        cost: ServiceCost,
+        rid: u32,
+        wait: SimDuration,
         tag: T,
         rec: &mut R,
     ) -> StartedJob<T> {
         let completes_at = now + cost.total;
         self.stats.busy += cost.total;
-        self.current = Some((completes_at, prio));
+        self.current = Some((completes_at, prio, rid));
         if rec.enabled() {
             rec.record(
                 now.as_nanos(),
                 Event::ServiceBegin {
                     station: self.sid,
                     class: prio.0,
+                    rid,
                 },
             );
             if let Some(mech) = cost.mech {
@@ -306,11 +339,17 @@ impl<T> Station<T> {
                         station: self.sid,
                         seek_cylinders: mech.seek_cylinders,
                         rot_wait_ns: mech.rot_wait.as_nanos().min(u32::MAX as u64) as u32,
+                        rid,
                     },
                 );
             }
         }
-        StartedJob { tag, completes_at }
+        StartedJob {
+            tag,
+            completes_at,
+            wait,
+            cost,
+        }
     }
 
     /// Report that the in-service job finished at `now` (which must be
@@ -352,7 +391,7 @@ impl<T> Station<T> {
     }
 
     fn finish_current<R: Recorder>(&mut self, now: SimTime, rec: &mut R) {
-        let (completes_at, class) = self
+        let (completes_at, class, rid) = self
             .current
             .take()
             .expect("Station::complete called while idle");
@@ -364,6 +403,7 @@ impl<T> Station<T> {
                 Event::ServiceEnd {
                     station: self.sid,
                     class: class.0,
+                    rid,
                 },
             );
         }
@@ -394,6 +434,7 @@ impl<T> Station<T> {
             idx.min(q.len() - 1)
         };
         let job = q.remove(idx).unwrap();
+        let rid = job.cost.rid();
         if idx != 0 {
             self.stats.reordered += 1;
             if rec.enabled() {
@@ -403,13 +444,15 @@ impl<T> Station<T> {
                         station: self.sid,
                         class: prio.0,
                         picked: idx as u32,
+                        rid,
                     },
                 );
             }
         }
         self.queued_len -= 1;
         self.queue_track.set(now, self.queued_len as f64);
-        self.stats.waited += now.saturating_since(job.enqueued_at);
+        let wait = now.saturating_since(job.enqueued_at);
+        self.stats.waited += wait;
         let cost = match job.cost {
             JobCost::Fixed(service) => ServiceCost::flat(service),
             JobCost::Modelled(spec) => {
@@ -426,10 +469,11 @@ impl<T> Station<T> {
                     station: self.sid,
                     class: prio.0,
                     depth: self.queued_len as u32,
+                    rid,
                 },
             );
         }
-        Some(self.begin_service(now, prio, cost, job.tag, rec))
+        Some(self.begin_service_waited(now, prio, cost, rid, wait, job.tag, rec))
     }
 
     /// Remove all *waiting* jobs for which `pred` returns true at time
@@ -682,6 +726,7 @@ mod tests {
             op: DeviceOp::Read,
             pos: Some(pos),
             bytes: 8192,
+            rid: NO_RID,
         }
     }
 

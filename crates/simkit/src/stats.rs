@@ -272,17 +272,17 @@ impl LatencyHistogram {
         unreachable!("histogram counts are consistent");
     }
 
-    /// Register count, mean and tail quantiles (all in µs) under
-    /// `name` in a metrics registry.
+    /// Register the raw bucket counts under `name` in a metrics
+    /// registry; mean/p50/p95/p99 are derived at export time, so
+    /// registered histograms from different sources stay mergeable.
     pub fn register_into(&self, reg: &mut lapobs::Registry, name: &str) {
-        let us = |d: SimDuration| d.as_nanos() as f64 / 1e3;
         reg.histogram(
             name,
-            self.count(),
-            us(self.mean()),
-            us(self.quantile(0.5)),
-            us(self.quantile(0.95)),
-            us(self.quantile(0.99)),
+            lapobs::HistogramData {
+                count: self.count,
+                total_us: self.total.as_nanos() as f64 / 1e3,
+                buckets: self.buckets.clone(),
+            },
         );
     }
 

@@ -16,8 +16,30 @@ run cargo test --offline --workspace
 
 # Experiment-harness smoke: table1 + the devmodel ablation at small
 # scale. Catches panics and degenerate results the unit tests can't —
-# the binary asserts every cell is finite and did real work.
-run ./target/debug/experiments --smoke
+# the binary asserts every cell is finite and did real work. Also
+# regenerates the benchmark snapshot for the staleness gate below.
+run ./target/debug/experiments --smoke --bench-out target/BENCH.json
+
+# Benchmark-snapshot staleness: the committed BENCH.json must match what
+# the tree produces (wall-clock is ignored; simulated results are
+# deterministic). Regenerate with:
+#   ./target/debug/experiments --smoke --bench-out BENCH.json
+run ./target/debug/lapreport bench-diff BENCH.json target/BENCH.json
+
+# Artifact round-trip: simulate with tracing + metrics on, then make
+# lapreport digest both. Exercises the span accounting end to end —
+# lapreport exits non-zero if the breakdown stops summing to the mean
+# read time or a metric key disappears (schema drift).
+run ./target/debug/lapsim --workload charisma --system pafs --algo ln_agr_is_ppm:1 \
+    --cache-mb 4 --trace-out target/ci_trace.json --metrics-out target/ci_metrics.csv
+run ./target/debug/lapsim --workload sprite --system xfs --algo oba \
+    --cache-mb 2 --trace-sample 8 --trace-out target/ci_trace_sampled.json \
+    --metrics-out target/ci_metrics_sprite.csv
+run ./target/debug/lapreport metrics target/ci_metrics.csv target/ci_metrics_sprite.csv
+echo "==> lapreport metrics --json"
+./target/debug/lapreport metrics target/ci_metrics.csv --json > target/ci_report.json
+run ./target/debug/lapreport trace target/ci_trace.json
+run ./target/debug/lapreport trace target/ci_trace_sampled.json
 
 # Golden-trace freshness: the test suite passes when golden files match,
 # but a stale tree (someone regenerated with UPDATE_GOLDEN and forgot to

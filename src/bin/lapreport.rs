@@ -1,0 +1,657 @@
+//! `lapreport` — offline analysis of `lapsim` / `experiments` artifacts.
+//!
+//! Consumes the files the simulators already emit and renders the
+//! paper-style tables without re-running anything:
+//!
+//! ```text
+//! # Per-config read-time breakdown + prefetch quality + disk stats
+//! # from one or more `--metrics-out` CSVs:
+//! lapreport metrics metrics_a.csv metrics_b.csv
+//! lapreport metrics metrics_a.csv --json       # regression-diffable
+//!
+//! # Skim a Chrome trace produced with `--trace-out`:
+//! lapreport trace trace.json
+//!
+//! # Compare two BENCH.json files (ignores wall-clock):
+//! lapreport bench-diff BENCH.json new.json
+//! ```
+//!
+//! The `metrics` subcommand hard-fails on missing metric keys: a
+//! renamed or dropped metric is schema drift, and this tool is the
+//! tripwire that catches it in CI.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: lapreport metrics FILE... [--json]");
+    eprintln!("       lapreport trace FILE");
+    eprintln!("       lapreport bench-diff OLD NEW");
+    exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    let rest = &argv[1..];
+    let code = match cmd.as_str() {
+        "metrics" => cmd_metrics(rest),
+        "trace" => cmd_trace(rest),
+        "bench-diff" => cmd_bench_diff(rest),
+        "-h" | "--help" => usage(),
+        _ => usage(),
+    };
+    exit(code);
+}
+
+// ---------------------------------------------------------------------------
+// metrics CSV model
+// ---------------------------------------------------------------------------
+
+/// One parsed `--metrics-out` CSV: a `metric -> value` map plus the
+/// path for error messages.
+struct MetricsFile {
+    path: String,
+    map: HashMap<String, String>,
+}
+
+impl MetricsFile {
+    fn load(path: &str) -> Result<MetricsFile, String> {
+        let text = fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+        let mut map = HashMap::new();
+        for (i, line) in text.lines().enumerate() {
+            if i == 0 && line == "metric,value" {
+                continue;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            let Some((k, v)) = line.split_once(',') else {
+                return Err(format!(
+                    "{path}:{}: not a metric,value row: {line:?}",
+                    i + 1
+                ));
+            };
+            map.insert(k.to_string(), v.to_string());
+        }
+        if map.is_empty() {
+            return Err(format!("{path}: no metrics found"));
+        }
+        Ok(MetricsFile {
+            path: path.to_string(),
+            map,
+        })
+    }
+
+    /// A required metric as text; missing keys are schema drift and
+    /// abort the report.
+    fn text(&self, key: &str) -> Result<&str, String> {
+        self.map
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("{}: missing metric {key:?} (schema drift?)", self.path))
+    }
+
+    /// A required numeric metric.
+    fn num(&self, key: &str) -> Result<f64, String> {
+        let v = self.text(key)?;
+        v.parse()
+            .map_err(|_| format!("{}: metric {key:?} is not numeric: {v:?}", self.path))
+    }
+
+    /// An optional numeric metric (used to probe per-disk rows).
+    fn opt_num(&self, key: &str) -> Option<f64> {
+        self.map.get(key).and_then(|v| v.parse().ok())
+    }
+}
+
+/// The eight additive read-latency components, in display order.
+/// Each is a histogram whose per-read mean (in µs) is the component's
+/// contribution to the average read time.
+const SPAN_COMPONENTS: [(&str, &str); 8] = [
+    ("span.cache_lookup_us", "lookup"),
+    ("span.queue_us", "queue"),
+    ("span.seek_us", "seek"),
+    ("span.rotation_us", "rot"),
+    ("span.disk_transfer_us", "disk-xfer"),
+    ("span.coordination_us", "coord"),
+    ("span.network_us", "network"),
+    ("span.transfer_us", "deliver"),
+];
+
+/// Everything `lapreport metrics` derives from one CSV.
+struct ConfigReport {
+    label: String,
+    workload: String,
+    reads: u64,
+    /// Per-component mean contribution, ms per read (display order).
+    parts_ms: Vec<f64>,
+    sum_ms: f64,
+    read_mean_ms: f64,
+    outcomes: Outcomes,
+    coverage: f64,
+    accuracy: f64,
+    timeliness: f64,
+    late_slack_ms: f64,
+    disks: Vec<DiskRow>,
+}
+
+struct Outcomes {
+    demand_hit: u64,
+    covered: u64,
+    late: u64,
+    miss: u64,
+}
+
+struct DiskRow {
+    index: usize,
+    queue_len: f64,
+    utilization: f64,
+    completed: f64,
+    reordered: f64,
+    cancelled: f64,
+    waited_s: f64,
+}
+
+/// Sum check tolerance: components sum to the per-request latency
+/// exactly in integer nanoseconds, but `read.latency_ms` is a
+/// streaming f64 mean, so allow small relative drift.
+fn sum_matches(sum_ms: f64, mean_ms: f64) -> bool {
+    (sum_ms - mean_ms).abs() <= 1e-3_f64.max(mean_ms.abs() * 1e-3)
+}
+
+fn analyze(f: &MetricsFile) -> Result<ConfigReport, String> {
+    let reads = f.num("read.latency_ms.count")? as u64;
+    let mut parts_ms = Vec::with_capacity(SPAN_COMPONENTS.len());
+    for (key, _) in SPAN_COMPONENTS {
+        let count = f.num(&format!("{key}.count"))? as u64;
+        if count != reads {
+            return Err(format!(
+                "{}: {key}.count = {count} but read.latency_ms.count = {reads}; \
+                 span accounting out of sync",
+                f.path
+            ));
+        }
+        parts_ms.push(f.num(&format!("{key}.mean_us"))? / 1e3);
+    }
+    let sum_ms: f64 = parts_ms.iter().sum();
+    let read_mean_ms = f.num("read.latency_ms.mean")?;
+
+    let outcomes = Outcomes {
+        demand_hit: f.num("span.outcome_demand_hit")? as u64,
+        covered: f.num("span.outcome_covered_by_prefetch")? as u64,
+        late: f.num("span.outcome_late_prefetch")? as u64,
+        miss: f.num("span.outcome_miss")? as u64,
+    };
+    let used = f.num("cache.prefetch_used")? + f.num("prefetch.absorbed_in_flight")?;
+    let wasted = f.num("cache.prefetch_wasted")?;
+    let covered = outcomes.covered as f64;
+    let late = outcomes.late as f64;
+    let coverage = if reads == 0 {
+        0.0
+    } else {
+        (covered + late) / reads as f64
+    };
+    let accuracy = if used + wasted == 0.0 {
+        0.0
+    } else {
+        used / (used + wasted)
+    };
+    let timeliness = if covered + late == 0.0 {
+        0.0
+    } else {
+        covered / (covered + late)
+    };
+    let late_slack_ms = f.num("prefetch.late_slack_us.mean_us")? / 1e3;
+
+    let mut disks = Vec::new();
+    while let Some(completed) = f.opt_num(&format!("disk{}.completed", disks.len())) {
+        let i = disks.len();
+        disks.push(DiskRow {
+            index: i,
+            queue_len: f.num(&format!("disk{i}.queue_len"))?,
+            utilization: f.num(&format!("disk{i}.utilization"))?,
+            completed,
+            reordered: f.num(&format!("disk{i}.reordered"))?,
+            cancelled: f.num(&format!("disk{i}.cancelled"))?,
+            waited_s: f.num(&format!("disk{i}.waited_s"))?,
+        });
+    }
+    if disks.is_empty() {
+        return Err(format!("{}: no disk0.* metrics (schema drift?)", f.path));
+    }
+
+    Ok(ConfigReport {
+        label: f.text("sim.label")?.to_string(),
+        workload: f.text("sim.workload")?.to_string(),
+        reads,
+        parts_ms,
+        sum_ms,
+        read_mean_ms,
+        outcomes,
+        coverage,
+        accuracy,
+        timeliness,
+        late_slack_ms,
+        disks,
+    })
+}
+
+fn cmd_metrics(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut paths = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            _ if a.starts_with('-') => usage(),
+            _ => paths.push(a.as_str()),
+        }
+    }
+    if paths.is_empty() {
+        usage();
+    }
+    let mut reports = Vec::new();
+    for p in paths {
+        let file = match MetricsFile::load(p) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("lapreport: {e}");
+                return 1;
+            }
+        };
+        match analyze(&file) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("lapreport: {e}");
+                return 1;
+            }
+        }
+    }
+    if json {
+        println!("{}", render_json(&reports));
+    } else {
+        print!("{}", render_tables(&reports));
+    }
+    if reports
+        .iter()
+        .all(|r| sum_matches(r.sum_ms, r.read_mean_ms))
+    {
+        0
+    } else {
+        eprintln!("lapreport: span breakdown does not sum to the mean read time");
+        1
+    }
+}
+
+fn render_tables(reports: &[ConfigReport]) -> String {
+    let mut out = String::new();
+    let wl = reports
+        .iter()
+        .map(|r| r.label.len() + r.workload.len() + 1)
+        .max()
+        .unwrap_or(6)
+        .max(6);
+
+    let _ = writeln!(out, "read-time breakdown (ms per read)");
+    let _ = write!(out, "  {:<wl$} {:>9}", "config", "reads");
+    for (_, short) in SPAN_COMPONENTS {
+        let _ = write!(out, " {short:>9}");
+    }
+    let _ = writeln!(out, " {:>9} {:>9} {:>5}", "sum", "read", "check");
+    for r in reports {
+        let _ = write!(
+            out,
+            "  {:<wl$} {:>9}",
+            format!("{}@{}", r.label, r.workload),
+            r.reads
+        );
+        for p in &r.parts_ms {
+            let _ = write!(out, " {p:>9.4}");
+        }
+        let check = if sum_matches(r.sum_ms, r.read_mean_ms) {
+            "ok"
+        } else {
+            "DRIFT"
+        };
+        let _ = writeln!(out, " {:>9.4} {:>9.4} {check:>5}", r.sum_ms, r.read_mean_ms);
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "prefetch outcome per read");
+    let _ = writeln!(
+        out,
+        "  {:<wl$} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10}",
+        "config", "hit", "covered", "late", "miss", "coverage", "accuracy", "timely", "slack-ms"
+    );
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "  {:<wl$} {:>9} {:>9} {:>9} {:>9} {:>8.4} {:>8.4} {:>8.4} {:>10.4}",
+            format!("{}@{}", r.label, r.workload),
+            r.outcomes.demand_hit,
+            r.outcomes.covered,
+            r.outcomes.late,
+            r.outcomes.miss,
+            r.coverage,
+            r.accuracy,
+            r.timeliness,
+            r.late_slack_ms
+        );
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "disk queues");
+    let _ = writeln!(
+        out,
+        "  {:<wl$} {:>5} {:>9} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "config", "disk", "completed", "util", "queue-len", "reordered", "cancelled", "waited-s"
+    );
+    for r in reports {
+        for d in &r.disks {
+            let _ = writeln!(
+                out,
+                "  {:<wl$} {:>5} {:>9} {:>6.4} {:>9.4} {:>9} {:>9} {:>9.4}",
+                format!("{}@{}", r.label, r.workload),
+                d.index,
+                d.completed as u64,
+                d.utilization,
+                d.queue_len,
+                d.reordered as u64,
+                d.cancelled as u64,
+                d.waited_s
+            );
+        }
+    }
+    out
+}
+
+/// JSON floats in shortest-roundtrip form so two runs of the same
+/// simulation diff byte-identically.
+fn render_json(reports: &[ConfigReport]) -> String {
+    let mut out = String::from("{\"schema\":1,\"configs\":[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n {{\"label\":\"{}\",\"workload\":\"{}\",\"reads\":{},\"breakdown_ms\":{{",
+            r.label, r.workload, r.reads
+        );
+        for (j, ((key, _), ms)) in SPAN_COMPONENTS.iter().zip(&r.parts_ms).enumerate() {
+            let short = key.trim_start_matches("span.").trim_end_matches("_us");
+            let _ = write!(out, "{}\"{short}\":{ms}", if j > 0 { "," } else { "" });
+        }
+        let _ = write!(
+            out,
+            "}},\"sum_ms\":{},\"read_mean_ms\":{},\"sum_ok\":{},",
+            r.sum_ms,
+            r.read_mean_ms,
+            sum_matches(r.sum_ms, r.read_mean_ms)
+        );
+        let _ = write!(
+            out,
+            "\"outcomes\":{{\"demand_hit\":{},\"covered_by_prefetch\":{},\"late_prefetch\":{},\"miss\":{}}},",
+            r.outcomes.demand_hit, r.outcomes.covered, r.outcomes.late, r.outcomes.miss
+        );
+        let _ = write!(
+            out,
+            "\"coverage\":{},\"accuracy\":{},\"timeliness\":{},\"late_slack_ms\":{},\"disks\":[",
+            r.coverage, r.accuracy, r.timeliness, r.late_slack_ms
+        );
+        for (j, d) in r.disks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"disk\":{},\"completed\":{},\"utilization\":{},\"queue_len\":{},\"reordered\":{},\"cancelled\":{},\"waited_s\":{}}}",
+                if j > 0 { "," } else { "" },
+                d.index,
+                d.completed as u64,
+                d.utilization,
+                d.queue_len,
+                d.reordered as u64,
+                d.cancelled as u64,
+                d.waited_s
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// trace skim
+// ---------------------------------------------------------------------------
+
+/// Pull a `"key":"string"` field out of one trace line.
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Pull a `"key":number` field out of one trace line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let tail = &line[start..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn cmd_trace(args: &[String]) -> i32 {
+    let [path] = args else { usage() };
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lapreport: {path}: cannot read: {e}");
+            return 1;
+        }
+    };
+
+    // The exporter writes one event per line; scan without a JSON
+    // parser so multi-hundred-MB traces stream through cheaply.
+    let mut track_names: HashMap<u64, String> = HashMap::new();
+    let mut instants: HashMap<String, u64> = HashMap::new();
+    // tid -> (open service begin ts, busy us, spans)
+    let mut busy: HashMap<u64, (Option<f64>, f64, u64)> = HashMap::new();
+    let mut counters_max: HashMap<String, f64> = HashMap::new();
+    let mut events = 0u64;
+    let mut last_ts = 0f64;
+
+    for line in text.lines() {
+        let line = line.trim_start_matches([',', ' ']);
+        if !line.starts_with('{') {
+            continue;
+        }
+        let Some(ph) = str_field(line, "ph") else {
+            continue;
+        };
+        let name = str_field(line, "name").unwrap_or("?");
+        events += 1;
+        if let Some(ts) = num_field(line, "ts") {
+            last_ts = last_ts.max(ts);
+        }
+        match ph {
+            "M" => {
+                if name == "thread_name" {
+                    if let Some(tid) = num_field(line, "tid") {
+                        // args.name is the last "name": field on the line.
+                        let track = line
+                            .rfind("\"name\":\"")
+                            .map(|i| {
+                                let s = &line[i + 8..];
+                                &s[..s.find('"').unwrap_or(s.len())]
+                            })
+                            .unwrap_or("?");
+                        track_names.insert(tid as u64, track.to_string());
+                    }
+                }
+                events -= 1; // metadata, not a sim event
+            }
+            "i" => *instants.entry(name.to_string()).or_insert(0) += 1,
+            "B" => {
+                if let (Some(tid), Some(ts)) = (num_field(line, "tid"), num_field(line, "ts")) {
+                    busy.entry(tid as u64).or_insert((None, 0.0, 0)).0 = Some(ts);
+                }
+            }
+            "E" => {
+                if let (Some(tid), Some(ts)) = (num_field(line, "tid"), num_field(line, "ts")) {
+                    let e = busy.entry(tid as u64).or_insert((None, 0.0, 0));
+                    if let Some(b) = e.0.take() {
+                        e.1 += ts - b;
+                        e.2 += 1;
+                    }
+                }
+            }
+            "C" => {
+                // Counter args hold a single numeric field whose key
+                // varies ("len", "pending", ...): take whatever it is.
+                if let Some(i) = line.find("\"args\":{\"") {
+                    let tail = &line[i + 9..];
+                    if let Some((key, _)) = tail.split_once("\":") {
+                        if let Some(v) = num_field(&line[i..], key) {
+                            let m = counters_max.entry(name.to_string()).or_insert(0.0);
+                            *m = m.max(v);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    println!("trace: {path}");
+    println!("  events      {events}");
+    println!("  span        {:.3} ms of simulated time", last_ts / 1e3);
+    if !busy.is_empty() {
+        println!("  service tracks (B/E pairs):");
+        let mut tids: Vec<_> = busy.keys().copied().collect();
+        tids.sort_unstable();
+        for tid in tids {
+            let (_, us, n) = busy[&tid];
+            let name = track_names
+                .get(&tid)
+                .cloned()
+                .unwrap_or_else(|| format!("tid {tid}"));
+            println!("    {name:<12} {n:>8} services  busy {:>10.3} ms", us / 1e3);
+        }
+    }
+    if !counters_max.is_empty() {
+        println!("  counter peaks:");
+        let mut names: Vec<_> = counters_max.keys().cloned().collect();
+        names.sort();
+        for n in names {
+            println!("    {n:<20} max {}", counters_max[&n]);
+        }
+    }
+    if !instants.is_empty() {
+        println!("  instants:");
+        let mut rows: Vec<_> = instants.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (name, n) in rows {
+            println!("    {name:<20} {n}");
+        }
+    }
+    0
+}
+
+// ---------------------------------------------------------------------------
+// bench-diff
+// ---------------------------------------------------------------------------
+
+/// One scenario row parsed out of a BENCH.json file.
+#[derive(Debug, PartialEq)]
+struct BenchRow {
+    avg_read_ms: f64,
+    reads: u64,
+    disk_accesses: u64,
+}
+
+fn load_bench(path: &str) -> Result<Vec<(String, BenchRow)>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let mut rows = Vec::new();
+    // The writer puts one scenario object per line; scan for them.
+    for line in text.lines() {
+        let Some(name) = str_field(line, "name") else {
+            continue;
+        };
+        let row = BenchRow {
+            avg_read_ms: num_field(line, "avg_read_ms")
+                .ok_or_else(|| format!("{path}: scenario {name:?} missing avg_read_ms"))?,
+            reads: num_field(line, "reads")
+                .ok_or_else(|| format!("{path}: scenario {name:?} missing reads"))?
+                as u64,
+            disk_accesses: num_field(line, "disk_accesses")
+                .ok_or_else(|| format!("{path}: scenario {name:?} missing disk_accesses"))?
+                as u64,
+        };
+        rows.push((name.to_string(), row));
+    }
+    if rows.is_empty() {
+        return Err(format!("{path}: no scenarios found"));
+    }
+    Ok(rows)
+}
+
+fn cmd_bench_diff(args: &[String]) -> i32 {
+    let [old_path, new_path] = args else { usage() };
+    let (old, new) = match (load_bench(old_path), load_bench(new_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("lapreport: {e}");
+            return 1;
+        }
+    };
+    let old_map: HashMap<_, _> = old.iter().map(|(n, r)| (n.as_str(), r)).collect();
+    let new_map: HashMap<_, _> = new.iter().map(|(n, r)| (n.as_str(), r)).collect();
+    let mut drift = false;
+    for (name, o) in &old {
+        match new_map.get(name.as_str()) {
+            None => {
+                println!("- {name}: removed");
+                drift = true;
+            }
+            Some(n) => {
+                // wall_ms is machine noise and deliberately ignored;
+                // simulated results must match exactly (determinism).
+                let same = o.reads == n.reads
+                    && o.disk_accesses == n.disk_accesses
+                    && (o.avg_read_ms - n.avg_read_ms).abs() <= o.avg_read_ms.abs() * 1e-9;
+                if !same {
+                    println!(
+                        "! {name}: avg_read_ms {} -> {}, reads {} -> {}, disk_accesses {} -> {}",
+                        o.avg_read_ms,
+                        n.avg_read_ms,
+                        o.reads,
+                        n.reads,
+                        o.disk_accesses,
+                        n.disk_accesses
+                    );
+                    drift = true;
+                }
+            }
+        }
+    }
+    for (name, _) in &new {
+        if !old_map.contains_key(name.as_str()) {
+            println!("+ {name}: added");
+            drift = true;
+        }
+    }
+    if drift {
+        eprintln!("lapreport: benchmark results drifted (wall-clock ignored)");
+        1
+    } else {
+        println!(
+            "bench-diff: {} scenarios match ({old_path} vs {new_path})",
+            old.len()
+        );
+        0
+    }
+}

@@ -31,6 +31,7 @@ struct Args {
     verbose: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    trace_sample: u64,
 }
 
 fn usage() -> ! {
@@ -40,6 +41,7 @@ fn usage() -> ! {
     eprintln!("              [--scale small|paper] [--warmup SECS] [-v]");
     eprintln!("              [--disk-model fixed|geom] [--disk-sched fifo|sstf|clook]");
     eprintln!("              [--trace-out FILE] [--metrics-out FILE]");
+    eprintln!("              [--trace-sample N]   keep 1-in-N high-volume trace events");
     eprintln!();
     eprintln!("algorithms: np, oba, ln_agr_oba, is_ppm:J, ln_agr_is_ppm:J,");
     eprintln!("            is_ppm_backoff:J, ln_agr_is_ppm_backoff:J");
@@ -82,6 +84,7 @@ fn parse_args() -> Args {
         verbose: false,
         trace_out: None,
         metrics_out: None,
+        trace_sample: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -132,6 +135,13 @@ fn parse_args() -> Args {
             }
             "--trace-out" => out.trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics-out" => out.metrics_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-sample" => {
+                out.trace_sample = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
             "-v" | "--verbose" => out.verbose = true,
             "-h" | "--help" => usage(),
             _ => usage(),
@@ -190,8 +200,17 @@ fn main() {
     let t0 = std::time::Instant::now();
     let report = if let Some(trace_path) = &args.trace_out {
         // Tracing requested: run with a recording backend and export
-        // the event stream as Chrome trace-event JSON.
-        let (report, rec) = run_simulation_traced(config, std::sync::Arc::new(workload));
+        // the event stream as Chrome trace-event JSON. `--trace-sample N`
+        // keeps only 1-in-N of the high-volume per-block event kinds so
+        // long runs fit the ring buffer; structural events always stay.
+        let rec = TraceRecorder::with_sampling(TraceRecorder::DEFAULT_CAPACITY, args.trace_sample);
+        let (report, rec) =
+            Simulation::with_recorder(config, std::sync::Arc::new(workload), rec).run_traced();
+        if rec.sample_every() > 1 {
+            for (label, seen, kept) in rec.sampled_counts() {
+                eprintln!("trace-sample: {label}: kept {kept} of {seen}");
+            }
+        }
         if rec.dropped() > 0 {
             eprintln!(
                 "warning: trace ring buffer overflowed, oldest {} events dropped",
