@@ -14,6 +14,7 @@ fn read_job(pos: u64) -> JobSpec {
         op: DeviceOp::Read,
         pos: Some(pos),
         bytes: 8192,
+        blocks: 1,
         rid: 0,
     }
 }
@@ -41,6 +42,7 @@ fn bench_pricing() {
     let mut fixed = DiskModel::fixed(
         simkit::SimDuration::from_micros(11_319),
         simkit::SimDuration::from_micros(13_319),
+        simkit::SimDuration::from_micros(819),
     );
     time_case("fixed/price_4096_reads", 200, || {
         let mut t = SimTime::ZERO;

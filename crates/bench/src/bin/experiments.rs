@@ -19,7 +19,8 @@ use bench::{
     WorkloadKind, CACHE_MBS, EXPERIMENTS,
 };
 use devmodel::DiskSched;
-use lap_core::{run_simulation, CacheSystem, MachineConfig, Replacement};
+use lap_core::{run_simulation, CacheSystem, MachineConfig, PrefetchGranularity, Replacement};
+use lapobs::MetricValue;
 use prefetch::{AggressiveLimit, EdgeChoice, PrefetchConfig};
 
 struct Options {
@@ -50,7 +51,7 @@ fn parse_args() -> Options {
                 // scale. Any panic (bad table, broken invariant) fails
                 // the run.
                 opts.scale = Scale::Small;
-                opts.ids = vec!["table1".into(), "devmodel".into()];
+                opts.ids = vec!["table1".into(), "devmodel".into(), "extent".into()];
             }
             "--scale" => {
                 opts.scale = match args.next().as_deref() {
@@ -109,11 +110,11 @@ fn print_help() {
     eprintln!(
         "usage: experiments <ids...> [--scale small|paper] [--seed N] [--out DIR] [--threads N] [--obs] [--smoke]"
     );
-    eprintln!("  --smoke  CI sanity mode: runs table1 + devmodel at small scale");
+    eprintln!("  --smoke  CI sanity mode: runs table1 + devmodel + extent at small scale");
     eprintln!("  --bench-out FILE  write a machine-readable BENCH.json snapshot of the");
     eprintln!("                    seed scenarios (diff with `lapreport bench-diff`)");
     eprintln!(
-        "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, devmodel, or any of:"
+        "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, devmodel, extent, or any of:"
     );
     for e in EXPERIMENTS {
         eprintln!("  {:<8} {}", e.id, e.title);
@@ -136,6 +137,7 @@ fn main() {
             ids.push("cooperation".into());
             ids.push("robustness".into());
             ids.push("devmodel".into());
+            ids.push("extent".into());
         } else {
             ids.push(id.clone());
         }
@@ -150,6 +152,7 @@ fn main() {
             "cooperation" => cooperation(&opts),
             "robustness" => robustness(&opts),
             "devmodel" => devmodel_ablation(&opts),
+            "extent" => extent_ablation(&opts),
             id => {
                 let Some(exp) = experiment(id) else {
                     eprintln!("unknown experiment {id:?}");
@@ -643,6 +646,94 @@ fn devmodel_ablation(opts: &Options) {
         println!();
     }
     println!();
+}
+
+/// Extent-granularity ablation: the seven paper configurations on the
+/// `pm_extent` geometry at `extent_blocks ∈ {1, 4, 8, 16}`, comparing
+/// block-granular vs extent-granular prefetch issue *on the same
+/// geometry* (the only apples-to-apples pair: extent size changes both
+/// the layout and the striping, so columns with different sizes are
+/// different disks — see docs/CALIBRATION.md). Non-aggressive
+/// configurations ignore the granularity switch, and at one-block
+/// extents the batcher degenerates to per-block issue, so those rows
+/// double as a bit-identity sanity gate.
+fn extent_ablation(opts: &Options) {
+    let kind = WorkloadKind::CharismaPm;
+    let wl = build_workload(kind, opts.scale, opts.seed);
+    println!(
+        "extent — CHARISMA on PAFS at 4 MB: prefetch granularity × extent size, geometry \
+         disks (seed {}, scale {:?})",
+        opts.seed, opts.scale
+    );
+    println!(
+        "{:<22} {:>4} {:>9} {:>9} {:>8} {:>9} {:>8}",
+        "algorithm", "ext", "blk ms", "ext ms", "delta%", "covered%", "blk/iss"
+    );
+    let covered_rate = |r: &lap_core::SimReport| {
+        let covered = match r.obs.get("span.outcome_covered_by_prefetch") {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        };
+        covered as f64 / r.reads.max(1) as f64
+    };
+    let mut csv = String::from(
+        "algorithm,extent_blocks,block_read_ms,extent_read_ms,delta_pct,extent_covered_rate,blocks_per_issue\n",
+    );
+    for pf in PrefetchConfig::paper_suite() {
+        for n in [1u64, 4, 8, 16] {
+            let run_with = |gran: PrefetchGranularity| {
+                let mut cfg = build_config(kind, opts.scale, CacheSystem::Pafs, pf, 4);
+                cfg.machine = cfg.machine.with_geometry_extent(n);
+                cfg.machine.prefetch_granularity = gran;
+                run_simulation(cfg, wl.clone())
+            };
+            let blk = run_with(PrefetchGranularity::Block);
+            let ext = run_with(PrefetchGranularity::Extent);
+            assert!(
+                blk.avg_read_ms.is_finite() && blk.avg_read_ms > 0.0 && blk.reads > 0,
+                "degenerate extent cell: {} n={n}",
+                pf.paper_name()
+            );
+            if n == 1 || !pf.is_aggressive() {
+                // One-block extents (or a non-aggressive engine) must
+                // reduce extent mode to exactly the per-block simulator.
+                assert_eq!(
+                    (blk.avg_read_ms, blk.reads, blk.disk_accesses()),
+                    (ext.avg_read_ms, ext.reads, ext.disk_accesses()),
+                    "extent mode must degenerate to block mode: {} n={n}",
+                    pf.paper_name()
+                );
+            }
+            let delta = (ext.avg_read_ms - blk.avg_read_ms) / blk.avg_read_ms * 100.0;
+            println!(
+                "{:<22} {:>4} {:>9.3} {:>9.3} {:>+8.2} {:>9.2} {:>8.2}",
+                pf.paper_name(),
+                n,
+                blk.avg_read_ms,
+                ext.avg_read_ms,
+                delta,
+                covered_rate(&ext) * 100.0,
+                ext.prefetch.blocks_per_issue(),
+            );
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                csv,
+                "{},{n},{:.6},{:.6},{:.4},{:.6},{:.4}",
+                pf.paper_name(),
+                blk.avg_read_ms,
+                ext.avg_read_ms,
+                delta,
+                covered_rate(&ext),
+                ext.prefetch.blocks_per_issue(),
+            );
+        }
+    }
+    println!();
+    if let Some(dir) = &opts.out {
+        let path = dir.join("extent.csv");
+        fs::write(&path, csv).expect("write extent CSV");
+        println!("wrote {}", path.display());
+    }
 }
 
 /// §5.2: miss-prediction ratios on Sprite at 4 MB — "Ln_Agr_OBA has a

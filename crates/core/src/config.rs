@@ -42,6 +42,49 @@ pub struct MachineConfig {
     /// Network link cost model. `Fixed` (the default) is the flat
     /// `startup + size/bandwidth` of Table 1.
     pub net_model: NetModelKind,
+    /// Unit the aggressive prefetch walker fetches in: single blocks
+    /// (the paper's rule) or whole extents of the disk layout (one
+    /// multi-block job per extent, still one unit of linear limit).
+    pub prefetch_granularity: PrefetchGranularity,
+}
+
+/// What the aggressive walker fetches per linear-limit unit.
+///
+/// The paper's linear limit allows one *block* per file in flight.
+/// Extent granularity reinterprets the unit as one *extent* — the
+/// contiguous layout unit of the geometry disk model — so the walker
+/// may have up to `extent_blocks` blocks in flight as long as they
+/// travel in a single multi-block disk job paying one positioning
+/// cost. Non-aggressive configurations (NP, plain OBA/IS_PPM) ignore
+/// this knob, and so does the fixed disk model (its extent size is 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PrefetchGranularity {
+    /// One block per issue — the paper's §3.1 rule, bit-identical to
+    /// the behaviour before extents existed.
+    #[default]
+    Block,
+    /// One extent per issue: contiguous member blocks of the extent
+    /// are batched into a single multi-block disk job.
+    Extent,
+}
+
+impl PrefetchGranularity {
+    /// Name used in reports and the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrefetchGranularity::Block => "block",
+            PrefetchGranularity::Extent => "extent",
+        }
+    }
+
+    /// Parse a CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "block" => Some(PrefetchGranularity::Block),
+            "extent" => Some(PrefetchGranularity::Extent),
+            _ => None,
+        }
+    }
 }
 
 impl MachineConfig {
@@ -64,6 +107,7 @@ impl MachineConfig {
             disk_model: DiskModelKind::Fixed,
             disk_sched: DiskSched::Fifo,
             net_model: NetModelKind::Fixed,
+            prefetch_granularity: PrefetchGranularity::Block,
         }
     }
 
@@ -86,6 +130,7 @@ impl MachineConfig {
             disk_model: DiskModelKind::Fixed,
             disk_sched: DiskSched::Fifo,
             net_model: NetModelKind::Fixed,
+            prefetch_granularity: PrefetchGranularity::Block,
         }
     }
 
@@ -107,11 +152,24 @@ impl MachineConfig {
         self
     }
 
+    /// Like [`with_geometry`](Self::with_geometry) but with an
+    /// `extent_blocks`-block layout extent (see
+    /// [`DiskGeometry::pm_extent`]). Extents larger than one block make
+    /// sequential runs cheaper than the calibrated per-block constants
+    /// — compare extent results against the `extent_blocks = 1` column
+    /// of the same geometry, not against the fixed model
+    /// (docs/CALIBRATION.md).
+    pub fn with_geometry_extent(mut self, extent_blocks: u64) -> Self {
+        self.disk_model = DiskModelKind::Geometry(DiskGeometry::pm_extent(extent_blocks));
+        self
+    }
+
     /// Instantiate one disk's service model from the configured kind.
     pub fn build_disk_model(&self) -> DiskModel {
         self.disk_model.build(
             self.disk_read_service(),
             self.disk_write_service(),
+            SimDuration::transfer(self.block_size, self.disk_bandwidth),
             self.block_size,
         )
     }
@@ -291,6 +349,38 @@ mod tests {
     fn blocks_per_node() {
         let cfg = SimConfig::pm(CacheSystem::Pafs, PrefetchConfig::np(), 4);
         assert_eq!(cfg.blocks_per_node(), 512); // 4 MB / 8 KB
+    }
+
+    #[test]
+    fn prefetch_granularity_parse_and_default() {
+        assert_eq!(
+            MachineConfig::pm().prefetch_granularity,
+            PrefetchGranularity::Block
+        );
+        assert_eq!(
+            PrefetchGranularity::parse("block"),
+            Some(PrefetchGranularity::Block)
+        );
+        assert_eq!(
+            PrefetchGranularity::parse("extent"),
+            Some(PrefetchGranularity::Extent)
+        );
+        assert_eq!(PrefetchGranularity::parse("extents"), None);
+        assert_eq!(PrefetchGranularity::Extent.name(), "extent");
+    }
+
+    #[test]
+    fn with_geometry_extent_sets_the_extent_size() {
+        let m = MachineConfig::pm().with_geometry_extent(8);
+        assert_eq!(m.disk_model.extent_blocks(), 8);
+        assert_eq!(MachineConfig::pm().disk_model.extent_blocks(), 1);
+        assert_eq!(
+            MachineConfig::pm()
+                .with_geometry()
+                .disk_model
+                .extent_blocks(),
+            1
+        );
     }
 
     #[test]

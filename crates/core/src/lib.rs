@@ -37,7 +37,7 @@ mod config;
 mod metrics;
 mod sim;
 
-pub use config::{CacheSystem, MachineConfig, SimConfig};
+pub use config::{CacheSystem, MachineConfig, PrefetchGranularity, SimConfig};
 pub use coopcache::Replacement;
 pub use metrics::{SimReport, TimeBucket};
 pub use sim::Simulation;

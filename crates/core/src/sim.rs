@@ -50,7 +50,7 @@ use simkit::{
     DeviceOp, EventQueue, JobSpec, Priority, ServiceCost, SimDuration, SimTime, StartedJob, Station,
 };
 
-use crate::config::{CacheSystem, SimConfig};
+use crate::config::{CacheSystem, PrefetchGranularity, SimConfig};
 use crate::metrics::{Metrics, ReadOutcome, SimReport, SpanBreakdown};
 
 /// Disk-queue priorities: demand reads first, write-backs next,
@@ -112,7 +112,41 @@ struct PendingFetch {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum DiskJob {
     Fetch(FetchKey),
+    /// An extent-granular prefetch batch: `count` contiguous blocks of
+    /// one file starting at `first`, served as a single multi-block job
+    /// (one positioning cost, then a contiguous transfer). Each member
+    /// block has its own [`PendingFetch`] entry so demand coalescing
+    /// and absorption work per block; completion lands all members at
+    /// once.
+    FetchRun {
+        first: FetchKey,
+        count: u32,
+    },
     Write(BlockId),
+}
+
+impl DiskJob {
+    /// Does this job fetch `key`'s block (alone or inside a run)?
+    fn fetches(&self, key: FetchKey) -> bool {
+        match self {
+            DiskJob::Fetch(k) => *k == key,
+            DiskJob::FetchRun { first, count } => {
+                first.scope == key.scope
+                    && first.block.file == key.block.file
+                    && key.block.index >= first.block.index
+                    && key.block.index < first.block.index + u64::from(*count)
+            }
+            DiskJob::Write(_) => false,
+        }
+    }
+}
+
+/// The member fetch keys of an extent run, in block order.
+fn run_keys(first: FetchKey, count: u32) -> impl Iterator<Item = FetchKey> {
+    (0..u64::from(count)).map(move |i| FetchKey {
+        scope: first.scope,
+        block: BlockId::new(first.block.file, first.block.index + i),
+    })
 }
 
 /// Simulation events.
@@ -173,6 +207,11 @@ pub struct Simulation<R: Recorder = NoopRecorder> {
     reqs: Vec<ReqState>,
     metrics: Metrics,
     file_blocks: Vec<u64>,
+    /// Layout extent of the disk model in blocks (1 under the fixed
+    /// model). Drives both the extent-aware striping in
+    /// [`disk_of`](Self::disk_of) and the batch size of extent-granular
+    /// prefetching.
+    extent_blocks: u64,
     active_procs: usize,
     /// Next request id: allocated densely, one per demand read
     /// (including pure cache hits), so every trace event of one read
@@ -261,6 +300,7 @@ impl<R: Recorder> Simulation<R> {
             .map(|f| workload.file_blocks(FileId(f as u32)))
             .collect();
         let metrics = Metrics::new(SimTime::ZERO + config.warmup, config.metrics_interval);
+        let extent_blocks = config.machine.disk_model.extent_blocks();
         let active_procs = procs.len();
         Simulation {
             config,
@@ -275,6 +315,7 @@ impl<R: Recorder> Simulation<R> {
             reqs: Vec::new(),
             metrics,
             file_blocks,
+            extent_blocks,
             active_procs,
             next_rid: 0,
             rec,
@@ -432,9 +473,11 @@ impl<R: Recorder> Simulation<R> {
                             },
                         );
                     }
-                    // The block is now demand-critical: jump the queue.
+                    // The block is now demand-critical: jump the queue
+                    // (a whole extent run is promoted if the block
+                    // travels inside one).
                     let disk = self.disk_of(block);
-                    self.disks[disk].promote_where(PRIO_DEMAND, |j| *j == DiskJob::Fetch(key));
+                    self.disks[disk].promote_where(PRIO_DEMAND, |j| j.fetches(key));
                 } else {
                     // Joined an already-demanded fetch (plain demand
                     // fetch, or a prefetch an earlier demand absorbed).
@@ -583,8 +626,14 @@ impl<R: Recorder> Simulation<R> {
 
     fn disk_of(&self, block: BlockId) -> usize {
         // Stripe each file's blocks across all disks, with a per-file
-        // rotation so files don't all start on disk 0.
-        ((block.file.0 as u64).wrapping_mul(7919) + block.index) as usize % self.disks.len()
+        // rotation so files don't all start on disk 0. The striping
+        // unit is the layout extent: with one-block extents (the fixed
+        // model and the calibrated pm geometry) this is per-block
+        // striping, bit-identical to the pre-extent simulator; with
+        // larger extents a whole extent lives on one disk, which is
+        // what lets a multi-block run be a single contiguous job.
+        let unit = block.index / self.extent_blocks;
+        ((block.file.0 as u64).wrapping_mul(7919) + unit) as usize % self.disks.len()
     }
 
     fn issue_fetch(&mut self, key: FetchKey, prefetch: bool, rid: u32, now: SimTime) {
@@ -600,8 +649,44 @@ impl<R: Recorder> Simulation<R> {
             prio,
             DeviceOp::Read,
             key.block,
+            1,
             DiskJob::Fetch(key),
             rid,
+            now,
+        );
+    }
+
+    /// Issue one extent-granular prefetch batch: `count` contiguous
+    /// blocks starting at `first`, as a single multi-block disk job.
+    /// Every member block still counts as one prefetch disk read (the
+    /// paper's traffic metric is per block); the *service* is what the
+    /// batch saves — one positioning cost instead of `count`.
+    fn issue_fetch_run(&mut self, first: FetchKey, count: u32, now: SimTime) {
+        for _ in 0..count {
+            self.metrics.record_disk_read(now, true);
+        }
+        let disk = self.disk_of(first.block);
+        debug_assert_eq!(
+            disk,
+            self.disk_of(BlockId::new(
+                first.block.file,
+                first.block.index + u64::from(count) - 1
+            )),
+            "an extent run must not cross a striping boundary"
+        );
+        let prio = if self.config.prefetch_priority {
+            PRIO_PREFETCH
+        } else {
+            PRIO_DEMAND
+        };
+        self.submit_disk_job(
+            disk,
+            prio,
+            DeviceOp::Read,
+            first.block,
+            count,
+            DiskJob::FetchRun { first, count },
+            NO_RID,
             now,
         );
     }
@@ -623,14 +708,16 @@ impl<R: Recorder> Simulation<R> {
             PRIO_WRITEBACK,
             DeviceOp::Write,
             block,
+            1,
             DiskJob::Write(block),
             NO_RID,
             now,
         );
     }
 
-    /// Hand one operation on `block` to disk `disk`: the disk's service
-    /// model supplies the position (geometry) and later the price.
+    /// Hand one operation to disk `disk`, covering `blocks` contiguous
+    /// device blocks from `block` on: the disk's service model supplies
+    /// the position (geometry) and later the price.
     #[allow(clippy::too_many_arguments)]
     fn submit_disk_job(
         &mut self,
@@ -638,6 +725,7 @@ impl<R: Recorder> Simulation<R> {
         prio: Priority,
         op: DeviceOp,
         block: BlockId,
+        blocks: u32,
         tag: DiskJob,
         rid: u32,
         now: SimTime,
@@ -645,7 +733,8 @@ impl<R: Recorder> Simulation<R> {
         let spec = JobSpec {
             op,
             pos: self.disk_models[disk].lba_of(block.file.0, block.index),
-            bytes: self.config.machine.block_size,
+            bytes: self.config.machine.block_size * u64::from(blocks),
+            blocks,
             rid,
         };
         let started = {
@@ -674,13 +763,26 @@ impl<R: Recorder> Simulation<R> {
     /// mechanical time when the fetch lands. Write jobs need no record:
     /// nothing waits on them.
     fn note_fetch_started(&mut self, now: SimTime, started: &StartedJob<DiskJob>) {
-        if let DiskJob::Fetch(key) = started.tag {
-            if let Some(pf) = self.pending.get_mut(&key) {
-                pf.svc = Some(FetchSvc {
-                    begin: now,
-                    cost: started.cost,
-                });
+        let svc = FetchSvc {
+            begin: now,
+            cost: started.cost,
+        };
+        match started.tag {
+            DiskJob::Fetch(key) => {
+                if let Some(pf) = self.pending.get_mut(&key) {
+                    pf.svc = Some(svc);
+                }
             }
+            DiskJob::FetchRun { first, count } => {
+                // Every member shares the run's service record: a read
+                // waiting on any of them waited for this one dispatch.
+                for key in run_keys(first, count) {
+                    if let Some(pf) = self.pending.get_mut(&key) {
+                        pf.svc = Some(svc);
+                    }
+                }
+            }
+            DiskJob::Write(_) => {}
         }
     }
 
@@ -707,10 +809,42 @@ impl<R: Recorder> Simulation<R> {
         match job {
             DiskJob::Write(_) => {}
             DiskJob::Fetch(key) => self.fetch_done(key, now),
+            DiskJob::FetchRun { first, count } => self.run_done(first, count, now),
         }
     }
 
     fn fetch_done(&mut self, key: FetchKey, now: SimTime) {
+        if let Some(owner) = self.complete_fetch_block(key, now) {
+            if let Some(engine) = self.engines.get_mut(&owner) {
+                engine.on_prefetch_complete();
+            }
+            self.pump_prefetcher(owner, now);
+        }
+    }
+
+    /// An extent-granular batch landed: every member block materialises
+    /// in the cache at the same instant (the batch was one disk job),
+    /// then the owning engine is credited with **one** completed
+    /// in-flight unit — the linear limit was charged per batch, not per
+    /// block.
+    fn run_done(&mut self, first: FetchKey, count: u32, now: SimTime) {
+        let mut owner = None;
+        for key in run_keys(first, count) {
+            owner = self.complete_fetch_block(key, now).or(owner);
+        }
+        if let Some(owner) = owner {
+            if let Some(engine) = self.engines.get_mut(&owner) {
+                engine.on_prefetch_complete();
+            }
+            self.pump_prefetcher(owner, now);
+        }
+    }
+
+    /// Land one fetched block: insert into the cache, wake the waiting
+    /// reads, and return the prefetch engine to credit (if any) —
+    /// crediting is the caller's job because a multi-block run charges
+    /// a single in-flight unit.
+    fn complete_fetch_block(&mut self, key: FetchKey, now: SimTime) -> Option<PfKey> {
         let pf = self
             .pending
             .remove(&key)
@@ -747,12 +881,7 @@ impl<R: Recorder> Simulation<R> {
             }
         }
 
-        if let Some(owner) = pf.pf_owner {
-            if let Some(engine) = self.engines.get_mut(&owner) {
-                engine.on_prefetch_complete();
-            }
-            self.pump_prefetcher(owner, now);
-        }
+        pf.pf_owner
     }
 
     /// Process the fallout of a cache operation performed on behalf of
@@ -838,10 +967,20 @@ impl<R: Recorder> Simulation<R> {
     /// it on the disks.
     fn pump_prefetcher(&mut self, key: PfKey, now: SimTime) {
         let home = self.prefetch_home(key);
-        let mut to_issue: Vec<u64> = Vec::new();
+        // Issue units: `(first, count)` runs. Per-block mode always
+        // produces `count == 1`; extent mode batches up to one extent.
+        let mut to_issue: Vec<(u64, u32)> = Vec::new();
         // Companion set for O(1) membership while `to_issue` keeps the
         // deterministic issue order.
         let mut to_issue_set: HashSet<u64> = HashSet::new();
+        // Extent-granular batching applies to the aggressive walkers
+        // only: a one-block-ahead engine has nothing to batch, and the
+        // paper's non-aggressive modes must stay untouched. With
+        // one-block extents the batcher degenerates to per-block issue,
+        // so the extra gate is the granularity switch itself.
+        let extent_mode = self.config.machine.prefetch_granularity == PrefetchGranularity::Extent
+            && self.config.prefetch.is_aggressive();
+        let extent_blocks = self.extent_blocks;
         {
             let Simulation {
                 engines,
@@ -871,51 +1010,61 @@ impl<R: Recorder> Simulation<R> {
                 // scope already has a fetch in flight. Other nodes'
                 // in-flight fetches are invisible on xFS, which is what
                 // duplicates prefetch work on shared files (§4).
-                let next = engine.next_block_obs(
-                    |idx| {
-                        let block = BlockId::new(key.file, idx);
-                        let resident = if local_only {
-                            cache.contains_local(scope.expect("local scope"), block)
-                        } else {
-                            cache.contains(block)
-                        };
-                        resident
-                            || pending.contains_key(&FetchKey { scope, block })
-                            || to_issue_set.contains(&idx)
-                    },
-                    &mut obs,
-                );
+                let is_cached = |idx: u64| {
+                    let block = BlockId::new(key.file, idx);
+                    let resident = if local_only {
+                        cache.contains_local(scope.expect("local scope"), block)
+                    } else {
+                        cache.contains(block)
+                    };
+                    resident
+                        || pending.contains_key(&FetchKey { scope, block })
+                        || to_issue_set.contains(&idx)
+                };
+                let next = if extent_mode {
+                    engine.next_extent_obs(extent_blocks, is_cached, &mut obs)
+                } else {
+                    engine.next_block_obs(is_cached, &mut obs).map(|b| (b, 1))
+                };
                 match next {
-                    Some(idx) => {
-                        to_issue.push(idx);
-                        to_issue_set.insert(idx);
+                    Some((first, count)) => {
+                        for i in 0..u64::from(count) {
+                            to_issue_set.insert(first + i);
+                        }
+                        to_issue.push((first, count));
                     }
                     None => break,
                 }
             }
         }
-        for idx in to_issue {
+        for (first, count) in to_issue {
             // The prefetcher's coalescing scope is its own key scope:
             // global for the PAFS per-file server, per-node for xFS.
             let fkey = FetchKey {
                 scope: key.node,
-                block: BlockId::new(key.file, idx),
+                block: BlockId::new(key.file, first),
             };
-            self.pending.insert(
-                fkey,
-                PendingFetch {
-                    prefetch: true,
-                    demanded: false,
-                    pf_owner: Some(key),
-                    node: home,
-                    waiters: Vec::new(),
-                    svc: None,
-                },
-            );
+            for member in run_keys(fkey, count) {
+                self.pending.insert(
+                    member,
+                    PendingFetch {
+                        prefetch: true,
+                        demanded: false,
+                        pf_owner: Some(key),
+                        node: home,
+                        waiters: Vec::new(),
+                        svc: None,
+                    },
+                );
+            }
             // Disk-level prefetch jobs serve no demand read (yet): the
             // causal link to the parent demand lives in the
-            // `PrefetchIssue` event the engine emitted.
-            self.issue_fetch(fkey, true, NO_RID, now);
+            // `PrefetchIssue`/`ExtentIssue` events the engine emitted.
+            if count == 1 {
+                self.issue_fetch(fkey, true, NO_RID, now);
+            } else {
+                self.issue_fetch_run(fkey, count, now);
+            }
         }
     }
 

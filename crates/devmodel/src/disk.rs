@@ -63,15 +63,26 @@ pub enum DiskModel {
         read: SimDuration,
         /// Full service time of a block write.
         write: SimDuration,
+        /// Media transfer time of one additional contiguous block —
+        /// what each block beyond the first of a multi-block job costs
+        /// (the seek/rotation constant is paid once). Single-block jobs
+        /// never touch it, so the seed costs are reproduced bit-for-bit.
+        transfer: SimDuration,
     },
     /// The mechanical model.
     Geometry(GeomDisk),
 }
 
 impl DiskModel {
-    /// The fixed model with precomputed full service times.
-    pub fn fixed(read: SimDuration, write: SimDuration) -> Self {
-        DiskModel::Fixed { read, write }
+    /// The fixed model with precomputed full service times; `transfer`
+    /// is the per-block media transfer charged for each block beyond
+    /// the first of a multi-block job.
+    pub fn fixed(read: SimDuration, write: SimDuration, transfer: SimDuration) -> Self {
+        DiskModel::Fixed {
+            read,
+            write,
+            transfer,
+        }
     }
 
     /// A geometry model with the head parked at LBA 0.
@@ -112,10 +123,20 @@ impl ServiceModel for DiskModel {
 
     fn service(&mut self, now: SimTime, job: &JobSpec) -> ServiceCost {
         match self {
-            DiskModel::Fixed { read, write } => ServiceCost::flat(match job.op {
-                DeviceOp::Write => *write,
-                _ => *read,
-            }),
+            DiskModel::Fixed {
+                read,
+                write,
+                transfer,
+            } => {
+                // One positioning constant, then contiguous media
+                // transfer for every additional block of the job.
+                let base = match job.op {
+                    DeviceOp::Write => *write,
+                    _ => *read,
+                };
+                let extra = job.blocks.saturating_sub(1);
+                ServiceCost::flat(base + *transfer * extra as u64)
+            }
             DiskModel::Geometry(d) => {
                 let lba = job.pos.unwrap_or(d.head_lba);
                 let from = d.geom.cylinder_of(d.head_lba);
@@ -125,8 +146,19 @@ impl ServiceModel for DiskModel {
                     seek += d.geom.write_settle;
                 }
                 let rot = d.geom.rot_wait(now + seek, lba);
+                // `job.bytes` covers every block of the job, so a
+                // multi-block job pays one seek + one rotational wait
+                // and then the full contiguous transfer.
                 let total = seek + rot + d.geom.transfer_time(job.bytes);
-                d.head_lba = lba;
+                // A single-block job leaves the head where it landed
+                // (seed behaviour, bit-identical); a multi-block job
+                // leaves it at the start of its last member block.
+                d.head_lba = if job.blocks > 1 {
+                    let sectors_per_block = (d.block_bytes / u64::from(d.geom.sector_bytes)).max(1);
+                    lba + (job.blocks as u64 - 1) * sectors_per_block
+                } else {
+                    lba
+                };
                 d.stats.services += 1;
                 d.stats.seek_cylinders += from.abs_diff(to) as u64;
                 d.stats.seek_time += seek;
@@ -152,6 +184,7 @@ mod tests {
             op: DeviceOp::Read,
             pos,
             bytes: 8192,
+            blocks: 1,
             rid: 0,
         }
     }
@@ -160,17 +193,81 @@ mod tests {
     fn fixed_model_reproduces_constants() {
         let r = SimDuration::from_nanos(11_319_200);
         let w = SimDuration::from_nanos(13_319_200);
-        let mut m = DiskModel::fixed(r, w);
+        let x = SimDuration::from_nanos(819_200);
+        let mut m = DiskModel::fixed(r, w, x);
         assert_eq!(m.service(SimTime::ZERO, &read_job(None)).total, r);
         let wj = JobSpec {
             op: DeviceOp::Write,
             pos: None,
             bytes: 8192,
+            blocks: 1,
             rid: 0,
         };
         assert_eq!(m.service(SimTime::ZERO, &wj).total, w);
         assert!(m.service(SimTime::ZERO, &read_job(None)).mech.is_none());
         assert!(m.lba_of(0, 0).is_none());
+    }
+
+    #[test]
+    fn fixed_model_prices_extra_blocks_at_transfer_cost() {
+        let r = SimDuration::from_nanos(11_319_200);
+        let w = SimDuration::from_nanos(13_319_200);
+        let x = SimDuration::from_nanos(819_200);
+        let mut m = DiskModel::fixed(r, w, x);
+        let run = JobSpec {
+            op: DeviceOp::Read,
+            pos: None,
+            bytes: 4 * 8192,
+            blocks: 4,
+            rid: 0,
+        };
+        assert_eq!(m.service(SimTime::ZERO, &run).total, r + x * 3);
+    }
+
+    #[test]
+    fn geometry_multi_block_run_pays_one_seek_and_leaves_head_at_last_block() {
+        let g = DiskGeometry {
+            extent_blocks: 8,
+            ..DiskGeometry::pm()
+        };
+        let spb = 8192 / g.sector_bytes as u64;
+        let n = 4u32;
+
+        // A 4-block contiguous run as one job...
+        let mut run_model = DiskModel::geometry(g, 8192);
+        let first = run_model.lba_of(7, 0).unwrap();
+        let run = JobSpec {
+            op: DeviceOp::Read,
+            pos: Some(first),
+            bytes: n as u64 * 8192,
+            blocks: n,
+            rid: 0,
+        };
+        let run_cost = run_model.service(SimTime::ZERO, &run);
+
+        // ...vs the same blocks one job at a time.
+        let mut blk_model = DiskModel::geometry(g, 8192);
+        let mut t = SimTime::ZERO;
+        let mut blk_total = SimDuration::ZERO;
+        for b in 0..n as u64 {
+            let j = read_job(blk_model.lba_of(7, b));
+            let c = blk_model.service(t, &j);
+            t += c.total;
+            blk_total += c.total;
+        }
+
+        // One seek + one rotational wait for the whole run: cheaper
+        // than per-block issue (which re-waits on the platter phase).
+        assert!(run_cost.total < blk_total);
+        // The run charges the full contiguous transfer.
+        assert!(run_cost.total >= g.transfer_time(n as u64 * 8192));
+        // The head ends at the last member block's start LBA, so a
+        // follow-up read there is seek-free.
+        let next = run_model.service(
+            SimTime::ZERO + run_cost.total,
+            &read_job(Some(first + (n as u64 - 1) * spb)),
+        );
+        assert_eq!(next.mech.unwrap().seek_cylinders, 0);
     }
 
     #[test]
@@ -203,6 +300,7 @@ mod tests {
                     op: DeviceOp::Write,
                     pos: Some(lba),
                     bytes: 8192,
+                    blocks: 1,
                     rid: 0,
                 },
             )

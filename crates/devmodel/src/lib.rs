@@ -60,12 +60,31 @@ impl DiskModelKind {
     }
 
     /// Instantiate one disk's model. `read`/`write` are the full fixed
-    /// service times (used by the `Fixed` variant); `block_bytes` is
-    /// the file-system block size (used by the layout).
-    pub fn build(&self, read: SimDuration, write: SimDuration, block_bytes: u64) -> DiskModel {
+    /// single-block service times and `transfer` the per-block media
+    /// transfer (used by the `Fixed` variant to price the extra blocks
+    /// of a multi-block job); `block_bytes` is the file-system block
+    /// size (used by the layout).
+    pub fn build(
+        &self,
+        read: SimDuration,
+        write: SimDuration,
+        transfer: SimDuration,
+        block_bytes: u64,
+    ) -> DiskModel {
         match self {
-            DiskModelKind::Fixed => DiskModel::fixed(read, write),
+            DiskModelKind::Fixed => DiskModel::fixed(read, write, transfer),
             DiskModelKind::Geometry(g) => DiskModel::geometry(*g, block_bytes),
+        }
+    }
+
+    /// Blocks per allocation extent under this model — the unit an
+    /// extent-granular prefetcher fetches at once. The fixed model has
+    /// no layout, so its extent is one block (extent mode degenerates
+    /// to the per-block behaviour there).
+    pub fn extent_blocks(&self) -> u64 {
+        match self {
+            DiskModelKind::Fixed => 1,
+            DiskModelKind::Geometry(g) => g.extent_blocks.max(1),
         }
     }
 }
@@ -163,12 +182,18 @@ mod tests {
     fn kind_builds_matching_model() {
         let r = SimDuration::from_millis(10);
         let w = SimDuration::from_millis(12);
+        let x = SimDuration::from_micros(819);
         assert!(DiskModelKind::Fixed
-            .build(r, w, 8192)
+            .build(r, w, x, 8192)
             .lba_of(0, 0)
             .is_none());
-        let g = DiskModelKind::Geometry(DiskGeometry::tiny()).build(r, w, 8192);
+        let g = DiskModelKind::Geometry(DiskGeometry::tiny()).build(r, w, x, 8192);
         assert!(g.lba_of(0, 0).is_some());
+        assert_eq!(DiskModelKind::Fixed.extent_blocks(), 1);
+        assert_eq!(
+            DiskModelKind::Geometry(DiskGeometry::tiny()).extent_blocks(),
+            4
+        );
     }
 
     #[test]

@@ -98,6 +98,7 @@ fn drive(sched: Box<dyn Scheduler>, arrivals: &[Arrival], seed: u64) -> Vec<(usi
             op: DeviceOp::Read,
             pos: disk.lba_of(file, block),
             bytes: 8192,
+            blocks: 1,
             rid: id as u32,
         };
         waiting.insert(id, prio);

@@ -271,6 +271,18 @@ pub fn export<'a>(events: impl IntoIterator<Item = &'a (Nanos, Event)>) -> Strin
                 let args = format!(",\"args\":{{\"file\":{file},\"block\":{block}}}");
                 w.instant(t, TID_PREFETCH, "issue", &args);
             }
+            Event::ExtentIssue {
+                file,
+                first_block,
+                blocks,
+                ..
+            } => {
+                w.ensure_track(TID_PREFETCH, "prefetch");
+                let args = format!(
+                    ",\"args\":{{\"file\":{file},\"first_block\":{first_block},\"blocks\":{blocks}}}"
+                );
+                w.instant(t, TID_PREFETCH, "extent issue", &args);
+            }
             Event::PrefetchAbsorbed { file, block, .. } => {
                 w.ensure_track(TID_PREFETCH, "prefetch");
                 let args = format!(",\"args\":{{\"file\":{file},\"block\":{block}}}");

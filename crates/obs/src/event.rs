@@ -259,6 +259,21 @@ pub enum Event {
         /// Walk generation the prefetch belongs to.
         gen: u32,
     },
+    /// The engine issued an extent-granular prefetch batch: `blocks`
+    /// contiguous blocks of one extent fetched as a single multi-block
+    /// disk job. A per-block [`PrefetchIssue`](Event::PrefetchIssue)
+    /// still accompanies every member block; this event marks the batch
+    /// boundary so a trace can attribute coverage to batching.
+    ExtentIssue {
+        /// The file.
+        file: u32,
+        /// First block of the batch.
+        first_block: u64,
+        /// Member blocks fetched by the single disk job.
+        blocks: u32,
+        /// Parent demand read whose walk issued this batch.
+        rid: u32,
+    },
     /// A demand arrived for a block whose prefetch was still in flight;
     /// the demand absorbed it.
     PrefetchAbsorbed {

@@ -388,9 +388,105 @@ impl FilePrefetcher {
         }
     }
 
+    /// Hand out the next *extent batch* to prefetch: the first block
+    /// plus how many contiguous same-extent blocks ride along in a
+    /// single multi-block disk job (`(first, count)`; the members are
+    /// `first..first + count`). Extents are `extent_blocks` long and
+    /// aligned (block `b` belongs to extent `b / extent_blocks`).
+    ///
+    /// The whole batch counts as **one** in-flight unit: under the
+    /// linear limit, at most one *extent* of the file is being
+    /// prefetched at any time, and one [`on_prefetch_complete`]
+    /// (Self::on_prefetch_complete) frees the unit when the batch's
+    /// job completes. The batch never crosses an extent boundary, and
+    /// stops early at a cached block, a non-contiguous prediction, the
+    /// lead cap, or the end of the walk — whatever comes first (the
+    /// per-block machinery picks up from there on the next call).
+    ///
+    /// With `extent_blocks == 1` every batch has length 1 and this is
+    /// exactly [`next_block_obs`](Self::next_block_obs) plus batch
+    /// accounting.
+    pub fn next_extent_obs<R: Recorder>(
+        &mut self,
+        extent_blocks: u64,
+        mut is_cached: impl FnMut(u64) -> bool,
+        obs: &mut Obs<'_, R>,
+    ) -> Option<(u64, u32)> {
+        let extent_blocks = extent_blocks.max(1);
+        // The first block goes through the full per-block issue logic
+        // (cap check, cached skips, walk refills, issue accounting);
+        // the one unit of in-flight it charges covers the whole batch.
+        let first = self.next_block_obs(&mut is_cached, obs)?;
+        let extent = first / extent_blocks;
+        let mut count = 1u32;
+        loop {
+            let next = first + count as u64;
+            if next / extent_blocks != extent {
+                break; // never cross the extent boundary
+            }
+            if let Some(cap) = self.config.lead_cap {
+                if self.lead >= cap {
+                    break;
+                }
+            }
+            if self.queue.is_empty() && !self.refill_from_walk(obs) {
+                break;
+            }
+            match self.queue.front() {
+                Some(&(b, _)) if b == next => {}
+                _ => break, // prediction is not the contiguous next block
+            }
+            if is_cached(next) {
+                // Leave it queued: the per-block logic skips it (with
+                // cached-run accounting) on the next pull.
+                break;
+            }
+            let (block, source) = self.queue.pop_front().expect("peeked above");
+            self.cached_run = 0;
+            if self.config.is_aggressive() {
+                self.lead += 1;
+            }
+            self.stats.issued += 1;
+            if source == PredictionSource::ObaFallback {
+                self.stats.issued_by_fallback += 1;
+            }
+            let (rid, gen) = (self.parent_rid, self.walk_gen);
+            obs.emit(|file| Event::PrefetchIssue {
+                file,
+                block,
+                rid,
+                gen,
+            });
+            count += 1;
+        }
+        self.stats.extent_batches += 1;
+        self.stats.extent_batched_blocks += count as u64;
+        let rid = self.parent_rid;
+        obs.emit(|file| Event::ExtentIssue {
+            file,
+            first_block: first,
+            blocks: count,
+            rid,
+        });
+        Some((first, count))
+    }
+
+    /// [`next_extent_obs`](Self::next_extent_obs) without tracing.
+    pub fn next_extent(
+        &mut self,
+        extent_blocks: u64,
+        is_cached: impl FnMut(u64) -> bool,
+    ) -> Option<(u64, u32)> {
+        let mut noop = NoopRecorder;
+        self.next_extent_obs(extent_blocks, is_cached, &mut Obs::new(0, 0, &mut noop))
+    }
+
     /// Report that one prefetched block finished fetching (or that its
     /// fetch was absorbed by a demand miss). Frees an in-flight slot;
     /// follow up with [`next_block`](Self::next_block).
+    ///
+    /// In extent-granular mode, call this **once per batch** when the
+    /// multi-block job completes — the batch charged a single unit.
     pub fn on_prefetch_complete(&mut self) {
         assert!(self.in_flight > 0, "completion without in-flight prefetch");
         self.in_flight -= 1;
@@ -702,5 +798,88 @@ mod tests {
     fn spurious_completion_panics() {
         let mut pf = FilePrefetcher::new(PrefetchConfig::oba(), 10);
         pf.on_prefetch_complete();
+    }
+
+    #[test]
+    fn extent_batches_never_cross_the_boundary_and_respect_the_limit() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 64);
+        pf.on_demand(Request::new(0, 1));
+        // Walk predicts 1, 2, 3, ...; extents are aligned [0,4), [4,8)...
+        // The first batch starts at 1 and may only cover 1..4.
+        assert_eq!(pf.next_extent(4, |_| false), Some((1, 3)));
+        // Linear limit on extents: one batch in flight, one unit.
+        assert_eq!(pf.in_flight(), 1);
+        assert_eq!(pf.next_extent(4, |_| false), None);
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_extent(4, |_| false), Some((4, 4)));
+        assert_eq!(pf.stats().extent_batches, 2);
+        assert_eq!(pf.stats().extent_batched_blocks, 7);
+        assert_eq!(pf.stats().issued, 7);
+    }
+
+    #[test]
+    fn extent_batch_stops_early_at_a_cached_block() {
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 64);
+        pf.on_demand(Request::new(0, 1));
+        // Block 3 is resident: the batch must not include it.
+        assert_eq!(pf.next_extent(4, |b| b == 3,), Some((1, 2)));
+        pf.on_prefetch_complete();
+        // Next pull skips the cached block and moves to the next extent.
+        assert_eq!(pf.next_extent(4, |b| b == 3), Some((4, 4)));
+        assert_eq!(pf.stats().already_cached, 1);
+    }
+
+    #[test]
+    fn extent_batch_stops_at_non_contiguous_predictions() {
+        // A strided IS_PPM walk predicts (19,3),(24,2),...: the batch
+        // from 19 covers 19..22 and stops at the gap even though the
+        // extent [16,24) has room.
+        let mut pf = FilePrefetcher::new(PrefetchConfig::ln_agr_is_ppm(1), 40);
+        for (o, s) in [(0, 2), (3, 3), (8, 2), (11, 3), (16, 2)] {
+            pf.on_demand(Request::new(o, s));
+        }
+        assert_eq!(pf.next_extent(8, |_| false), Some((19, 3)));
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_extent(8, |_| false), Some((24, 2)));
+    }
+
+    #[test]
+    fn extent_size_one_degenerates_to_per_block_issue() {
+        let mut a = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 16);
+        let mut b = FilePrefetcher::new(PrefetchConfig::ln_agr_oba(), 16);
+        a.on_demand(Request::new(0, 1));
+        b.on_demand(Request::new(0, 1));
+        loop {
+            let x = a.next_extent(1, |_| false);
+            let y = b.next_block(|_| false);
+            assert_eq!(
+                x.map(|(f, c)| {
+                    assert_eq!(c, 1, "extent size 1 must issue single blocks");
+                    f
+                }),
+                y
+            );
+            if x.is_none() {
+                break;
+            }
+            a.on_prefetch_complete();
+            b.on_prefetch_complete();
+        }
+        assert_eq!(a.stats().issued, b.stats().issued);
+    }
+
+    #[test]
+    fn extent_batches_respect_the_lead_cap() {
+        let cfg = PrefetchConfig {
+            lead_cap: Some(3),
+            ..PrefetchConfig::ln_agr_oba()
+        };
+        let mut pf = FilePrefetcher::new(cfg, 100);
+        pf.on_demand(Request::new(0, 1));
+        // Lead cap 3 binds mid-batch: only blocks 1..4 come out even
+        // though the extent [0,8) has room for more.
+        assert_eq!(pf.next_extent(8, |_| false), Some((1, 3)));
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_extent(8, |_| false), None, "lead cap reached");
     }
 }

@@ -31,6 +31,14 @@ pub struct PrefetchStats {
     /// Aggressive walks stopped because everything ahead was already
     /// cached (read-ahead satisfied).
     pub cached_stops: u64,
+    /// Extent-granular issue batches (one multi-block disk job each).
+    /// Zero in per-block mode.
+    pub extent_batches: u64,
+    /// Blocks issued inside extent batches. `extent_batched_blocks /
+    /// extent_batches` is the mean blocks-per-issue of the walk, which
+    /// is what separates coverage gained by *batching* from coverage
+    /// gained by better *prediction*.
+    pub extent_batched_blocks: u64,
 }
 
 impl PrefetchStats {
@@ -46,6 +54,8 @@ impl PrefetchStats {
         self.walk_stops += other.walk_stops;
         self.budget_stops += other.budget_stops;
         self.cached_stops += other.cached_stops;
+        self.extent_batches += other.extent_batches;
+        self.extent_batched_blocks += other.extent_batched_blocks;
     }
 
     /// Share of issued blocks that came from the OBA fallback
@@ -80,8 +90,26 @@ impl PrefetchStats {
         reg.counter(format!("{prefix}.walk_stops"), self.walk_stops);
         reg.counter(format!("{prefix}.budget_stops"), self.budget_stops);
         reg.counter(format!("{prefix}.cached_stops"), self.cached_stops);
+        reg.counter(format!("{prefix}.extent_batches"), self.extent_batches);
+        reg.counter(
+            format!("{prefix}.extent_batched_blocks"),
+            self.extent_batched_blocks,
+        );
         reg.gauge(format!("{prefix}.fallback_share"), self.fallback_share());
         reg.gauge(format!("{prefix}.on_path_share"), self.on_path_share());
+        reg.gauge(
+            format!("{prefix}.blocks_per_issue"),
+            self.blocks_per_issue(),
+        );
+    }
+
+    /// Mean blocks per extent issue batch (0 in per-block mode).
+    pub fn blocks_per_issue(&self) -> f64 {
+        if self.extent_batches == 0 {
+            0.0
+        } else {
+            self.extent_batched_blocks as f64 / self.extent_batches as f64
+        }
     }
 
     /// Fraction of predicted demand requests that stayed on the path.

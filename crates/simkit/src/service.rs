@@ -46,6 +46,11 @@ pub struct JobSpec {
     pub pos: Option<u64>,
     /// Bytes moved by the job.
     pub bytes: u64,
+    /// Device blocks covered by the job, laid out contiguously from
+    /// `pos`. `1` for ordinary single-block jobs (and for messages);
+    /// a multi-block job pays one positioning cost and then a
+    /// contiguous transfer of `bytes`.
+    pub blocks: u32,
     /// Demand read this job serves ([`lapobs::NO_RID`] when none —
     /// write-backs, background prefetch), threaded into the station's
     /// queue/service events so a trace can attribute device time to

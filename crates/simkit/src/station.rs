@@ -726,6 +726,7 @@ mod tests {
             op: DeviceOp::Read,
             pos: Some(pos),
             bytes: 8192,
+            blocks: 1,
             rid: NO_RID,
         }
     }

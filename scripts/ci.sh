@@ -14,10 +14,14 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --offline --workspace --all-targets
 run cargo test --offline --workspace
 
-# Experiment-harness smoke: table1 + the devmodel ablation at small
-# scale. Catches panics and degenerate results the unit tests can't —
-# the binary asserts every cell is finite and did real work. Also
-# regenerates the benchmark snapshot for the staleness gate below.
+# Experiment-harness smoke: table1 + the devmodel and extent ablations
+# at small scale. Catches panics and degenerate results the unit tests
+# can't — the binary asserts every cell is finite and did real work,
+# and the extent ablation asserts block==extent for every degenerate
+# row (extent_blocks=1 or non-aggressive algorithm). Also regenerates
+# the benchmark snapshot for the staleness gate below, which doubles
+# as the block-granularity bit-identity gate: BENCH.json predates the
+# extent machinery, so any drift in default-mode results fails here.
 run ./target/debug/experiments --smoke --bench-out target/BENCH.json
 
 # Benchmark-snapshot staleness: the committed BENCH.json must match what
@@ -40,6 +44,25 @@ echo "==> lapreport metrics --json"
 ./target/debug/lapreport metrics target/ci_metrics.csv --json > target/ci_report.json
 run ./target/debug/lapreport trace target/ci_trace.json
 run ./target/debug/lapreport trace target/ci_trace_sampled.json
+
+# Doc-flag drift: every `--flag` a doc references must be printed by
+# one of the tools' --help (or belong to the cargo/git whitelist).
+# Catches docs that advertise a renamed or removed CLI flag.
+echo "==> doc-flag drift (DESIGN.md EXPERIMENTS.md README.md docs/CALIBRATION.md)"
+helps="$(./target/debug/lapsim --help 2>&1 || true)
+$(./target/debug/experiments --help 2>&1 || true)
+$(./target/debug/lapreport --help 2>&1 || true)
+$(./target/debug/lapgen --help 2>&1 || true)"
+known_other="--release --offline --workspace --all-targets --all --check --exit-code --bench --bin --example"
+drift=0
+for f in $(grep -ohE -- '--[a-z][a-z-]+' DESIGN.md EXPERIMENTS.md README.md docs/CALIBRATION.md | sort -u); do
+    case " $known_other " in *" $f "*) continue ;; esac
+    if ! printf '%s' "$helps" | grep -qF -- "$f"; then
+        echo "doc-flag drift: $f is referenced in the docs but no tool's --help prints it" >&2
+        drift=1
+    fi
+done
+[ "$drift" -eq 0 ] || exit 1
 
 # Golden-trace freshness: the test suite passes when golden files match,
 # but a stale tree (someone regenerated with UPDATE_GOLDEN and forgot to

@@ -28,6 +28,8 @@ struct Args {
     warmup_secs: u64,
     disk_model: String,
     disk_sched: DiskSched,
+    prefetch_gran: PrefetchGranularity,
+    extent_blocks: u64,
     verbose: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -40,6 +42,7 @@ fn usage() -> ! {
     eprintln!("              [--algo NAME] [--cache-mb N] [--seed N]");
     eprintln!("              [--scale small|paper] [--warmup SECS] [-v]");
     eprintln!("              [--disk-model fixed|geom] [--disk-sched fifo|sstf|clook]");
+    eprintln!("              [--prefetch-gran block|extent] [--extent-blocks N]");
     eprintln!("              [--trace-out FILE] [--metrics-out FILE]");
     eprintln!("              [--trace-sample N]   keep 1-in-N high-volume trace events");
     eprintln!();
@@ -48,6 +51,11 @@ fn usage() -> ! {
     eprintln!();
     eprintln!("disk models: fixed = the paper's constant service times (default);");
     eprintln!("             geom  = calibrated geometry (seek curve + rotation)");
+    eprintln!();
+    eprintln!("extents: --extent-blocks N implies the geometry model with N-block");
+    eprintln!("         layout extents; --prefetch-gran extent lets the aggressive");
+    eprintln!("         walker fetch one extent per linear-limit unit as a single");
+    eprintln!("         multi-block disk job (default: block, the paper's rule)");
     exit(2);
 }
 
@@ -81,6 +89,8 @@ fn parse_args() -> Args {
         warmup_secs: 0,
         disk_model: "fixed".into(),
         disk_sched: DiskSched::Fifo,
+        prefetch_gran: PrefetchGranularity::Block,
+        extent_blocks: 1,
         verbose: false,
         trace_out: None,
         metrics_out: None,
@@ -131,6 +141,20 @@ fn parse_args() -> Args {
                     .next()
                     .as_deref()
                     .and_then(DiskSched::parse)
+                    .unwrap_or_else(|| usage())
+            }
+            "--prefetch-gran" => {
+                out.prefetch_gran = args
+                    .next()
+                    .as_deref()
+                    .and_then(PrefetchGranularity::parse)
+                    .unwrap_or_else(|| usage())
+            }
+            "--extent-blocks" => {
+                out.extent_blocks = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage())
             }
             "--trace-out" => out.trace_out = Some(args.next().unwrap_or_else(|| usage())),
@@ -192,10 +216,15 @@ fn main() {
         config.machine.disks = config.machine.disks.min(workload.nodes.max(2));
     }
     config.warmup = SimDuration::from_secs(args.warmup_secs);
-    if args.disk_model == "geom" {
+    if args.extent_blocks > 1 {
+        // Multi-block extents only exist in the geometry model, so this
+        // implies `--disk-model geom` with an N-block layout extent.
+        config.machine = config.machine.with_geometry_extent(args.extent_blocks);
+    } else if args.disk_model == "geom" {
         config.machine = config.machine.with_geometry();
     }
     config.machine.disk_sched = args.disk_sched;
+    config.machine.prefetch_granularity = args.prefetch_gran;
 
     let t0 = std::time::Instant::now();
     let report = if let Some(trace_path) = &args.trace_out {

@@ -71,8 +71,8 @@ pub mod prelude {
     pub use ioworkload::sprite::SpriteParams;
     pub use ioworkload::{BlockId, FileId, NodeId, Op, ProcId, Workload};
     pub use lap_core::{
-        run_simulation, run_simulation_traced, CacheSystem, MachineConfig, SimConfig, SimReport,
-        Simulation,
+        run_simulation, run_simulation_traced, CacheSystem, MachineConfig, PrefetchGranularity,
+        SimConfig, SimReport, Simulation,
     };
     pub use lapobs::{NoopRecorder, Recorder, Registry, TraceRecorder};
     pub use prefetch::{
