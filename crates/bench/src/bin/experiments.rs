@@ -19,6 +19,7 @@ use bench::{
     WorkloadKind, CACHE_MBS, EXPERIMENTS,
 };
 use devmodel::DiskSched;
+use faultkit::FaultPlan;
 use lap_core::{run_simulation, CacheSystem, MachineConfig, PrefetchGranularity, Replacement};
 use lapobs::MetricValue;
 use prefetch::{AggressiveLimit, EdgeChoice, PrefetchConfig};
@@ -51,7 +52,12 @@ fn parse_args() -> Options {
                 // scale. Any panic (bad table, broken invariant) fails
                 // the run.
                 opts.scale = Scale::Small;
-                opts.ids = vec!["table1".into(), "devmodel".into(), "extent".into()];
+                opts.ids = vec![
+                    "table1".into(),
+                    "devmodel".into(),
+                    "extent".into(),
+                    "faults".into(),
+                ];
             }
             "--scale" => {
                 opts.scale = match args.next().as_deref() {
@@ -110,11 +116,11 @@ fn print_help() {
     eprintln!(
         "usage: experiments <ids...> [--scale small|paper] [--seed N] [--out DIR] [--threads N] [--obs] [--smoke]"
     );
-    eprintln!("  --smoke  CI sanity mode: runs table1 + devmodel + extent at small scale");
+    eprintln!("  --smoke  CI sanity mode: runs table1 + devmodel + extent + faults at small scale");
     eprintln!("  --bench-out FILE  write a machine-readable BENCH.json snapshot of the");
     eprintln!("                    seed scenarios (diff with `lapreport bench-diff`)");
     eprintln!(
-        "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, devmodel, extent, or any of:"
+        "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, devmodel, extent, faults, or any of:"
     );
     for e in EXPERIMENTS {
         eprintln!("  {:<8} {}", e.id, e.title);
@@ -138,6 +144,7 @@ fn main() {
             ids.push("robustness".into());
             ids.push("devmodel".into());
             ids.push("extent".into());
+            ids.push("faults".into());
         } else {
             ids.push(id.clone());
         }
@@ -153,6 +160,7 @@ fn main() {
             "robustness" => robustness(&opts),
             "devmodel" => devmodel_ablation(&opts),
             "extent" => extent_ablation(&opts),
+            "faults" => faults_ablation(&opts),
             id => {
                 let Some(exp) = experiment(id) else {
                     eprintln!("unknown experiment {id:?}");
@@ -732,6 +740,122 @@ fn extent_ablation(opts: &Options) {
     if let Some(dir) = &opts.out {
         let path = dir.join("extent.csv");
         fs::write(&path, csv).expect("write extent CSV");
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Fault-injection ablation: the seven paper configurations under
+/// three deterministic fault plans (none / light transient errors /
+/// heavy bursts + outages + degraded-mode windows). Checks the
+/// robustness invariants the fault layer promises:
+///
+/// * no demand read is lost or double-counted — `reads` (and `writes`)
+///   are identical across plans for every configuration;
+/// * every cell stays finite and does real work;
+/// * under the heavy plan's error bursts the aggressive walkers stand
+///   down (`fault.prefetch_suppressed > 0`) while demand reads keep
+///   completing — the paper's "never delay other operations" rule,
+///   extended to fault handling.
+fn faults_ablation(opts: &Options) {
+    let kind = WorkloadKind::CharismaPm;
+    let wl = build_workload(kind, opts.scale, opts.seed);
+    let plans: [(&str, Option<&str>); 3] = [
+        ("none", None),
+        (
+            "light",
+            Some("seed=7,disk-error=0.01,disk-retries=4,backoff-ms=2,net-loss=0.005,net-delay=0.02:1"),
+        ),
+        (
+            "heavy",
+            Some(
+                "seed=7,disk-error=0.02,disk-retries=5,backoff-ms=5,burst=10:2,\
+                 outage=30:3,node-outage=45:5,net-loss=0.02,net-delay=0.05:2",
+            ),
+        ),
+    ];
+    println!(
+        "faults — CHARISMA on PAFS at 4 MB under deterministic fault plans (seed {}, scale {:?})",
+        opts.seed, opts.scale
+    );
+    println!(
+        "{:<22} {:<6} {:>9} {:>7} {:>8} {:>9} {:>8} {:>10}",
+        "algorithm", "plan", "read ms", "reads", "injected", "failovers", "pf-supp", "degraded-s"
+    );
+    let suppressed = |r: &lap_core::SimReport| match r.obs.get("fault.prefetch_suppressed") {
+        Some(MetricValue::Counter(v)) => *v,
+        _ => 0,
+    };
+    let mut csv = String::from(
+        "algorithm,plan,read_ms,reads,writes,faults_injected,failovers,prefetch_suppressed,degraded_s\n",
+    );
+    for pf in PrefetchConfig::paper_suite() {
+        let mut baseline: Option<(u64, u64)> = None;
+        for (plan_name, spec) in plans {
+            let mut cfg = build_config(kind, opts.scale, CacheSystem::Pafs, pf, 4);
+            cfg.fault_plan = spec.map(|s| {
+                FaultPlan::parse(&s.replace(char::is_whitespace, ""))
+                    .expect("ablation fault plan parses")
+            });
+            let r = run_simulation(cfg, wl.clone());
+            assert!(
+                r.avg_read_ms.is_finite() && r.avg_read_ms > 0.0 && r.reads > 0,
+                "degenerate faults cell: {} plan={plan_name}",
+                pf.paper_name()
+            );
+            match baseline {
+                None => baseline = Some((r.reads, r.writes)),
+                Some(base) => assert_eq!(
+                    base,
+                    (r.reads, r.writes),
+                    "fault injection lost or double-counted requests: {} plan={plan_name}",
+                    pf.paper_name()
+                ),
+            }
+            if plan_name == "heavy" && pf.is_aggressive() {
+                assert!(
+                    suppressed(&r) > 0,
+                    "{}: aggressive walk never stood down during heavy error bursts",
+                    pf.paper_name()
+                );
+            }
+            if plan_name == "none" {
+                assert_eq!(
+                    (r.faults_injected, r.failovers, r.degraded_s),
+                    (0, 0, 0.0),
+                    "{}: fault counters nonzero without a plan",
+                    pf.paper_name()
+                );
+            }
+            println!(
+                "{:<22} {:<6} {:>9.3} {:>7} {:>8} {:>9} {:>8} {:>10.3}",
+                pf.paper_name(),
+                plan_name,
+                r.avg_read_ms,
+                r.reads,
+                r.faults_injected,
+                r.failovers,
+                suppressed(&r),
+                r.degraded_s
+            );
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                csv,
+                "{},{plan_name},{:.6},{},{},{},{},{},{:.6}",
+                pf.paper_name(),
+                r.avg_read_ms,
+                r.reads,
+                r.writes,
+                r.faults_injected,
+                r.failovers,
+                suppressed(&r),
+                r.degraded_s
+            );
+        }
+    }
+    println!();
+    if let Some(dir) = &opts.out {
+        let path = dir.join("faults.csv");
+        fs::write(&path, csv).expect("write faults CSV");
         println!("wrote {}", path.display());
     }
 }

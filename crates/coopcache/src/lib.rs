@@ -140,6 +140,19 @@ pub trait CooperativeCache {
         evicted
     }
 
+    /// Mark `node` down (`down = true`) or back up (`down = false`)
+    /// for degraded-mode operation. A down node is *disconnected from
+    /// the cooperative cache*, not powered off: its buffers must not
+    /// serve remote hits and must not receive copies forwarded or
+    /// placed by other nodes, but its own local accesses and inserts
+    /// keep working (the node operates local-only) and resident
+    /// content survives the outage — the node rejoins with its cache
+    /// intact. Backends with no cross-node state (the local-only
+    /// baseline) ignore this.
+    fn set_degraded(&mut self, node: NodeId, down: bool) {
+        let _ = (node, down);
+    }
+
     /// Collect every dirty resident block and mark it clean — the
     /// periodic write-back sweep ("for fault-tolerance issues, these
     /// blocks are periodically sent to the disk", §5.3).

@@ -1,6 +1,8 @@
 //! The PAFS cooperative cache: centralized, globally managed, one copy
 //! per block.
 
+use std::collections::BTreeSet;
+
 use ioworkload::{BlockId, FileId, NodeId};
 
 use crate::lru::{LruPool, Replacement};
@@ -50,6 +52,9 @@ pub struct PafsCache {
     pool: LruPool,
     nodes: u32,
     capacity: u64,
+    /// Nodes currently disconnected from the cooperative cache
+    /// (degraded mode). BTreeSet for deterministic iteration.
+    down: BTreeSet<u32>,
     stats: CacheStats,
 }
 
@@ -68,6 +73,7 @@ impl PafsCache {
             pool: LruPool::with_policy(policy),
             nodes,
             capacity: nodes as u64 * blocks_per_node,
+            down: BTreeSet::new(),
             stats: CacheStats::default(),
         }
     }
@@ -77,6 +83,29 @@ impl PafsCache {
     /// linear prefetch limit trivially implementable.
     pub fn server_of(&self, file: FileId) -> NodeId {
         server_node(file, self.nodes)
+    }
+
+    /// The node actually serving `file` right now: the authoritative
+    /// server unless it is down, in which case management fails over
+    /// to the next node (round-robin) that is still up. With every
+    /// node down the preferred server is returned unchanged.
+    pub fn effective_server_of(&self, file: FileId) -> NodeId {
+        self.failover_target(server_node(file, self.nodes))
+    }
+
+    /// First node at or after `preferred` (wrapping) that is up.
+    fn failover_target(&self, preferred: NodeId) -> NodeId {
+        if !self.down.contains(&preferred.0) {
+            return preferred;
+        }
+        let mut s = preferred.0;
+        for _ in 0..self.nodes {
+            s = (s + 1) % self.nodes;
+            if !self.down.contains(&s) {
+                return NodeId(s);
+            }
+        }
+        preferred
     }
 
     fn evict_for_space(&mut self) -> Vec<Evicted> {
@@ -91,6 +120,18 @@ impl PafsCache {
 
 impl CooperativeCache for PafsCache {
     fn access(&mut self, node: NodeId, block: BlockId, write: bool) -> AccessOutcome {
+        // A copy held by a disconnected node cannot be reached over the
+        // network: the access misses, but the copy itself survives and
+        // serves again once the holder rejoins.
+        if let Some(meta) = self.pool.get(block) {
+            if meta.owner != node && self.down.contains(&meta.owner.0) {
+                self.stats.misses += 1;
+                return AccessOutcome {
+                    lookup: Lookup::Miss,
+                    evicted: Vec::new(),
+                };
+            }
+        }
         match self.pool.touch(block, write) {
             Some(before) => {
                 if before.prefetched && !before.used {
@@ -135,6 +176,10 @@ impl CooperativeCache for PafsCache {
         origin: InsertOrigin,
         dirty: bool,
     ) -> Vec<Evicted> {
+        // Degraded mode: placement on a down server fails over to the
+        // next node that is up (centralized management re-homes the
+        // file's service, §4's single-server design made fault-aware).
+        let node = self.failover_target(node);
         if self.pool.contains(block) {
             // Concurrent fetch already landed it; refresh recency (and
             // usage only when this insert is demand-driven).
@@ -151,6 +196,14 @@ impl CooperativeCache for PafsCache {
         self.pool
             .insert(block, LruPool::fresh_meta(node, dirty, prefetched));
         evicted
+    }
+
+    fn set_degraded(&mut self, node: NodeId, down: bool) {
+        if down {
+            self.down.insert(node.0);
+        } else {
+            self.down.remove(&node.0);
+        }
     }
 
     fn sweep_dirty(&mut self) -> Vec<BlockId> {
@@ -294,6 +347,47 @@ mod tests {
         c.finalize();
         assert_eq!(c.stats().prefetch_wasted, 1);
         assert_eq!(c.stats().prefetch_used, 0);
+    }
+
+    #[test]
+    fn degraded_holder_copy_is_unreachable_but_survives() {
+        let mut c = PafsCache::new(2, 4);
+        c.insert(n(0), b(0, 0), InsertOrigin::Demand, false);
+        c.set_degraded(n(0), true);
+        // Remote access cannot reach the down holder's buffer...
+        assert_eq!(c.access(n(1), b(0, 0), false).lookup, Lookup::Miss);
+        // ...the holder itself still hits locally (disconnected, not
+        // powered off)...
+        assert_eq!(c.access(n(0), b(0, 0), false).lookup, Lookup::LocalHit);
+        // ...and the copy serves remotely again after recovery.
+        c.set_degraded(n(0), false);
+        assert_eq!(
+            c.access(n(1), b(0, 0), false).lookup,
+            Lookup::RemoteHit { holder: n(0) }
+        );
+        assert_eq!(c.resident_blocks(), 1, "no eviction during the outage");
+    }
+
+    #[test]
+    fn insert_fails_over_past_down_server() {
+        let mut c = PafsCache::new(3, 4);
+        c.set_degraded(n(1), true);
+        assert_eq!(c.effective_server_of(FileId(1)), n(2), "1 is down");
+        assert_eq!(c.effective_server_of(FileId(0)), n(0), "0 is up");
+        // Placement requested on the down server lands on the failover
+        // node and is locally reachable there.
+        c.insert(n(1), b(1, 0), InsertOrigin::Demand, false);
+        assert_eq!(c.access(n(2), b(1, 0), false).lookup, Lookup::LocalHit);
+    }
+
+    #[test]
+    fn all_nodes_down_still_caches_on_preferred_server() {
+        let mut c = PafsCache::new(2, 4);
+        c.set_degraded(n(0), true);
+        c.set_degraded(n(1), true);
+        c.insert(n(0), b(0, 0), InsertOrigin::Demand, false);
+        assert_eq!(c.resident_blocks(), 1);
+        assert_eq!(c.access(n(0), b(0, 0), false).lookup, Lookup::LocalHit);
     }
 
     #[test]

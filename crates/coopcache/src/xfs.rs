@@ -55,6 +55,10 @@ pub struct XfsCache {
     pools: Vec<LruPool>,
     /// block -> set of nodes holding a copy (BTreeSet for determinism).
     holders: HashMap<BlockId, BTreeSet<u32>>,
+    /// Nodes currently disconnected from the cooperative cache
+    /// (degraded mode): excluded from holder lookups and forwarding,
+    /// and themselves reduced to local-only operation.
+    down: BTreeSet<u32>,
     blocks_per_node: u64,
     n_chance: u8,
     rng_state: u64,
@@ -79,6 +83,7 @@ impl XfsCache {
         XfsCache {
             pools: (0..nodes).map(|_| LruPool::new()).collect(),
             holders: HashMap::new(),
+            down: BTreeSet::new(),
             blocks_per_node,
             n_chance,
             rng_state: seed | 1,
@@ -101,13 +106,18 @@ impl XfsCache {
     }
 
     fn pick_peer(&mut self, not: NodeId) -> Option<NodeId> {
-        let n = self.nodes();
-        if n < 2 {
+        // Degraded mode: down peers cannot receive forwarded singlets.
+        // With no node down the candidate list is 0..n minus `not`, so
+        // the index drawn here maps exactly as the pre-fault code did —
+        // zero-fault runs stay bit-identical.
+        let candidates: Vec<u32> = (0..self.nodes())
+            .filter(|&i| i != not.0 && !self.down.contains(&i))
+            .collect();
+        if candidates.is_empty() {
             return None;
         }
-        let r = (self.next_rand() % (n as u64 - 1)) as u32;
-        let candidate = if r >= not.0 { r + 1 } else { r };
-        Some(NodeId(candidate))
+        let r = (self.next_rand() % candidates.len() as u64) as usize;
+        Some(NodeId(candidates[r]))
     }
 
     fn register(&mut self, node: NodeId, block: BlockId) {
@@ -221,12 +231,17 @@ impl CooperativeCache for XfsCache {
                 evicted,
             };
         }
-        // Remote?
-        let holder = self
-            .holders
-            .get(&block)
-            .and_then(|s| s.iter().next().copied())
-            .map(NodeId);
+        // Remote? A down requester is cut off from the manager and
+        // cannot see remote copies (local-only fallback); down holders
+        // cannot serve.
+        let holder = if self.down.contains(&node.0) {
+            None
+        } else {
+            self.holders
+                .get(&block)
+                .and_then(|s| s.iter().copied().find(|h| !self.down.contains(h)))
+                .map(NodeId)
+        };
         if let Some(holder) = holder {
             self.stats.remote_hits += 1;
             // Credit prefetch usage on the serving copy.
@@ -288,6 +303,14 @@ impl CooperativeCache for XfsCache {
             self.invalidate_others(node, block, &mut out);
         }
         out
+    }
+
+    fn set_degraded(&mut self, node: NodeId, down: bool) {
+        if down {
+            self.down.insert(node.0);
+        } else {
+            self.down.remove(&node.0);
+        }
     }
 
     fn sweep_dirty(&mut self) -> Vec<BlockId> {
@@ -477,6 +500,56 @@ mod tests {
         );
         assert_eq!(c.stats().forwards, 2);
         assert_eq!(c.stats().forward_drops, 0);
+    }
+
+    #[test]
+    fn down_holder_cannot_serve_remote_hits() {
+        let mut c = XfsCache::new(3, 4);
+        c.insert(n(0), b(1), InsertOrigin::Demand, false);
+        c.set_degraded(n(0), true);
+        assert_eq!(c.access(n(1), b(1), false).lookup, Lookup::Miss);
+        // Recovery restores service; the copy survived the outage.
+        c.set_degraded(n(0), false);
+        assert_eq!(
+            c.access(n(1), b(1), false).lookup,
+            Lookup::RemoteHit { holder: n(0) }
+        );
+    }
+
+    #[test]
+    fn down_requester_falls_back_to_local_only() {
+        let mut c = XfsCache::new(2, 4);
+        c.insert(n(0), b(1), InsertOrigin::Demand, false);
+        c.set_degraded(n(1), true);
+        // No remote lookup while disconnected...
+        assert_eq!(c.access(n(1), b(1), false).lookup, Lookup::Miss);
+        // ...but its own buffers keep working (local-only mode).
+        c.insert(n(1), b(2), InsertOrigin::Demand, false);
+        assert_eq!(c.access(n(1), b(2), false).lookup, Lookup::LocalHit);
+    }
+
+    #[test]
+    fn forwarding_skips_down_peers() {
+        let mut c = XfsCache::new(3, 1);
+        c.set_degraded(n(1), true);
+        c.insert(n(0), b(1), InsertOrigin::Demand, false);
+        // Evicting the singlet must forward it to node 2 — node 1 is
+        // down and cannot receive copies.
+        c.insert(n(0), b(2), InsertOrigin::Demand, false);
+        assert!(c.contains_local(n(2), b(1)));
+        assert!(!c.contains_local(n(1), b(1)));
+        assert_eq!(c.stats().forwards, 1);
+    }
+
+    #[test]
+    fn all_peers_down_drops_singlet() {
+        let mut c = XfsCache::new(2, 1);
+        c.set_degraded(n(1), true);
+        c.insert(n(0), b(1), InsertOrigin::Demand, false);
+        let ev = c.insert(n(0), b(2), InsertOrigin::Demand, false);
+        assert_eq!(ev.len(), 1, "nowhere to forward: dropped");
+        assert!(!c.contains(b(1)));
+        assert_eq!(c.stats().forward_drops, 1);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use coopcache::Replacement;
 use devmodel::{DiskGeometry, DiskModel, DiskModelKind, DiskSched, NetModelKind};
+use faultkit::FaultPlan;
 use prefetch::PrefetchConfig;
 use simkit::SimDuration;
 
@@ -262,6 +263,10 @@ pub struct SimConfig {
     /// [`SimReport::read_time_series`](crate::SimReport::read_time_series)
     /// (convergence/warm-up analysis). 60 s by default.
     pub metrics_interval: SimDuration,
+    /// Deterministic fault plan (`None` or an empty plan = the exact
+    /// pre-fault simulation, bit for bit). Faults draw from their own
+    /// seeded stream, so a plan never perturbs the workload stream.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -277,6 +282,7 @@ impl SimConfig {
             replacement: Replacement::Lru,
             prefetch_priority: true,
             metrics_interval: SimDuration::from_secs(60),
+            fault_plan: None,
         }
     }
 
@@ -292,6 +298,7 @@ impl SimConfig {
             replacement: Replacement::Lru,
             prefetch_priority: true,
             metrics_interval: SimDuration::from_secs(60),
+            fault_plan: None,
         }
     }
 

@@ -16,8 +16,11 @@ use simkit::{SimDuration, SimTime};
 /// the current machine model, kept in the schema so the breakdown is
 /// stable if a lookup cost is ever added), disk-queue wait, seek,
 /// rotational wait, the on-platter transfer, the final local memory
-/// copy, the remote-delivery startup hops (`coordination`) and the
-/// wire time (`network`).
+/// copy, the remote-delivery startup hops (`coordination`), the wire
+/// time (`network`), time re-paid on failed attempts plus backoff
+/// under an active fault plan (`retry`), and time spent waiting out a
+/// disk outage before the fetch failed over (`failover`). The last
+/// two are exactly zero without a fault plan.
 #[derive(Clone, Copy, Default, Debug)]
 pub(crate) struct SpanBreakdown {
     pub cache_lookup: SimDuration,
@@ -28,6 +31,8 @@ pub(crate) struct SpanBreakdown {
     pub transfer: SimDuration,
     pub coordination: SimDuration,
     pub network: SimDuration,
+    pub retry: SimDuration,
+    pub failover: SimDuration,
 }
 
 impl SpanBreakdown {
@@ -41,6 +46,8 @@ impl SpanBreakdown {
             + self.transfer
             + self.coordination
             + self.network
+            + self.retry
+            + self.failover
     }
 }
 
@@ -74,6 +81,8 @@ pub(crate) struct SpanMetrics {
     pub transfer: LatencyHistogram,
     pub coordination: LatencyHistogram,
     pub network: LatencyHistogram,
+    pub retry: LatencyHistogram,
+    pub failover: LatencyHistogram,
     /// Stall time of late-prefetch reads only.
     pub late_slack: LatencyHistogram,
     pub demand_hit: u64,
@@ -92,6 +101,8 @@ impl SpanMetrics {
         self.transfer.record(b.transfer);
         self.coordination.record(b.coordination);
         self.network.record(b.network);
+        self.retry.record(b.retry);
+        self.failover.record(b.failover);
         match outcome {
             ReadOutcome::DemandHit => self.demand_hit += 1,
             ReadOutcome::CoveredByPrefetch => self.covered += 1,
@@ -113,6 +124,8 @@ impl SpanMetrics {
         self.transfer.register_into(reg, "span.transfer_us");
         self.coordination.register_into(reg, "span.coordination_us");
         self.network.register_into(reg, "span.network_us");
+        self.retry.register_into(reg, "span.retry_us");
+        self.failover.register_into(reg, "span.failover_us");
         self.late_slack.register_into(reg, "prefetch.late_slack_us");
         reg.counter("span.outcome_demand_hit", self.demand_hit);
         reg.counter("span.outcome_covered_by_prefetch", self.covered);
@@ -318,6 +331,14 @@ pub struct SimReport {
     pub mispredict_ratio: f64,
     /// Mean disk utilization over the run.
     pub disk_utilization: f64,
+    /// Dispatches that drew at least one transient disk error under
+    /// the active fault plan (zero without one).
+    pub faults_injected: u64,
+    /// Disk jobs aborted by an outage and re-queued (timeout-and-
+    /// failover events).
+    pub failovers: u64,
+    /// Total node-seconds spent in degraded mode (summed over nodes).
+    pub degraded_s: f64,
     /// Total simulated time, seconds.
     pub sim_seconds: f64,
     /// Read latency per metrics interval over the *whole* run
@@ -396,6 +417,14 @@ impl SimReport {
             self.disk_utilization * 100.0
         )
         .unwrap();
+        if self.faults_injected > 0 || self.failovers > 0 || self.degraded_s > 0.0 {
+            writeln!(
+                out,
+                "  faults              {} injected, {} failovers, {:.1} node-s degraded",
+                self.faults_injected, self.failovers, self.degraded_s
+            )
+            .unwrap();
+        }
         writeln!(out, "  simulated time      {:.1} s", self.sim_seconds).unwrap();
         out
     }
@@ -467,6 +496,9 @@ mod tests {
             prefetch_absorbed: 0,
             mispredict_ratio: 0.0,
             disk_utilization: 0.0,
+            faults_injected: 0,
+            failovers: 0,
+            degraded_s: 0.0,
             sim_seconds: 0.0,
             read_time_series: Vec::new(),
             obs: lapobs::Registry::default(),

@@ -42,12 +42,14 @@ use coopcache::{
     CacheStats, CooperativeCache, Evicted, InsertOrigin, LocalOnlyCache, Lookup, PafsCache,
     XfsCache,
 };
-use devmodel::DiskModel;
+use devmodel::{DiskModel, FaultedModel};
+use faultkit::{DiskFaultCtx, FaultState, NetClass};
 use ioworkload::{BlockId, FileId, NodeId, Op, ProcId, Workload};
 use lapobs::{Event, NoopRecorder, Obs, Recorder, StationId, NO_RID};
 use prefetch::{FilePrefetcher, PrefetchStats, Request};
 use simkit::{
-    DeviceOp, EventQueue, JobSpec, Priority, ServiceCost, SimDuration, SimTime, StartedJob, Station,
+    DeviceOp, EventQueue, JobSpec, Priority, ServiceCost, ServiceModel, SimDuration, SimTime,
+    StartedJob, Station,
 };
 
 use crate::config::{CacheSystem, PrefetchGranularity, SimConfig};
@@ -106,6 +108,10 @@ struct PendingFetch {
     /// Service record, filled when the disk starts the job (`None`
     /// while the job still waits in queue).
     svc: Option<FetchSvc>,
+    /// Time this fetch lost to disk outages (abort-and-requeue plus
+    /// time spent queued behind a held disk) — attributed to the
+    /// `failover` span component of the reads that waited on it.
+    failover: SimDuration,
 }
 
 /// Work items on a disk queue.
@@ -154,12 +160,33 @@ fn run_keys(first: FetchKey, count: u32) -> impl Iterator<Item = FetchKey> {
 enum Ev {
     /// Continue replaying a process trace.
     Resume(ProcId),
-    /// A disk finished its current job.
-    DiskDone { disk: usize, job: DiskJob },
+    /// A disk finished its current job. `seq` is the disk's completion
+    /// sequence number at scheduling time: an outage abort bumps the
+    /// counter, so a completion whose `seq` no longer matches is stale
+    /// — the job it announces was aborted and must be requeued instead.
+    DiskDone {
+        disk: usize,
+        job: DiskJob,
+        seq: u64,
+    },
     /// A request's last transfer finished; deliver to the process.
     RequestDone(ReqId),
     /// Periodic write-back sweep.
     Sweep,
+    /// A disk outage window starts / ends.
+    DiskDown {
+        disk: usize,
+    },
+    DiskUp {
+        disk: usize,
+    },
+    /// A node outage window starts / ends (degraded-mode caching).
+    NodeDown {
+        node: u32,
+    },
+    NodeUp {
+        node: u32,
+    },
 }
 
 struct ProcState {
@@ -217,6 +244,26 @@ pub struct Simulation<R: Recorder = NoopRecorder> {
     /// (including pure cache hits), so every trace event of one read
     /// shares an id.
     next_rid: u32,
+    /// Fault-injection state. `None` when the config carries no plan
+    /// (or an empty one): every fault code path below is then skipped
+    /// and the simulation is the exact pre-fault one, bit for bit.
+    faults: Option<FaultState>,
+    /// Per-disk completion sequence numbers for stale-[`Ev::DiskDone`]
+    /// detection: bumped when a completion is scheduled and when a job
+    /// is aborted, so at most one scheduled completion per disk is
+    /// genuine (the one whose `seq` matches).
+    done_seq: Vec<u64>,
+    /// Per-disk FIFO of outage-aborted jobs `(prio, rid, aborted_at)`,
+    /// matched against stale completions in order (the station does
+    /// not keep the aborted tag — the stale event carries it).
+    aborted: Vec<Vec<(Priority, u32, SimTime)>>,
+    /// When each disk last went down (start of the current/last outage
+    /// window) — bounds the held-queue failover attribution.
+    last_down: Vec<SimTime>,
+    /// Disk serving each prefetch engine's latest demand block: during
+    /// that disk's error bursts the engine's walk stands down (the
+    /// paper's rule that prefetching never delays other operations).
+    pf_demand_disk: HashMap<PfKey, usize>,
     rec: R,
 }
 
@@ -302,6 +349,11 @@ impl<R: Recorder> Simulation<R> {
         let metrics = Metrics::new(SimTime::ZERO + config.warmup, config.metrics_interval);
         let extent_blocks = config.machine.disk_model.extent_blocks();
         let active_procs = procs.len();
+        let ndisks = config.machine.disks as usize;
+        let faults = config
+            .fault_plan
+            .filter(|p| !p.is_empty())
+            .map(|p| FaultState::new(p, config.machine.nodes as usize));
         Simulation {
             config,
             workload,
@@ -318,6 +370,11 @@ impl<R: Recorder> Simulation<R> {
             extent_blocks,
             active_procs,
             next_rid: 0,
+            faults,
+            done_seq: vec![0; ndisks],
+            aborted: vec![Vec::new(); ndisks],
+            last_down: vec![SimTime::ZERO; ndisks],
+            pf_demand_disk: HashMap::new(),
             rec,
         }
     }
@@ -338,6 +395,18 @@ impl<R: Recorder> Simulation<R> {
             let t = SimTime::ZERO + self.config.writeback_period;
             self.queue.schedule(t, Ev::Sweep);
         }
+        if let Some(fs) = &self.faults {
+            for disk in 0..self.disks.len() {
+                if let Some(t) = fs.plan.first_disk_down(disk) {
+                    self.queue.schedule(t, Ev::DiskDown { disk });
+                }
+            }
+            for node in 0..self.config.machine.nodes as usize {
+                if let Some(t) = fs.plan.first_node_down(node) {
+                    self.queue.schedule(t, Ev::NodeDown { node: node as u32 });
+                }
+            }
+        }
         while let Some((now, ev)) = self.queue.pop() {
             if self.rec.enabled() {
                 self.rec.record(
@@ -349,9 +418,13 @@ impl<R: Recorder> Simulation<R> {
             }
             match ev {
                 Ev::Resume(p) => self.step_proc(p, now),
-                Ev::DiskDone { disk, job } => self.disk_done(disk, job, now),
+                Ev::DiskDone { disk, job, seq } => self.disk_done(disk, job, seq, now),
                 Ev::RequestDone(r) => self.request_done(r, now),
                 Ev::Sweep => self.sweep(now, true),
+                Ev::DiskDown { disk } => self.disk_down(disk, now),
+                Ev::DiskUp { disk } => self.disk_up(disk, now),
+                Ev::NodeDown { node } => self.node_down(node, now),
+                Ev::NodeUp { node } => self.node_up(node, now),
             }
         }
         self.finish()
@@ -494,6 +567,7 @@ impl<R: Recorder> Simulation<R> {
                         node,
                         waiters: vec![req_idx],
                         svc: None,
+                        failover: SimDuration::ZERO,
                     },
                 );
                 self.issue_fetch(key, false, rid, now);
@@ -509,9 +583,16 @@ impl<R: Recorder> Simulation<R> {
 
         let bytes = req.size * bs;
         if remaining == 0 {
-            let cost = self.transfer_cost(bytes, all_local);
+            let (nretry, ndelay) = if all_local {
+                (SimDuration::ZERO, SimDuration::ZERO)
+            } else {
+                self.net_fault_extra(bytes, rid, now)
+            };
+            let cost = self.transfer_cost(bytes, all_local) + nretry + ndelay;
             self.metrics.record_read(now, cost);
-            let breakdown = self.delivery_breakdown(bytes, all_local);
+            let mut breakdown = self.delivery_breakdown(bytes, all_local);
+            breakdown.retry += nretry;
+            breakdown.network += ndelay;
             let outcome = if used_prefetch {
                 ReadOutcome::CoveredByPrefetch
             } else {
@@ -737,25 +818,69 @@ impl<R: Recorder> Simulation<R> {
             blocks,
             rid,
         };
-        let started = {
-            let Simulation {
-                disks,
-                disk_models,
-                rec,
-                ..
-            } = self;
-            disks[disk].arrive_job(now, prio, spec, tag, &mut disk_models[disk], rec)
-        };
+        let started = self.with_disk_model(disk, |st, model, rec| {
+            st.arrive_job(now, prio, spec, tag, model, rec)
+        });
         if let Some(started) = started {
-            self.note_fetch_started(now, &started);
-            self.queue.schedule(
-                started.completes_at,
-                Ev::DiskDone {
-                    disk,
-                    job: started.tag,
+            self.after_start(disk, now, started);
+        }
+    }
+
+    /// Run `f` against disk `disk`'s station and service model, routing
+    /// the model through the fault layer when transient disk errors are
+    /// active — any job priced inside `f` then carries its retry
+    /// surcharge (and the per-disk fault counters advance).
+    fn with_disk_model<T>(
+        &mut self,
+        disk: usize,
+        f: impl FnOnce(&mut Station<DiskJob>, &mut dyn ServiceModel, &mut R) -> T,
+    ) -> T {
+        let Simulation {
+            disks,
+            disk_models,
+            faults,
+            rec,
+            ..
+        } = self;
+        match faults {
+            Some(fs) if fs.plan.disk_errors_active() => {
+                let mut ctx = DiskFaultCtx { state: fs, disk };
+                let mut model = FaultedModel {
+                    inner: &mut disk_models[disk],
+                    faults: &mut ctx,
+                };
+                f(&mut disks[disk], &mut model, rec)
+            }
+            _ => f(&mut disks[disk], &mut disk_models[disk], rec),
+        }
+    }
+
+    /// Bookkeeping common to every disk-job dispatch: surface the retry
+    /// surcharge (if the dispatch drew transient errors), record the
+    /// fetch service for span attribution, and schedule the completion
+    /// under a fresh sequence number.
+    fn after_start(&mut self, disk: usize, now: SimTime, started: StartedJob<DiskJob>) {
+        if started.cost.retry > SimDuration::ZERO && self.rec.enabled() {
+            self.rec.record(
+                now.as_nanos(),
+                Event::FaultInjected {
+                    disk: disk as u32,
+                    retry_us: (started.cost.retry.as_nanos() / 1_000).min(u64::from(u32::MAX))
+                        as u32,
+                    rid: started.rid,
                 },
             );
         }
+        self.note_fetch_started(now, &started);
+        self.done_seq[disk] += 1;
+        self.queue.schedule(
+            started.completes_at,
+            Ev::DiskDone {
+                disk,
+                job: started.tag,
+                seq: self.done_seq[disk],
+            },
+        );
     }
 
     /// Record when a fetch's disk service began (and what it cost), so
@@ -786,25 +911,19 @@ impl<R: Recorder> Simulation<R> {
         }
     }
 
-    fn disk_done(&mut self, disk: usize, job: DiskJob, now: SimTime) {
-        let started = {
-            let Simulation {
-                disks,
-                disk_models,
-                rec,
-                ..
-            } = self;
-            disks[disk].complete_job(now, &mut disk_models[disk], rec)
-        };
+    fn disk_done(&mut self, disk: usize, job: DiskJob, seq: u64, now: SimTime) {
+        if seq != self.done_seq[disk] {
+            // Stale completion: the job this event announces was
+            // aborted by an outage after the event was scheduled. Its
+            // arrival is exactly when the issuer would have noticed the
+            // job never finished — the failover timeout — so the job
+            // goes back to the front of its queue now.
+            self.requeue_aborted(disk, job, now);
+            return;
+        }
+        let started = self.with_disk_model(disk, |st, model, rec| st.complete_job(now, model, rec));
         if let Some(started) = started {
-            self.note_fetch_started(now, &started);
-            self.queue.schedule(
-                started.completes_at,
-                Ev::DiskDone {
-                    disk,
-                    job: started.tag,
-                },
-            );
+            self.after_start(disk, now, started);
         }
         match job {
             DiskJob::Write(_) => {}
@@ -871,12 +990,21 @@ impl<R: Recorder> Simulation<R> {
         self.handle_evictions(pf.node, &ev, now);
         self.emit_cache_delta(snap, now);
 
+        let failover = pf.failover;
         for req_idx in pf.waiters {
             self.reqs[req_idx].remaining -= 1;
             if self.reqs[req_idx].remaining == 0 {
                 let (bytes, all_local) = (self.reqs[req_idx].bytes, self.reqs[req_idx].all_local);
-                let cost = self.transfer_cost(bytes, all_local);
-                self.record_read_span(req_idx, pf.svc, now, bytes, all_local);
+                let rid = self.reqs[req_idx].rid;
+                let (nretry, ndelay) = if all_local {
+                    (SimDuration::ZERO, SimDuration::ZERO)
+                } else {
+                    self.net_fault_extra(bytes, rid, now)
+                };
+                let cost = self.transfer_cost(bytes, all_local) + nretry + ndelay;
+                self.record_read_span(
+                    req_idx, pf.svc, failover, now, bytes, all_local, nretry, ndelay,
+                );
                 self.queue.schedule(now + cost, Ev::RequestDone(req_idx));
             }
         }
@@ -950,6 +1078,10 @@ impl<R: Recorder> Simulation<R> {
             return;
         }
         let key = self.pf_key(node, file);
+        if self.faults.is_some() {
+            let disk = self.disk_of(BlockId::new(file, req.offset));
+            self.pf_demand_disk.insert(key, disk);
+        }
         let blocks = self.file_blocks[file.0 as usize];
         let cfg = self.config.prefetch;
         {
@@ -966,6 +1098,18 @@ impl<R: Recorder> Simulation<R> {
     /// Pull every block the engine wants to prefetch right now and put
     /// it on the disks.
     fn pump_prefetcher(&mut self, key: PfKey, now: SimTime) {
+        if let Some(fs) = &mut self.faults {
+            if let Some(&disk) = self.pf_demand_disk.get(&key) {
+                if fs.plan.in_burst(disk, now) {
+                    // The paper's rule is that prefetching never delays
+                    // other operations: during an error burst the disk
+                    // is struggling, so the walk stands down and demand
+                    // reads keep the queue to themselves.
+                    fs.stats.prefetch_suppressed += 1;
+                    return;
+                }
+            }
+        }
         let home = self.prefetch_home(key);
         // Issue units: `(first, count)` runs. Per-block mode always
         // produces `count == 1`; extent mode batches up to one extent.
@@ -1054,6 +1198,7 @@ impl<R: Recorder> Simulation<R> {
                         node: home,
                         waiters: Vec::new(),
                         svc: None,
+                        failover: SimDuration::ZERO,
                     },
                 );
             }
@@ -1119,34 +1264,56 @@ impl<R: Recorder> Simulation<R> {
 
     /// Attribute a completed read's end-to-end latency to span
     /// components, using the service record of the fetch that finished
-    /// last (`svc`) and the delivery split. The components sum exactly
-    /// to the latency [`request_done`](Self::request_done) will record:
-    /// `disk_done - started` for the disk part plus the delivery cost.
+    /// last (`svc`), the failover time that fetch accrued across
+    /// outages, the delivery split, and any network-fault extras. The
+    /// components sum exactly to the latency
+    /// [`request_done`](Self::request_done) will record:
+    /// `disk_done - started` for the disk part plus the delivery cost
+    /// (including `net_retry + net_delay`).
+    #[allow(clippy::too_many_arguments)]
     fn record_read_span(
         &mut self,
         req_idx: ReqId,
         svc: Option<FetchSvc>,
+        failover: SimDuration,
         disk_done: SimTime,
         bytes: u64,
         all_local: bool,
+        net_retry: SimDuration,
+        net_delay: SimDuration,
     ) {
         let req = &self.reqs[req_idx];
         let started = req.started;
         let mut b = self.delivery_breakdown(bytes, all_local);
+        b.retry += net_retry;
+        b.network += net_delay;
         match svc {
             Some(svc) if svc.begin >= started => {
-                // The read waited for the fetch to be dispatched: split
-                // the disk time mechanically. The seek component is the
-                // remainder, so the four parts always sum to
+                // The read waited for the fetch to be dispatched: the
+                // wait splits into failover (time lost to outages,
+                // clamped — it is a subset of the wait by construction)
+                // and plain queueing; the service splits into the retry
+                // surcharge (transient errors) and the successful
+                // attempt's mechanics, whose seek component is the
+                // remainder — so the parts always sum to
                 // `disk_done - started` exactly (under the fixed model
                 // the whole read seek constant lands in `seek`).
-                b.queue = svc.begin.saturating_since(started);
-                b.rotation = svc.cost.mech.map_or(SimDuration::ZERO, |m| m.rot_wait);
+                let raw_queue = svc.begin.saturating_since(started);
+                b.failover = failover.min(raw_queue);
+                b.queue = raw_queue - b.failover;
+                let retry = svc.cost.retry.min(svc.cost.total);
+                b.retry += retry;
+                let net = svc.cost.total - retry;
+                b.rotation = svc
+                    .cost
+                    .mech
+                    .map_or(SimDuration::ZERO, |m| m.rot_wait)
+                    .min(net);
                 let platter = SimDuration::transfer(
                     self.config.machine.block_size,
                     self.config.machine.disk_bandwidth,
                 );
-                let after_rot = svc.cost.total - b.rotation.min(svc.cost.total);
+                let after_rot = net - b.rotation;
                 b.disk_transfer = platter.min(after_rot);
                 b.seek = after_rot - b.disk_transfer;
             }
@@ -1165,14 +1332,259 @@ impl<R: Recorder> Simulation<R> {
         let slack = disk_done.saturating_since(started);
         debug_assert_eq!(
             b.total(),
-            slack + self.transfer_cost(bytes, all_local),
+            slack + self.transfer_cost(bytes, all_local) + net_retry + net_delay,
             "span components must sum to the request latency"
         );
         self.metrics.record_span(started, &b, outcome, slack);
     }
 
+    // ----- faults --------------------------------------------------------
+
+    /// Put an outage-aborted job back at the front of its disk's queue.
+    /// The elapsed abort -> stale-completion time is credited to the
+    /// job's pending fetches as failover wait (the requeue is the
+    /// issuer's timeout-and-retry in one step).
+    fn requeue_aborted(&mut self, disk: usize, job: DiskJob, now: SimTime) {
+        let (prio, rid, aborted_at) = if self.aborted[disk].is_empty() {
+            debug_assert!(false, "stale completion with no abort record");
+            (PRIO_DEMAND, NO_RID, now)
+        } else {
+            self.aborted[disk].remove(0)
+        };
+        self.add_failover(job, now.saturating_since(aborted_at));
+        let (op, block, blocks) = match job {
+            DiskJob::Fetch(key) => (DeviceOp::Read, key.block, 1),
+            DiskJob::FetchRun { first, count } => (DeviceOp::Read, first.block, count),
+            DiskJob::Write(b) => (DeviceOp::Write, b, 1),
+        };
+        let spec = JobSpec {
+            op,
+            pos: self.disk_models[disk].lba_of(block.file.0, block.index),
+            bytes: self.config.machine.block_size * u64::from(blocks),
+            blocks,
+            rid,
+        };
+        {
+            let Simulation { disks, rec, .. } = self;
+            disks[disk].requeue_front(now, prio, spec, job, rec);
+        }
+        let started =
+            self.with_disk_model(disk, |st, model, rec| st.dispatch_idle(now, model, rec));
+        if let Some(started) = started {
+            self.after_start(disk, now, started);
+        }
+    }
+
+    /// Credit `d` of failover wait to every pending fetch `tag`
+    /// carries, so the reads waiting on them attribute outage time to
+    /// the `failover` span component. Writes wait on nothing.
+    fn add_failover(&mut self, tag: DiskJob, d: SimDuration) {
+        if d == SimDuration::ZERO {
+            return;
+        }
+        match tag {
+            DiskJob::Fetch(key) => {
+                if let Some(pf) = self.pending.get_mut(&key) {
+                    pf.failover += d;
+                }
+            }
+            DiskJob::FetchRun { first, count } => {
+                for key in run_keys(first, count) {
+                    if let Some(pf) = self.pending.get_mut(&key) {
+                        pf.failover += d;
+                    }
+                }
+            }
+            DiskJob::Write(_) => {}
+        }
+    }
+
+    /// A disk outage window opens: abort the in-service job (its stale
+    /// completion becomes the requeue trigger) and hold the queue until
+    /// [`disk_up`](Self::disk_up).
+    fn disk_down(&mut self, disk: usize, now: SimTime) {
+        if self.active_procs == 0 {
+            return;
+        }
+        let w = self
+            .faults
+            .as_ref()
+            .expect("disk outage event without fault state")
+            .plan
+            .outage
+            .expect("disk outage event without a window");
+        let aborted = {
+            let Simulation { disks, rec, .. } = self;
+            disks[disk].abort_current(now, rec)
+        };
+        if let Some((prio, rid)) = aborted {
+            self.aborted[disk].push((prio, rid, now));
+            // Invalidate the outstanding completion: its arrival now
+            // means "requeue", not "done".
+            self.done_seq[disk] += 1;
+            if let Some(fs) = &mut self.faults {
+                fs.stats.failovers += 1;
+            }
+            if self.rec.enabled() {
+                self.rec.record(
+                    now.as_nanos(),
+                    Event::Failover {
+                        disk: disk as u32,
+                        rid,
+                    },
+                );
+            }
+        }
+        self.disks[disk].hold();
+        self.last_down[disk] = now;
+        if let Some(fs) = &mut self.faults {
+            fs.stats.disk_outages += 1;
+        }
+        if self.rec.enabled() {
+            self.rec.record(
+                now.as_nanos(),
+                Event::DiskOutage {
+                    disk: disk as u32,
+                    up: false,
+                },
+            );
+        }
+        // Always scheduled once the hold took effect, so held queues
+        // are guaranteed to drain even if every process finishes during
+        // the window.
+        self.queue.schedule(now + w.len, Ev::DiskUp { disk });
+    }
+
+    /// A disk outage window closes: credit the held jobs' wait as
+    /// failover time, release the queue, and restart dispatch.
+    fn disk_up(&mut self, disk: usize, now: SimTime) {
+        let held: Vec<(DiskJob, SimDuration)> = self.disks[disk]
+            .held_overlap(self.last_down[disk], now)
+            .into_iter()
+            .map(|(tag, d)| (*tag, d))
+            .collect();
+        for (tag, d) in held {
+            self.add_failover(tag, d);
+        }
+        self.disks[disk].release();
+        let started =
+            self.with_disk_model(disk, |st, model, rec| st.dispatch_idle(now, model, rec));
+        if let Some(started) = started {
+            self.after_start(disk, now, started);
+        }
+        if self.rec.enabled() {
+            self.rec.record(
+                now.as_nanos(),
+                Event::DiskOutage {
+                    disk: disk as u32,
+                    up: true,
+                },
+            );
+        }
+        if self.active_procs > 0 {
+            let w = self
+                .faults
+                .as_ref()
+                .expect("disk outage event without fault state")
+                .plan
+                .outage
+                .expect("disk outage event without a window");
+            self.queue
+                .schedule(now + (w.period - w.len), Ev::DiskDown { disk });
+        }
+    }
+
+    /// A node outage window opens: the node disconnects from the
+    /// cooperative cache (degraded mode) but keeps running locally.
+    fn node_down(&mut self, node: u32, now: SimTime) {
+        if self.active_procs == 0 {
+            return;
+        }
+        let w = self
+            .faults
+            .as_ref()
+            .expect("node outage event without fault state")
+            .plan
+            .node_outage
+            .expect("node outage event without a window");
+        self.cache.set_degraded(NodeId(node), true);
+        if let Some(fs) = &mut self.faults {
+            fs.degraded_enter(node as usize, now);
+        }
+        if self.rec.enabled() {
+            self.rec
+                .record(now.as_nanos(), Event::DegradedEnter { node });
+        }
+        self.queue.schedule(now + w.len, Ev::NodeUp { node });
+    }
+
+    /// A node outage window closes: the node rejoins the cooperative
+    /// cache with its buffers intact.
+    fn node_up(&mut self, node: u32, now: SimTime) {
+        self.cache.set_degraded(NodeId(node), false);
+        if let Some(fs) = &mut self.faults {
+            fs.degraded_exit(node as usize, now);
+        }
+        if self.rec.enabled() {
+            self.rec
+                .record(now.as_nanos(), Event::DegradedExit { node });
+        }
+        if self.active_procs > 0 {
+            let w = self
+                .faults
+                .as_ref()
+                .expect("node outage event without fault state")
+                .plan
+                .node_outage
+                .expect("node outage event without a window");
+            self.queue
+                .schedule(now + (w.period - w.len), Ev::NodeDown { node });
+        }
+    }
+
+    /// Price network faults on one remote delivery of `bytes`: the
+    /// zero-byte coordination hop draws against the control retry
+    /// budget, the payload against the data budget. Returns the extra
+    /// `(retry, delay)` time — both zero when no plan is active, so
+    /// fault-free deliveries cost exactly what they always did.
+    fn net_fault_extra(
+        &mut self,
+        bytes: u64,
+        rid: u32,
+        now: SimTime,
+    ) -> (SimDuration, SimDuration) {
+        let Some(fs) = &mut self.faults else {
+            return (SimDuration::ZERO, SimDuration::ZERO);
+        };
+        if !fs.plan.net_active() {
+            return (SimDuration::ZERO, SimDuration::ZERO);
+        }
+        let total = self.config.machine.remote_transfer(bytes);
+        let coord = self.config.machine.remote_transfer(0).min(total);
+        let payload = total - coord;
+        let e1 = fs.net_extra(NetClass::Control, coord);
+        let e2 = fs.net_extra(NetClass::Data, payload);
+        let retry = e1.retry + e2.retry;
+        let delay = e1.delay + e2.delay;
+        let lost = e1.lost + e2.lost;
+        if (lost > 0 || delay > SimDuration::ZERO) && self.rec.enabled() {
+            self.rec.record(
+                now.as_nanos(),
+                Event::NetFault {
+                    lost: lost.min(255) as u8,
+                    delayed: delay > SimDuration::ZERO,
+                    rid,
+                },
+            );
+        }
+        (retry, delay)
+    }
+
     fn finish(mut self) -> (SimReport, R) {
         let end = self.queue.now();
+        if let Some(fs) = &mut self.faults {
+            fs.degraded_finalize(end);
+        }
         self.cache.finalize();
         let cache_stats = *self.cache.stats();
 
@@ -1218,6 +1630,15 @@ impl<R: Recorder> Simulation<R> {
                 mech.register_into(&mut obs, &prefix);
             }
         }
+        let fstats = self.faults.as_ref().map(|fs| fs.stats).unwrap_or_default();
+        fstats.register_into(&mut obs);
+        let degraded_s = self.faults.as_ref().map_or(0.0, |fs| fs.degraded_total_s());
+        obs.gauge("fault.degraded_s", degraded_s);
+        if let Some(fs) = &self.faults {
+            for (n, s) in fs.degraded_residency() {
+                obs.gauge(format!("fault.node{n}.degraded_s"), s);
+            }
+        }
         obs.gauge("sim.disk_utilization", disk_utilization);
         obs.gauge("sim.mispredict_ratio", mispredict_ratio);
         obs.gauge("sim.seconds", end.as_secs_f64());
@@ -1246,6 +1667,9 @@ impl<R: Recorder> Simulation<R> {
             prefetch_absorbed: self.metrics.prefetch_absorbed,
             mispredict_ratio,
             disk_utilization,
+            faults_injected: fstats.injected,
+            failovers: fstats.failovers,
+            degraded_s,
             sim_seconds: end.as_secs_f64(),
             read_time_series: self
                 .metrics

@@ -165,6 +165,7 @@ impl ServiceModel for DiskModel {
                 d.stats.rot_wait += rot;
                 ServiceCost {
                     total,
+                    retry: SimDuration::ZERO,
                     mech: Some(MechDetail {
                         seek_cylinders: from.abs_diff(to),
                         rot_wait: rot,

@@ -16,6 +16,9 @@
 //! * [`Sstf`] / [`Clook`] — seek-aware request schedulers plugging
 //!   into [`simkit::Station`], reordering only *within* a priority
 //!   class (the demand-before-prefetch rule is structural).
+//! * [`FaultedModel`] / [`DispatchFaults`] — a pricing wrapper that
+//!   lets a fault source (the `faultkit` crate) add retry surcharge at
+//!   dispatch time without touching the mechanical model.
 //!
 //! The [`DiskModelKind`], [`DiskSched`] and [`NetModelKind`] enums are
 //! the `Copy` configuration surface that `lap-core`'s `MachineConfig`
@@ -25,11 +28,13 @@
 #![forbid(unsafe_code)]
 
 mod disk;
+mod fault;
 mod geometry;
 mod net;
 mod sched;
 
 pub use disk::{DiskModel, DiskModelStats, GeomDisk};
+pub use fault::{DispatchFaults, FaultedModel};
 pub use geometry::DiskGeometry;
 pub use net::LinkModel;
 pub use sched::{Clook, Sstf};

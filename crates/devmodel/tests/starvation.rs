@@ -1,0 +1,151 @@
+//! Scheduler-starvation stress: sustained, spatially *skewed* arrivals
+//! against SSTF.
+//!
+//! SSTF's known failure mode is starving edge cylinders: while a hot
+//! band keeps refilling the queue next to the arm, a request parked at
+//! the far edge of the platter loses every shortest-seek comparison.
+//! The bounded-arrival invariant tests can't see this — any finite
+//! stream drains eventually. This stress drives a near-saturation
+//! stream (queue almost never empty) where 9 in 10 requests land in a
+//! narrow hot band and 1 in 10 at the far edge, and asserts the *max*
+//! queue wait of every job stays within a fixed multiple of the whole
+//! stream's span — the documented starvation ceiling for this
+//! implementation (demand-priority classes and the stream's lulls are
+//! what keep it finite). If a future scheduler change makes an edge
+//! job wait past this bound, that is real starvation, not noise: the
+//! stream is seeded and deterministic.
+
+use devmodel::{DiskGeometry, DiskModel, Sstf};
+use simkit::{
+    DeviceOp, EventQueue, FifoSched, JobSpec, Priority, Scheduler, SimDuration, SimTime, Station,
+    StationId,
+};
+
+/// SplitMix64 — seeded case generation without external dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// One arrival: (time ns, file, block). All demand priority — the
+/// starvation question is *within* a class; across classes the
+/// priority queue already decides.
+type Arrival = (u64, u32, u64);
+
+/// A sustained skewed stream: inter-arrival times hover around the
+/// mean service time (the queue stays busy but does drain), 90% of
+/// positions sit in a narrow hot band at the low end of the platter,
+/// 10% at the far edge — the victims SSTF would like to postpone.
+fn skewed_stream(rng: &mut Rng, n: usize) -> Vec<Arrival> {
+    let mut t = 0u64;
+    (0..n)
+        .map(|_| {
+            // Near the mean service time, so the queue keeps a
+            // healthy standing population without growing unboundedly.
+            t += rng.below(800_000, 2_600_000);
+            let (file, block) = if rng.below(0, 10) < 9 {
+                (0, rng.below(0, 48))
+            } else {
+                (0, rng.below(1984, 2048))
+            };
+            (t, file, block)
+        })
+        .collect()
+}
+
+/// Drive `sched` over the stream and return (max wait, jobs done).
+fn max_wait(sched: Box<dyn Scheduler>, arrivals: &[Arrival]) -> (SimDuration, usize) {
+    let mut disk = DiskModel::geometry(DiskGeometry::tiny(), 8192);
+    let mut station: Station<usize> = Station::with_scheduler(StationId::disk(0), sched);
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    let mut rec = lapobs::NoopRecorder;
+    let mut worst = SimDuration::ZERO;
+    let mut done = 0usize;
+
+    for (id, &(at, file, block)) in arrivals.iter().enumerate() {
+        let t = SimTime::from_nanos(at);
+        while queue.peek_time().is_some_and(|ct| ct <= t) {
+            let (ct, _) = queue.pop().unwrap();
+            done += 1;
+            if let Some(j) = station.complete_job(ct, &mut disk, &mut rec) {
+                worst = worst.max(j.wait);
+                queue.schedule(j.completes_at, j.tag);
+            }
+        }
+        let spec = JobSpec {
+            op: DeviceOp::Read,
+            pos: disk.lba_of(file, block),
+            bytes: 8192,
+            blocks: 1,
+            rid: id as u32,
+        };
+        if let Some(j) = station.arrive_job(t, Priority::DEMAND, spec, id, &mut disk, &mut rec) {
+            worst = worst.max(j.wait);
+            queue.schedule(j.completes_at, j.tag);
+        }
+    }
+    while let Some((ct, _)) = queue.pop() {
+        done += 1;
+        if let Some(j) = station.complete_job(ct, &mut disk, &mut rec) {
+            worst = worst.max(j.wait);
+            queue.schedule(j.completes_at, j.tag);
+        }
+    }
+    assert_eq!(station.queue_len(), 0, "jobs left queued");
+    (worst, done)
+}
+
+#[test]
+fn sstf_max_wait_stays_bounded_under_sustained_skew() {
+    for seed in 0..8u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED);
+        let n = 1500;
+        let arrivals = skewed_stream(&mut rng, n);
+        let span = SimDuration::from_nanos(arrivals.last().unwrap().0);
+
+        let (fifo_worst, fifo_done) = max_wait(Box::new(FifoSched), &arrivals);
+        let (sstf_worst, sstf_done) = max_wait(Box::new(Sstf::new()), &arrivals);
+        assert_eq!(fifo_done, n, "seed {seed}: FIFO lost jobs");
+        assert_eq!(sstf_done, n, "seed {seed}: SSTF lost jobs");
+
+        // The starvation ceiling: no job — hot or edge — may wait more
+        // than a quarter of the whole stream's span. A scheduler that
+        // truly starves the edge band parks those jobs until the
+        // arrivals stop, which blows well past this.
+        let bound = span / 4;
+        eprintln!(
+            "seed {seed}: sstf max wait {:.2} ms, fifo {:.2} ms, bound {:.1} ms",
+            sstf_worst.as_millis_f64(),
+            fifo_worst.as_millis_f64(),
+            bound.as_millis_f64()
+        );
+        assert!(
+            sstf_worst < bound,
+            "seed {seed}: SSTF max wait {:.1} ms exceeds starvation bound {:.1} ms",
+            sstf_worst.as_millis_f64(),
+            bound.as_millis_f64()
+        );
+        // And the stress is a real one: the skew must actually bite —
+        // SSTF postponing the edge band shows up as a strictly worse
+        // max wait than FIFO's (2–7× at this load). If this ever
+        // fails, the stream stopped saturating the arm and the bound
+        // above is vacuous.
+        assert!(
+            sstf_worst > fifo_worst,
+            "seed {seed}: stress degenerate (sstf {:.2} ms, fifo {:.2} ms)",
+            sstf_worst.as_millis_f64(),
+            fifo_worst.as_millis_f64()
+        );
+    }
+}

@@ -28,6 +28,7 @@ const PID: u32 = 1;
 /// hold (say) disk 0 and node 0 as separate tracks.
 const TID_PREFETCH: u32 = 3;
 const TID_WRITEBACK: u32 = 4;
+const TID_FAULTS: u32 = 5;
 const TID_DISK_BASE: u32 = 10;
 const TID_NET_BASE: u32 = 1000;
 const TID_NODE_BASE: u32 = 5000;
@@ -297,6 +298,38 @@ pub fn export<'a>(events: impl IntoIterator<Item = &'a (Nanos, Event)>) -> Strin
                 w.ensure_track(TID_WRITEBACK, "writeback");
                 let args = format!(",\"args\":{{\"dirty\":{dirty}}}");
                 w.instant(t, TID_WRITEBACK, "sweep", &args);
+            }
+            Event::FaultInjected { disk, retry_us, .. } => {
+                let sid = StationId::disk(disk);
+                let tid = station_tid(sid);
+                w.ensure_track(tid, &station_name(sid));
+                let args = format!(",\"args\":{{\"retry_us\":{retry_us}}}");
+                w.instant(t, tid, "fault", &args);
+            }
+            Event::Failover { disk, .. } => {
+                let sid = StationId::disk(disk);
+                let tid = station_tid(sid);
+                w.ensure_track(tid, &station_name(sid));
+                w.instant(t, tid, "failover", "");
+            }
+            Event::DiskOutage { disk, up } => {
+                let sid = StationId::disk(disk);
+                let tid = station_tid(sid);
+                w.ensure_track(tid, &station_name(sid));
+                w.instant(t, tid, if up { "outage end" } else { "outage start" }, "");
+            }
+            Event::DegradedEnter { node } => {
+                let tid = w.node_track(node);
+                w.instant(t, tid, "degraded enter", "");
+            }
+            Event::DegradedExit { node } => {
+                let tid = w.node_track(node);
+                w.instant(t, tid, "degraded exit", "");
+            }
+            Event::NetFault { lost, delayed, .. } => {
+                w.ensure_track(TID_FAULTS, "faults");
+                let args = format!(",\"args\":{{\"lost\":{lost},\"delayed\":{delayed}}}");
+                w.instant(t, TID_FAULTS, "net fault", &args);
             }
             Event::ReadDone {
                 proc,

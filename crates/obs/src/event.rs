@@ -298,6 +298,56 @@ pub enum Event {
         dirty: u32,
     },
 
+    /// A dispatch drew transient disk errors: the priced job carries
+    /// `retry_us` of failed attempts plus backoff on top of its
+    /// successful attempt.
+    FaultInjected {
+        /// The faulting disk.
+        disk: u32,
+        /// Retry surcharge in microseconds (saturating).
+        retry_us: u32,
+        /// Demand read the job serves ([`NO_RID`] when none).
+        rid: u32,
+    },
+    /// A disk outage aborted the in-service job; the event loop
+    /// re-queues it at the front of its class (timeout-and-failover).
+    Failover {
+        /// The disk whose job was aborted.
+        disk: u32,
+        /// Demand read of the aborted job ([`NO_RID`] when none).
+        rid: u32,
+    },
+    /// A disk outage window opened (`up: false`) or closed
+    /// (`up: true`).
+    DiskOutage {
+        /// The affected disk.
+        disk: u32,
+        /// True when the disk comes back.
+        up: bool,
+    },
+    /// A cache node dropped out of the cooperative cache: degraded
+    /// mode begins (PAFS fails the node's files over to the next
+    /// server; xFS stops forwarding to it).
+    DegradedEnter {
+        /// The node that went down.
+        node: u32,
+    },
+    /// A cache node rejoined the cooperative cache.
+    DegradedExit {
+        /// The node that came back.
+        node: u32,
+    },
+    /// Network faults hit a remote delivery: `lost` attempts re-paid
+    /// the transfer and/or the delivery drew an extra delay.
+    NetFault {
+        /// Lost attempts (bounded by the class retry budget).
+        lost: u8,
+        /// True when the extra propagation delay fired.
+        delayed: bool,
+        /// The demand read being delivered ([`NO_RID`] when none).
+        rid: u32,
+    },
+
     /// A read request completed.
     ReadDone {
         /// The issuing process.

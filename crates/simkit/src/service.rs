@@ -73,6 +73,10 @@ pub struct MechDetail {
 pub struct ServiceCost {
     /// Total service time (the station occupies the server this long).
     pub total: SimDuration,
+    /// Portion of `total` spent on failed attempts and backoff injected
+    /// by a fault model at dispatch time. Always zero when no fault
+    /// model wraps the pricing, so fault-free runs are unchanged.
+    pub retry: SimDuration,
     /// Mechanical breakdown, if the model computes one. Flat-cost
     /// models return `None`, which also suppresses the per-operation
     /// `DiskService` trace event.
@@ -82,7 +86,11 @@ pub struct ServiceCost {
 impl ServiceCost {
     /// A flat cost with no mechanical breakdown.
     pub fn flat(total: SimDuration) -> Self {
-        ServiceCost { total, mech: None }
+        ServiceCost {
+            total,
+            retry: SimDuration::ZERO,
+            mech: None,
+        }
     }
 }
 
@@ -154,6 +162,7 @@ mod tests {
     fn flat_cost_has_no_breakdown() {
         let c = ServiceCost::flat(SimDuration::from_micros(10));
         assert_eq!(c.total.as_micros(), 10);
+        assert_eq!(c.retry, SimDuration::ZERO);
         assert!(c.mech.is_none());
     }
 }

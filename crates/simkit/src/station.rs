@@ -53,6 +53,9 @@ impl Priority {
 pub struct StartedJob<T> {
     /// Caller-supplied identifier for the job.
     pub tag: T,
+    /// Demand read the job serves ([`NO_RID`] when none) — copied from
+    /// the job spec so callers need not look it up again.
+    pub rid: u32,
     /// Absolute time at which service finishes.
     pub completes_at: SimTime,
     /// How long the job waited in queue before starting (zero when it
@@ -106,6 +109,9 @@ pub struct StationStats {
     pub cancelled: u64,
     /// Jobs served out of arrival order by the scheduler.
     pub reordered: u64,
+    /// In-service jobs aborted mid-service (outage timeout); the
+    /// unserved remainder is un-credited from `busy`.
+    pub aborted: u64,
 }
 
 impl StationStats {
@@ -116,6 +122,7 @@ impl StationStats {
         reg.gauge(format!("{prefix}.waited_s"), self.waited.as_secs_f64());
         reg.counter(format!("{prefix}.cancelled"), self.cancelled);
         reg.counter(format!("{prefix}.reordered"), self.reordered);
+        reg.counter(format!("{prefix}.aborted"), self.aborted);
     }
 }
 
@@ -147,6 +154,9 @@ pub struct Station<T> {
     /// keeps it inside the completion event it schedules, so storing it
     /// here would only force `T: Clone`.
     current: Option<(SimTime, Priority, u32)>,
+    /// Outage hold: while set, arrivals queue even when the server is
+    /// idle and nothing is dispatched out of the queue.
+    held: bool,
     /// Waiting jobs, keyed by priority (lower key = served first).
     queues: BTreeMap<Priority, VecDeque<Waiting<T>>>,
     queued_len: usize,
@@ -169,6 +179,7 @@ impl<T> Station<T> {
             sid,
             sched,
             current: None,
+            held: false,
             queues: BTreeMap::new(),
             queued_len: 0,
             queue_track: TimeWeighted::new(SimTime::ZERO, 0.0),
@@ -233,7 +244,7 @@ impl<T> Station<T> {
         tag: T,
         rec: &mut R,
     ) -> Option<StartedJob<T>> {
-        if self.current.is_none() {
+        if self.current.is_none() && !self.held {
             Some(self.begin_service(now, prio, ServiceCost::flat(service), NO_RID, tag, rec))
         } else {
             self.push_waiting(now, prio, JobCost::Fixed(service), tag, rec);
@@ -254,7 +265,7 @@ impl<T> Station<T> {
         model: &mut dyn ServiceModel,
         rec: &mut R,
     ) -> Option<StartedJob<T>> {
-        if self.current.is_none() {
+        if self.current.is_none() && !self.held {
             let cost = model.service(now, &spec);
             Some(self.begin_service(now, prio, cost, spec.rid, tag, rec))
         } else {
@@ -346,6 +357,7 @@ impl<T> Station<T> {
         }
         StartedJob {
             tag,
+            rid,
             completes_at,
             wait,
             cost,
@@ -415,6 +427,9 @@ impl<T> Station<T> {
         mut model: Option<&mut dyn ServiceModel>,
         rec: &mut R,
     ) -> Option<StartedJob<T>> {
+        if self.held {
+            return None;
+        }
         // BTreeMap iterates keys in ascending order: lowest value =
         // highest priority first. The class is chosen before the
         // scheduler runs, so reordering never crosses class boundaries.
@@ -549,6 +564,126 @@ impl<T> Station<T> {
             dst.push_back(w);
         }
         n
+    }
+
+    /// Suspend dispatch (an outage window begins): arrivals queue even
+    /// when the server is idle, and completions do not start the next
+    /// job. The in-service job, if any, is *not* interrupted — use
+    /// [`abort_current`](Self::abort_current) for that.
+    pub fn hold(&mut self) {
+        self.held = true;
+    }
+
+    /// End the dispatch hold. The caller should follow up with
+    /// [`dispatch_idle`](Self::dispatch_idle) to restart service.
+    pub fn release(&mut self) {
+        self.held = false;
+    }
+
+    /// True while dispatch is suspended by [`hold`](Self::hold).
+    pub fn is_held(&self) -> bool {
+        self.held
+    }
+
+    /// Abort the in-service job (outage timeout): the server goes idle,
+    /// the unserved remainder `completes_at - now` is un-credited from
+    /// the busy time, and the job's service span is closed in the
+    /// trace. Returns the aborted job's priority class and request id,
+    /// or `None` if the station was idle.
+    ///
+    /// The station does not store the in-service tag (see `current`),
+    /// so the *caller* — which holds the tag inside the completion
+    /// event it scheduled — must treat that completion as stale and
+    /// re-submit the job, e.g. via [`requeue_front`](Self::requeue_front).
+    pub fn abort_current<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        rec: &mut R,
+    ) -> Option<(Priority, u32)> {
+        let (completes_at, prio, rid) = self.current.take()?;
+        self.stats.busy -= completes_at.saturating_since(now);
+        self.stats.aborted += 1;
+        if rec.enabled() {
+            rec.record(
+                now.as_nanos(),
+                Event::ServiceEnd {
+                    station: self.sid,
+                    class: prio.0,
+                    rid,
+                },
+            );
+        }
+        Some((prio, rid))
+    }
+
+    /// Re-queue a previously aborted model-priced job at the *front* of
+    /// its priority class, so it is the first job of that class served
+    /// once dispatch resumes. Does not start service — call
+    /// [`dispatch_idle`](Self::dispatch_idle) after.
+    pub fn requeue_front<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        prio: Priority,
+        spec: JobSpec,
+        tag: T,
+        rec: &mut R,
+    ) {
+        self.queues.entry(prio).or_default().push_front(Waiting {
+            tag,
+            cost: JobCost::Modelled(spec),
+            enqueued_at: now,
+        });
+        self.queued_len += 1;
+        self.queue_track.set(now, self.queued_len as f64);
+        if rec.enabled() {
+            rec.record(
+                now.as_nanos(),
+                Event::QueuePush {
+                    station: self.sid,
+                    class: prio.0,
+                    depth: self.queued_len as u32,
+                    rid: spec.rid,
+                },
+            );
+        }
+    }
+
+    /// Start the next waiting job if the server is idle and not held —
+    /// the restart step after [`release`](Self::release) or after a
+    /// [`requeue_front`](Self::requeue_front) on an idle station. The
+    /// caller must schedule the returned completion as usual.
+    pub fn dispatch_idle<R: Recorder>(
+        &mut self,
+        now: SimTime,
+        model: &mut dyn ServiceModel,
+        rec: &mut R,
+    ) -> Option<StartedJob<T>> {
+        if self.current.is_some() {
+            return None;
+        }
+        self.start_next(now, Some(model), rec)
+    }
+
+    /// Per-tag overlap of each waiting job's queue time with the window
+    /// `[t_down, now]` — the raw material for attributing outage wait
+    /// (failover) separately from ordinary queueing. Call at the end of
+    /// an outage, before releasing the hold.
+    pub fn held_overlap(&self, t_down: SimTime, now: SimTime) -> Vec<(&T, SimDuration)> {
+        let mut out = Vec::new();
+        for q in self.queues.values() {
+            for w in q {
+                let from = if w.enqueued_at > t_down {
+                    w.enqueued_at
+                } else {
+                    t_down
+                };
+                let overlap = now.saturating_since(from);
+                if overlap > SimDuration::ZERO {
+                    out.push((&w.tag, overlap));
+                }
+            }
+        }
+        out
     }
 
     /// Time-weighted mean queue length over `[0, now]` (waiting jobs
@@ -713,6 +848,7 @@ mod tests {
             self.head = pos;
             ServiceCost {
                 total: d(1 + dist),
+                retry: SimDuration::ZERO,
                 mech: Some(MechDetail {
                     seek_cylinders: dist as u32,
                     rot_wait: SimDuration::ZERO,
@@ -831,6 +967,110 @@ mod tests {
             .complete_job(n.completes_at, &mut disk, &mut NoopRecorder)
             .unwrap();
         assert_eq!(n.tag, 10);
+    }
+
+    #[test]
+    fn held_station_queues_idle_arrivals() {
+        let mut s: Station<u32> = Station::new(sid());
+        s.hold();
+        assert!(s.is_held());
+        // Idle but held: the arrival queues instead of starting.
+        assert!(s.arrive(t(0), Priority::DEMAND, d(10), 1).is_none());
+        assert_eq!(s.queue_len(), 1);
+        assert!(!s.is_busy());
+        s.release();
+        let mut disk = ToyDisk { head: 0 };
+        // Fixed-cost job dispatches fine through dispatch_idle too.
+        let j = s.dispatch_idle(t(5), &mut disk, &mut NoopRecorder).unwrap();
+        assert_eq!((j.tag, j.completes_at, j.wait), (1, t(15), d(5)));
+    }
+
+    #[test]
+    fn hold_defers_dispatch_at_completion() {
+        let mut s: Station<u32> = Station::new(sid());
+        s.arrive(t(0), Priority::DEMAND, d(10), 0).unwrap();
+        s.arrive(t(1), Priority::DEMAND, d(5), 1);
+        s.hold();
+        // The in-service job finishes (non-preemptive) but the queued
+        // one must wait out the hold.
+        assert!(s.complete(t(10)).is_none());
+        assert_eq!(s.queue_len(), 1);
+        s.release();
+        let mut disk = ToyDisk { head: 0 };
+        let j = s
+            .dispatch_idle(t(20), &mut disk, &mut NoopRecorder)
+            .unwrap();
+        assert_eq!(j.tag, 1);
+        assert_eq!(j.wait, d(19));
+    }
+
+    #[test]
+    fn abort_requeue_serves_aborted_job_first() {
+        let mut disk = ToyDisk { head: 0 };
+        let mut s: Station<u32> = Station::new(sid());
+        s.arrive_job(
+            t(0),
+            Priority::DEMAND,
+            read_at(5),
+            7,
+            &mut disk,
+            &mut NoopRecorder,
+        )
+        .unwrap();
+        s.arrive_job(
+            t(1),
+            Priority::DEMAND,
+            read_at(9),
+            8,
+            &mut disk,
+            &mut NoopRecorder,
+        );
+        // Outage at t=2: abort the in-service job, hold the station.
+        let (prio, _rid) = s.abort_current(t(2), &mut NoopRecorder).unwrap();
+        assert_eq!(prio, Priority::DEMAND);
+        assert!(!s.is_busy());
+        assert_eq!(s.stats().aborted, 1);
+        // Only the 2 µs actually served stays credited as busy time.
+        assert_eq!(s.stats().busy, d(2));
+        s.hold();
+        // The caller re-submits the aborted job at the front.
+        s.requeue_front(t(2), prio, read_at(5), 7, &mut NoopRecorder);
+        assert_eq!(s.queue_len(), 2);
+        // Outage ends: the aborted job is served before the later one.
+        s.release();
+        let j = s
+            .dispatch_idle(t(12), &mut disk, &mut NoopRecorder)
+            .unwrap();
+        assert_eq!(j.tag, 7);
+        let j = s
+            .complete_job(j.completes_at, &mut disk, &mut NoopRecorder)
+            .unwrap();
+        assert_eq!(j.tag, 8);
+    }
+
+    #[test]
+    fn abort_on_idle_station_is_none() {
+        let mut s: Station<u32> = Station::new(sid());
+        assert!(s.abort_current(t(0), &mut NoopRecorder).is_none());
+    }
+
+    #[test]
+    fn held_overlap_attributes_outage_wait() {
+        let mut s: Station<u32> = Station::new(sid());
+        s.arrive(t(0), Priority::DEMAND, d(100), 0).unwrap();
+        // Job 1 queued before the outage, job 2 during it.
+        s.arrive(t(1), Priority::DEMAND, d(5), 1);
+        s.hold(); // outage at t=10
+        s.arrive(t(12), Priority::DEMAND, d(5), 2);
+        let overlaps = s.held_overlap(t(10), t(20));
+        assert_eq!(overlaps.len(), 2);
+        assert_eq!(
+            overlaps
+                .iter()
+                .map(|&(tag, ov)| (*tag, ov))
+                .collect::<Vec<_>>(),
+            vec![(1, d(10)), (2, d(8))]
+        );
     }
 
     #[test]

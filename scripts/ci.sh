@@ -14,14 +14,20 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --offline --workspace --all-targets
 run cargo test --offline --workspace
 
-# Experiment-harness smoke: table1 + the devmodel and extent ablations
-# at small scale. Catches panics and degenerate results the unit tests
-# can't — the binary asserts every cell is finite and did real work,
-# and the extent ablation asserts block==extent for every degenerate
-# row (extent_blocks=1 or non-aggressive algorithm). Also regenerates
-# the benchmark snapshot for the staleness gate below, which doubles
-# as the block-granularity bit-identity gate: BENCH.json predates the
-# extent machinery, so any drift in default-mode results fails here.
+# Experiment-harness smoke: table1 + the devmodel, extent, and faults
+# ablations at small scale. Catches panics and degenerate results the
+# unit tests can't — the binary asserts every cell is finite and did
+# real work, the extent ablation asserts block==extent for every
+# degenerate row (extent_blocks=1 or non-aggressive algorithm), and
+# the faults ablation runs all seven paper configurations under three
+# fault plans, asserting no demand read is lost or double-counted and
+# that the aggressive walkers stand down during error bursts. Also
+# regenerates the benchmark snapshot for the staleness gate below,
+# which doubles as two bit-identity gates: block-granularity (BENCH.json
+# predates the extent machinery) and zero-fault (it predates the fault
+# layer too — a plan-less run must stay byte-identical, and the golden
+# freshness gate at the bottom pins tests/golden/tiny_trace.json the
+# same way).
 run ./target/debug/experiments --smoke --bench-out target/BENCH.json
 
 # Benchmark-snapshot staleness: the committed BENCH.json must match what

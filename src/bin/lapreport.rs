@@ -107,15 +107,17 @@ impl MetricsFile {
     }
 }
 
-/// The eight additive read-latency components, in display order.
+/// The ten additive read-latency components, in display order.
 /// Each is a histogram whose per-read mean (in µs) is the component's
 /// contribution to the average read time.
-const SPAN_COMPONENTS: [(&str, &str); 8] = [
+const SPAN_COMPONENTS: [(&str, &str); 10] = [
     ("span.cache_lookup_us", "lookup"),
     ("span.queue_us", "queue"),
+    ("span.failover_us", "failover"),
     ("span.seek_us", "seek"),
     ("span.rotation_us", "rot"),
     ("span.disk_transfer_us", "disk-xfer"),
+    ("span.retry_us", "retry"),
     ("span.coordination_us", "coord"),
     ("span.network_us", "network"),
     ("span.transfer_us", "deliver"),
@@ -135,7 +137,25 @@ struct ConfigReport {
     accuracy: f64,
     timeliness: f64,
     late_slack_ms: f64,
+    faults: FaultRow,
     disks: Vec<DiskRow>,
+}
+
+/// The `fault.*` counters (all-zero for fault-free runs — the schema
+/// is identical, so missing keys are drift even without a plan).
+struct FaultRow {
+    injected: u64,
+    retries: u64,
+    failovers: u64,
+    disk_outages: u64,
+    node_outages: u64,
+    net_lost: u64,
+    net_delayed: u64,
+    prefetch_suppressed: u64,
+    degraded_s: f64,
+    /// Per-node degraded residency, probed optionally (only nodes with
+    /// nonzero residency are exported).
+    node_degraded_s: Vec<(usize, f64)>,
 }
 
 struct Outcomes {
@@ -206,6 +226,29 @@ fn analyze(f: &MetricsFile) -> Result<ConfigReport, String> {
     };
     let late_slack_ms = f.num("prefetch.late_slack_us.mean_us")? / 1e3;
 
+    let mut node_degraded_s = Vec::new();
+    for n in 0.. {
+        match f.opt_num(&format!("fault.node{n}.degraded_s")) {
+            Some(v) => node_degraded_s.push((n, v)),
+            // The exporter skips zero-residency nodes, so the rows need
+            // not be contiguous — probe a generous range past a gap.
+            None if n < 4096 => continue,
+            None => break,
+        }
+    }
+    let faults = FaultRow {
+        injected: f.num("fault.injected")? as u64,
+        retries: f.num("fault.retries")? as u64,
+        failovers: f.num("fault.failovers")? as u64,
+        disk_outages: f.num("fault.disk_outages")? as u64,
+        node_outages: f.num("fault.node_outages")? as u64,
+        net_lost: f.num("fault.net_lost")? as u64,
+        net_delayed: f.num("fault.net_delayed")? as u64,
+        prefetch_suppressed: f.num("fault.prefetch_suppressed")? as u64,
+        degraded_s: f.num("fault.degraded_s")?,
+        node_degraded_s,
+    };
+
     let mut disks = Vec::new();
     while let Some(completed) = f.opt_num(&format!("disk{}.completed", disks.len())) {
         let i = disks.len();
@@ -235,6 +278,7 @@ fn analyze(f: &MetricsFile) -> Result<ConfigReport, String> {
         accuracy,
         timeliness,
         late_slack_ms,
+        faults,
         disks,
     })
 }
@@ -342,6 +386,43 @@ fn render_tables(reports: &[ConfigReport]) -> String {
     }
 
     let _ = writeln!(out);
+    let _ = writeln!(out, "faults");
+    let _ = writeln!(
+        out,
+        "  {:<wl$} {:>8} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "config",
+        "injected",
+        "retries",
+        "failovers",
+        "disk-out",
+        "node-out",
+        "net-lost",
+        "net-dly",
+        "pf-supp",
+        "degraded-s"
+    );
+    for r in reports {
+        let f = &r.faults;
+        let _ = writeln!(
+            out,
+            "  {:<wl$} {:>8} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10.3}",
+            format!("{}@{}", r.label, r.workload),
+            f.injected,
+            f.retries,
+            f.failovers,
+            f.disk_outages,
+            f.node_outages,
+            f.net_lost,
+            f.net_delayed,
+            f.prefetch_suppressed,
+            f.degraded_s
+        );
+        for (n, s) in &f.node_degraded_s {
+            let _ = writeln!(out, "  {:<wl$} {:>8}   node {n} degraded {s:.3} s", "", "");
+        }
+    }
+
+    let _ = writeln!(out);
     let _ = writeln!(out, "disk queues");
     let _ = writeln!(
         out,
@@ -398,9 +479,32 @@ fn render_json(reports: &[ConfigReport]) -> String {
         );
         let _ = write!(
             out,
-            "\"coverage\":{},\"accuracy\":{},\"timeliness\":{},\"late_slack_ms\":{},\"disks\":[",
+            "\"coverage\":{},\"accuracy\":{},\"timeliness\":{},\"late_slack_ms\":{},",
             r.coverage, r.accuracy, r.timeliness, r.late_slack_ms
         );
+        let f = &r.faults;
+        let _ = write!(
+            out,
+            "\"faults\":{{\"injected\":{},\"retries\":{},\"failovers\":{},\"disk_outages\":{},\"node_outages\":{},\"net_lost\":{},\"net_delayed\":{},\"prefetch_suppressed\":{},\"degraded_s\":{},\"node_degraded_s\":[",
+            f.injected,
+            f.retries,
+            f.failovers,
+            f.disk_outages,
+            f.node_outages,
+            f.net_lost,
+            f.net_delayed,
+            f.prefetch_suppressed,
+            f.degraded_s
+        );
+        for (j, (n, sdeg)) in f.node_degraded_s.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"node\":{n},\"degraded_s\":{sdeg}}}",
+                if j > 0 { "," } else { "" }
+            );
+        }
+        out.push_str("]},");
+        let _ = write!(out, "\"disks\":[");
         for (j, d) in r.disks.iter().enumerate() {
             let _ = write!(
                 out,

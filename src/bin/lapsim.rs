@@ -30,6 +30,7 @@ struct Args {
     disk_sched: DiskSched,
     prefetch_gran: PrefetchGranularity,
     extent_blocks: u64,
+    fault_plan: Option<FaultPlan>,
     verbose: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -45,6 +46,12 @@ fn usage() -> ! {
     eprintln!("              [--prefetch-gran block|extent] [--extent-blocks N]");
     eprintln!("              [--trace-out FILE] [--metrics-out FILE]");
     eprintln!("              [--trace-sample N]   keep 1-in-N high-volume trace events");
+    eprintln!("              [--fault-plan SPEC]  deterministic fault injection");
+    eprintln!();
+    eprintln!("fault plans: comma-separated key=value, e.g.");
+    eprintln!("    seed=7,disk-error=0.02,disk-retries=4,backoff-ms=5,burst=60:5,");
+    eprintln!("    outage=120:10,node-outage=300:20,net-loss=0.01,net-delay=0.05:2");
+    eprintln!("  windows are PERIOD_S:LEN_S; an empty spec disables injection");
     eprintln!();
     eprintln!("algorithms: np, oba, ln_agr_oba, is_ppm:J, ln_agr_is_ppm:J,");
     eprintln!("            is_ppm_backoff:J, ln_agr_is_ppm_backoff:J");
@@ -91,6 +98,7 @@ fn parse_args() -> Args {
         disk_sched: DiskSched::Fifo,
         prefetch_gran: PrefetchGranularity::Block,
         extent_blocks: 1,
+        fault_plan: None,
         verbose: false,
         trace_out: None,
         metrics_out: None,
@@ -156,6 +164,16 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage())
+            }
+            "--fault-plan" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => out.fault_plan = Some(plan),
+                    Err(e) => {
+                        eprintln!("bad --fault-plan: {e}");
+                        exit(2);
+                    }
+                }
             }
             "--trace-out" => out.trace_out = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics-out" => out.metrics_out = Some(args.next().unwrap_or_else(|| usage())),
@@ -225,6 +243,7 @@ fn main() {
     }
     config.machine.disk_sched = args.disk_sched;
     config.machine.prefetch_granularity = args.prefetch_gran;
+    config.fault_plan = args.fault_plan;
 
     let t0 = std::time::Instant::now();
     let report = if let Some(trace_path) = &args.trace_out {

@@ -17,6 +17,9 @@
 //! * [`devmodel`] — device models: geometry-aware disks (seek curve,
 //!   rotational latency, extent layout), segmented network links, and
 //!   the SSTF/C-LOOK request schedulers.
+//! * [`faultkit`] — deterministic fault injection: seeded disk-error
+//!   bursts with retry-and-backoff, disk/node outage windows, and
+//!   network loss/delay with per-class retry budgets.
 //! * [`simkit`] — the deterministic discrete-event engine underneath.
 //! * [`lapobs`] — zero-overhead observability: typed simulation
 //!   events, the unified metrics registry, and the Chrome-trace
@@ -55,6 +58,7 @@
 
 pub use coopcache;
 pub use devmodel;
+pub use faultkit;
 pub use ioworkload;
 pub use lap_core;
 pub use lapobs;
@@ -67,6 +71,7 @@ pub mod prelude {
         CacheStats, CooperativeCache, LocalOnlyCache, PafsCache, Replacement, XfsCache,
     };
     pub use devmodel::{DiskGeometry, DiskModelKind, DiskSched, LinkModel, NetModelKind};
+    pub use faultkit::FaultPlan;
     pub use ioworkload::charisma::CharismaParams;
     pub use ioworkload::sprite::SpriteParams;
     pub use ioworkload::{BlockId, FileId, NodeId, Op, ProcId, Workload};

@@ -1,0 +1,170 @@
+//! Fault-injection guarantees at the whole-simulator level
+//! (DESIGN.md §10): an *active* fault plan keeps every determinism
+//! contract the clean simulator makes — tracing changes nothing,
+//! replay is bit-identical — while a *zero* plan is indistinguishable
+//! from having no fault layer at all; and the new span components
+//! (`span.retry_us`, `span.failover_us`) are populated exactly when
+//! faults are active, without ever breaking the ten-component sum.
+
+use std::sync::Arc;
+
+use lap::lapobs::MetricValue;
+use lap::prelude::*;
+
+/// A PM config small enough to run in milliseconds but big enough to
+/// exercise remote hits, prefetching, write-backs and evictions.
+fn small_pm(pf: PrefetchConfig, cache_mb: u64) -> SimConfig {
+    let mut cfg = SimConfig::pm(CacheSystem::Pafs, pf, cache_mb);
+    cfg.machine.nodes = 8;
+    cfg.machine.disks = 4;
+    cfg
+}
+
+fn small_workload(seed: u64) -> Workload {
+    let mut params = CharismaParams::small();
+    params.nodes = 8;
+    params.generate(seed)
+}
+
+/// The `experiments faults` "heavy" plan: transient errors with
+/// bursts, disk and node outage windows, network loss and delay.
+fn heavy_plan() -> FaultPlan {
+    FaultPlan::parse(
+        "seed=7,disk-error=0.02,disk-retries=5,backoff-ms=5,burst=10:2,\
+         outage=30:3,node-outage=45:5,net-loss=0.02,net-delay=0.05:2",
+    )
+    .unwrap()
+}
+
+fn hist(report: &SimReport, key: &str) -> (u64, f64) {
+    match report.obs.get(key) {
+        Some(MetricValue::Histogram(h)) => (h.count, h.total_us),
+        other => panic!("{key}: expected a histogram, got {other:?}"),
+    }
+}
+
+/// The zero-overhead tracing contract survives fault injection: a
+/// `TraceRecorder` run under an active plan produces the same
+/// `SimReport` (every metric, via `PartialEq`) as the no-op run.
+#[test]
+fn tracing_does_not_change_faulted_results() {
+    let wl = Arc::new(small_workload(42));
+    let mut cfg = small_pm(PrefetchConfig::ln_agr_is_ppm(1), 1);
+    cfg.fault_plan = Some(heavy_plan());
+
+    let baseline = Simulation::with_recorder(cfg.clone(), Arc::clone(&wl), NoopRecorder).run();
+    let (traced, rec) = Simulation::with_recorder(cfg, wl, TraceRecorder::new()).run_traced();
+
+    assert!(
+        baseline.faults_injected > 0,
+        "plan inert — the A/B says nothing"
+    );
+    assert_eq!(baseline, traced, "tracing perturbed a faulted simulation");
+    assert!(!rec.is_empty(), "the traced run captured no events");
+}
+
+/// Same seed, same plan, same report — the fault layer draws from its
+/// own seeded stream and from simulated time only, so a faulted run
+/// replays bit-identically.
+#[test]
+fn faulted_runs_replay_bit_identically() {
+    let wl = small_workload(42);
+    let mut cfg = small_pm(PrefetchConfig::ln_agr_oba(), 2);
+    cfg.fault_plan = Some(heavy_plan());
+
+    let a = run_simulation(cfg.clone(), wl.clone());
+    let b = run_simulation(cfg, wl);
+    assert!(
+        a.faults_injected > 0,
+        "plan inert — replay check is vacuous"
+    );
+    assert_eq!(a, b, "same (workload, config, plan) must replay exactly");
+}
+
+/// A plan with no fault sources — whether `FaultPlan::default()` or a
+/// parsed spec that only sets a seed — must be indistinguishable from
+/// `fault_plan: None`: every injection site short-circuits and the
+/// report is equal down to the last bit of the registry.
+#[test]
+fn zero_fault_plan_is_identical_to_no_plan() {
+    let wl = small_workload(42);
+    let cfg = small_pm(PrefetchConfig::ln_agr_is_ppm(1), 1);
+
+    let clean = run_simulation(cfg.clone(), wl.clone());
+
+    for plan in [FaultPlan::default(), FaultPlan::parse("seed=9").unwrap()] {
+        assert!(plan.is_empty(), "these plans must carry no fault sources");
+        let mut faulted_cfg = cfg.clone();
+        faulted_cfg.fault_plan = Some(plan);
+        let zero = run_simulation(faulted_cfg, wl.clone());
+        assert_eq!(
+            clean.avg_read_ms.to_bits(),
+            zero.avg_read_ms.to_bits(),
+            "zero-fault read time drifted"
+        );
+        assert_eq!(clean, zero, "zero-fault plan perturbed the simulation");
+    }
+    assert_eq!(clean.faults_injected, 0);
+    assert_eq!(clean.failovers, 0);
+    assert_eq!(clean.degraded_s, 0.0);
+}
+
+/// Span attribution under stress: the retry and failover components
+/// cover every post-warmup read (schema: count == reads even when the
+/// value is zero), are nonzero exactly when the plan is active, and
+/// the ten components still sum to the mean read time — faults are
+/// attributed, never lost or invented. Demand reads themselves are
+/// neither lost nor double counted.
+#[test]
+fn retry_and_failover_are_attributed_exactly() {
+    const SPAN_KEYS: [&str; 10] = [
+        "span.cache_lookup_us",
+        "span.queue_us",
+        "span.failover_us",
+        "span.seek_us",
+        "span.rotation_us",
+        "span.disk_transfer_us",
+        "span.retry_us",
+        "span.coordination_us",
+        "span.network_us",
+        "span.transfer_us",
+    ];
+
+    let wl = small_workload(42);
+    let cfg = small_pm(PrefetchConfig::ln_agr_is_ppm(1), 1);
+    let clean = run_simulation(cfg.clone(), wl.clone());
+    let mut faulted_cfg = cfg;
+    faulted_cfg.fault_plan = Some(heavy_plan());
+    let faulted = run_simulation(faulted_cfg, wl);
+
+    // No read lost to an aborted job, none double counted by a reissue.
+    assert_eq!(clean.reads, faulted.reads, "fault plan changed read count");
+    assert_eq!(clean.writes, faulted.writes, "fault plan changed writes");
+
+    for (report, active) in [(&clean, false), (&faulted, true)] {
+        let mut sum_us = 0.0;
+        for key in SPAN_KEYS {
+            let (count, total_us) = hist(report, key);
+            assert_eq!(count, report.reads, "{key} must cover every read");
+            sum_us += total_us;
+        }
+        let sum_ms = sum_us / 1e3 / report.reads as f64;
+        assert!(
+            (sum_ms - report.avg_read_ms).abs() <= 1e-3_f64.max(report.avg_read_ms * 1e-3),
+            "components sum to {sum_ms} ms but reads averaged {} ms (faults: {active})",
+            report.avg_read_ms
+        );
+
+        let (_, retry_us) = hist(report, "span.retry_us");
+        let (_, failover_us) = hist(report, "span.failover_us");
+        if active {
+            assert!(report.faults_injected > 0, "heavy plan injected nothing");
+            assert!(retry_us > 0.0, "injected retries left no span.retry_us");
+            assert!(failover_us > 0.0, "outage windows left no span.failover_us");
+            assert!(report.degraded_s > 0.0, "node outages left no residency");
+        } else {
+            assert_eq!(retry_us, 0.0, "clean run accrued retry time");
+            assert_eq!(failover_us, 0.0, "clean run accrued failover time");
+        }
+    }
+}
