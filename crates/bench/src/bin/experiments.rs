@@ -22,7 +22,7 @@ use devmodel::DiskSched;
 use faultkit::FaultPlan;
 use lap_core::{run_simulation, CacheSystem, MachineConfig, PrefetchGranularity, Replacement};
 use lapobs::MetricValue;
-use prefetch::{AggressiveLimit, EdgeChoice, PrefetchConfig};
+use prefetch::{AggressiveLimit, EdgeChoice, PredictorSpec, PrefetchConfig};
 
 struct Options {
     ids: Vec<String>,
@@ -32,6 +32,8 @@ struct Options {
     threads: usize,
     obs: bool,
     bench_out: Option<PathBuf>,
+    /// Restrict the `predictors` ablation to one registry spec.
+    predictor: Option<PredictorSpec>,
 }
 
 fn parse_args() -> Options {
@@ -43,6 +45,7 @@ fn parse_args() -> Options {
         threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
         obs: false,
         bench_out: None,
+        predictor: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -57,7 +60,24 @@ fn parse_args() -> Options {
                     "devmodel".into(),
                     "extent".into(),
                     "faults".into(),
+                    "predictors".into(),
                 ];
+            }
+            "--predictor" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!("--predictor needs a registry SPEC");
+                    eprint!("{}", prefetch::registry_help());
+                    std::process::exit(2);
+                });
+                match PredictorSpec::parse(&spec) {
+                    Ok(s) => opts.predictor = Some(s),
+                    Err(e) => {
+                        // The error's Display carries the full registry
+                        // listing (names, syntax, examples).
+                        eprint!("bad --predictor: {e}");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--scale" => {
                 opts.scale = match args.next().as_deref() {
@@ -116,11 +136,14 @@ fn print_help() {
     eprintln!(
         "usage: experiments <ids...> [--scale small|paper] [--seed N] [--out DIR] [--threads N] [--obs] [--smoke]"
     );
-    eprintln!("  --smoke  CI sanity mode: runs table1 + devmodel + extent + faults at small scale");
+    eprintln!(
+        "  --smoke  CI sanity mode: runs table1 + devmodel + extent + faults + predictors at small scale"
+    );
     eprintln!("  --bench-out FILE  write a machine-readable BENCH.json snapshot of the");
     eprintln!("                    seed scenarios (diff with `lapreport bench-diff`)");
+    eprintln!("  --predictor SPEC  restrict the predictors ablation to one registry spec");
     eprintln!(
-        "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, devmodel, extent, faults, or any of:"
+        "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, devmodel, extent, faults, predictors, or any of:"
     );
     for e in EXPERIMENTS {
         eprintln!("  {:<8} {}", e.id, e.title);
@@ -145,6 +168,7 @@ fn main() {
             ids.push("devmodel".into());
             ids.push("extent".into());
             ids.push("faults".into());
+            ids.push("predictors".into());
         } else {
             ids.push(id.clone());
         }
@@ -161,6 +185,7 @@ fn main() {
             "devmodel" => devmodel_ablation(&opts),
             "extent" => extent_ablation(&opts),
             "faults" => faults_ablation(&opts),
+            "predictors" => predictors_ablation(&opts),
             id => {
                 let Some(exp) = experiment(id) else {
                     eprintln!("unknown experiment {id:?}");
@@ -856,6 +881,176 @@ fn faults_ablation(opts: &Options) {
     if let Some(dir) = &opts.out {
         let path = dir.join("faults.csv");
         fs::write(&path, csv).expect("write faults CSV");
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Predictor-zoo ablation: every registry predictor under every
+/// aggressiveness mode (none / Ln_Agr:1..3 / unlimited) on both
+/// workloads, scored with the span model's coverage, accuracy, and
+/// timeliness plus the `pred.*` table-size and emit counters. The NP
+/// baseline anchors each workload. Degeneracy checks:
+///
+/// * every cell is finite and serves real reads;
+/// * NP never covers a read and never emits a prediction;
+/// * the MITHRIL miner actually mines associations on both workloads;
+/// * at least one aggressive MITHRIL cell covers reads.
+fn predictors_ablation(opts: &Options) {
+    let workloads: [(&str, WorkloadKind, CacheSystem, u64); 2] = [
+        (
+            "charisma/pafs/4MB",
+            WorkloadKind::CharismaPm,
+            CacheSystem::Pafs,
+            4,
+        ),
+        (
+            "sprite/xfs/2MB",
+            WorkloadKind::SpriteNow,
+            CacheSystem::Xfs,
+            2,
+        ),
+    ];
+    let all_specs = [
+        "oba",
+        "is_ppm:1",
+        "is_ppm:3",
+        "markov:1",
+        "markov:2",
+        "mithril",
+        "mithril+oba",
+    ];
+    let specs: Vec<PredictorSpec> = match &opts.predictor {
+        Some(s) => vec![*s],
+        None => all_specs
+            .iter()
+            .map(|s| PredictorSpec::parse(s).expect("ablation spec parses"))
+            .collect(),
+    };
+    let modes: [(&str, Option<AggressiveLimit>); 5] = [
+        ("simple", None),
+        ("Ln_Agr:1", Some(AggressiveLimit::One)),
+        ("Ln_Agr:2", Some(AggressiveLimit::Window(2))),
+        ("Ln_Agr:3", Some(AggressiveLimit::Window(3))),
+        ("Agr", Some(AggressiveLimit::Unlimited)),
+    ];
+    println!(
+        "predictors — registry predictors × aggressiveness × workload, span-model scoring \
+         (seed {}, scale {:?})",
+        opts.seed, opts.scale
+    );
+    println!(
+        "{:<18} {:<14} {:<9} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6}",
+        "workload",
+        "predictor",
+        "mode",
+        "read ms",
+        "cov%",
+        "acc%",
+        "tml%",
+        "table",
+        "emits",
+        "mined"
+    );
+    let counter = |r: &lap_core::SimReport, key: &str| match r.obs.get(key) {
+        Some(MetricValue::Counter(v)) => *v,
+        _ => 0,
+    };
+    let gauge = |r: &lap_core::SimReport, key: &str| match r.obs.get(key) {
+        Some(MetricValue::Gauge(v)) => *v,
+        _ => 0.0,
+    };
+    let mut csv = String::from(
+        "workload,predictor,mode,read_ms,coverage,accuracy,timeliness,table_size,emits,mined\n",
+    );
+    let mut saw_mithril = false;
+    let mut mithril_covered = false;
+    for (wl_name, kind, system, mb) in workloads {
+        let wl = build_workload(kind, opts.scale, opts.seed);
+        let mut rows: Vec<(String, String, PrefetchConfig)> =
+            vec![("np".into(), "-".into(), PrefetchConfig::np())];
+        for spec in &specs {
+            for (mode_name, aggressive) in modes {
+                rows.push((
+                    spec.canonical(),
+                    mode_name.into(),
+                    PrefetchConfig::with_predictor(spec.kind, aggressive),
+                ));
+            }
+        }
+        for (pred_name, mode_name, pf) in rows {
+            let cfg = build_config(kind, opts.scale, system, pf, mb);
+            let r = run_simulation(cfg, wl.clone());
+            assert!(
+                r.avg_read_ms.is_finite() && r.avg_read_ms > 0.0 && r.reads > 0,
+                "degenerate predictors cell: {wl_name} {pred_name} {mode_name}"
+            );
+            let covered = counter(&r, "span.outcome_covered_by_prefetch") as f64;
+            let late = counter(&r, "span.outcome_late_prefetch") as f64;
+            let used = (counter(&r, "cache.prefetch_used")
+                + counter(&r, "prefetch.absorbed_in_flight")) as f64;
+            let wasted = counter(&r, "cache.prefetch_wasted") as f64;
+            let coverage = (covered + late) / r.reads.max(1) as f64;
+            let accuracy = if used + wasted == 0.0 {
+                0.0
+            } else {
+                used / (used + wasted)
+            };
+            let timeliness = if covered + late == 0.0 {
+                0.0
+            } else {
+                covered / (covered + late)
+            };
+            let table = gauge(&r, "pred.table_size");
+            let emits = counter(&r, "pred.emits");
+            let mined = counter(&r, "pred.mined");
+            if pred_name == "np" {
+                assert_eq!(
+                    (coverage, emits),
+                    (0.0, 0),
+                    "NP covered reads or emitted predictions on {wl_name}"
+                );
+            }
+            if pred_name.starts_with("mithril") {
+                saw_mithril = true;
+                assert!(
+                    mined > 0,
+                    "MITHRIL mined no associations: {wl_name} {mode_name}"
+                );
+                if mode_name != "simple" && coverage > 0.0 {
+                    mithril_covered = true;
+                }
+            }
+            println!(
+                "{:<18} {:<14} {:<9} {:>8.3} {:>6.2} {:>6.2} {:>6.2} {:>7.0} {:>7} {:>6}",
+                wl_name,
+                pred_name,
+                mode_name,
+                r.avg_read_ms,
+                coverage * 100.0,
+                accuracy * 100.0,
+                timeliness * 100.0,
+                table,
+                emits,
+                mined
+            );
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                csv,
+                "{wl_name},{pred_name},{mode_name},{:.6},{:.6},{:.6},{:.6},{:.0},{emits},{mined}",
+                r.avg_read_ms, coverage, accuracy, timeliness, table
+            );
+        }
+    }
+    if saw_mithril {
+        assert!(
+            mithril_covered,
+            "no aggressive MITHRIL cell covered a single read on either workload"
+        );
+    }
+    println!();
+    if let Some(dir) = &opts.out {
+        let path = dir.join("predictors.csv");
+        fs::write(&path, csv).expect("write predictors CSV");
         println!("wrote {}", path.display());
     }
 }

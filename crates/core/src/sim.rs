@@ -1639,6 +1639,22 @@ impl<R: Recorder> Simulation<R> {
                 obs.gauge(format!("fault.node{n}.degraded_s"), s);
             }
         }
+        // Predictor-registry metrics, summed over the per-file
+        // predictors in integers (commutative, so the engine map's
+        // iteration order cannot leak into results).
+        let (mut pred_emits, mut pred_hits, mut pred_table, mut pred_mined) = (0u64, 0, 0, 0);
+        for engine in self.engines.values() {
+            let p = engine.predictor();
+            pred_emits += p.emits();
+            pred_hits += p.hits();
+            pred_table += p.table_size();
+            pred_mined += p.mined();
+        }
+        obs.counter("pred.emits", pred_emits);
+        obs.counter("pred.hits", pred_hits);
+        obs.counter("pred.mined", pred_mined);
+        obs.gauge("pred.table_size", pred_table as f64);
+        obs.text("pred.name", self.config.prefetch.predictor_name());
         obs.gauge("sim.disk_utilization", disk_utilization);
         obs.gauge("sim.mispredict_ratio", mispredict_ratio);
         obs.gauge("sim.seconds", end.as_secs_f64());

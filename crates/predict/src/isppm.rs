@@ -81,7 +81,7 @@ struct Node {
 /// the current one and the size says how many blocks it will touch.
 ///
 /// ```
-/// use prefetch::{IsPpm, Request};
+/// use predict::{IsPpm, Request};
 ///
 /// // A 16-block stride with 4-block requests:
 /// let mut ppm = IsPpm::new(1);

@@ -9,7 +9,7 @@ use crate::request::Request;
 /// For a multi-block request the candidate is the block following the
 /// last touched block. OBA is deliberately conservative: exactly one
 /// block per demand request. Its aggressive extension (§3.1) keeps
-/// stepping sequentially to end-of-file, which [`crate::FilePrefetcher`]
+/// stepping sequentially to end-of-file, which the prefetch engine
 /// implements by repeatedly asking for the next sequential block.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Oba {

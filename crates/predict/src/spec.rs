@@ -1,0 +1,395 @@
+//! The predictor registry: [`AlgorithmKind`] names every predictor the
+//! zoo knows, and [`PredictorSpec`] parses/prints the CLI spelling of
+//! one (`is_ppm:3`, `markov:2`, `mithril+oba`, …).
+
+use std::fmt;
+
+/// Default MITHRIL lookahead-window length, in observed blocks.
+pub const MITHRIL_LOOKAHEAD: usize = 16;
+
+/// Default MITHRIL minimum association support (an `a → b` rule must
+/// have been mined at least this often before it may be emitted).
+pub const MITHRIL_MIN_SUPPORT: u32 = 2;
+
+/// Which base predictor drives prefetching.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AlgorithmKind {
+    /// No prefetching at all (the paper's `NP` baseline).
+    None,
+    /// One Block Ahead (§2.1).
+    Oba,
+    /// Interval-and-Size PPM of the given order (§2.2), with OBA
+    /// fallback during cold start.
+    IsPpm {
+        /// Markov order `j` (the paper evaluates 1 and 3).
+        order: usize,
+    },
+    /// IS_PPM with classic PPM order back-off (extension): maintain
+    /// every order `1..=order` and predict with the highest one that
+    /// knows the current context, escaping downwards instead of
+    /// falling straight back to OBA.
+    IsPpmBackoff {
+        /// Highest Markov order maintained.
+        order: usize,
+    },
+    /// Per-file block-granular Markov chain of the given order
+    /// (extension): transition counts over raw block numbers with
+    /// deterministic (count, recency, block) tie-breaking.
+    Markov {
+        /// Context length in blocks (1 or 2).
+        order: usize,
+        /// Fall back to OBA when the chain has no prediction.
+        fallback: bool,
+    },
+    /// MITHRIL-style association miner (extension): a timestamped
+    /// lookahead window mines block→block association rules; prediction
+    /// emits a ranked candidate *set*, not a linear chain.
+    Mithril {
+        /// Lookahead-window length, in observed blocks.
+        lookahead: usize,
+        /// Minimum support before an association may be emitted.
+        min_support: u32,
+        /// Fall back to OBA when no association qualifies.
+        fallback: bool,
+    },
+}
+
+/// A parsed predictor specification — the registry entry selected by a
+/// CLI string such as `is_ppm:3` or `mithril+oba`.
+///
+/// `parse` and [`canonical`](Self::canonical) round-trip:
+///
+/// ```
+/// use predict::PredictorSpec;
+/// let spec = PredictorSpec::parse("markov:2+oba").unwrap();
+/// assert_eq!(spec.canonical(), "markov:2+oba");
+/// assert_eq!(PredictorSpec::parse(&spec.canonical()).unwrap(), spec);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PredictorSpec {
+    /// The algorithm this spec selects.
+    pub kind: AlgorithmKind,
+}
+
+/// The rejection of a predictor spec string. Its `Display` includes the
+/// full registry listing so CLI users see every valid name and an
+/// example spelling on failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    spec: String,
+}
+
+impl SpecError {
+    /// The rejected input string.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "unknown predictor spec {:?}", self.spec)?;
+        f.write_str(&registry_help())
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Registry rows: name, parameter syntax, one-line description, example.
+const REGISTRY: &[(&str, &str, &str)] = &[
+    ("np", "np", "no prefetching (baseline)"),
+    ("oba", "oba", "one block ahead (§2.1)"),
+    (
+        "is_ppm",
+        "is_ppm[:J]",
+        "interval/size PPM of order J (default 1), OBA fallback built in",
+    ),
+    (
+        "is_ppm_backoff",
+        "is_ppm_backoff[:J]",
+        "IS_PPM with escape to lower orders 1..=J",
+    ),
+    (
+        "markov",
+        "markov[:J][+oba]",
+        "block-Markov chain, context of J in {1,2} blocks (default 1)",
+    ),
+    (
+        "mithril",
+        "mithril[:W[,S]][+oba]",
+        "association miner, lookahead W >= 2 (default 16), min support S >= 1 (default 2)",
+    ),
+];
+
+/// The registry listing shown on parse errors and in `--help` output:
+/// every valid predictor name with its parameter syntax and example
+/// specs.
+pub fn registry_help() -> String {
+    use std::fmt::Write;
+    let mut out = String::from("valid predictor specs:\n");
+    for (_, syntax, desc) in REGISTRY {
+        writeln!(out, "    {syntax:<22} {desc}").unwrap();
+    }
+    out.push_str("  a trailing +oba adds the OBA cold-start fallback (markov, mithril)\n");
+    out.push_str("  examples: is_ppm:3  markov:2  mithril  mithril:32,3+oba\n");
+    out
+}
+
+impl PredictorSpec {
+    /// Wrap an algorithm as a spec.
+    pub const fn new(kind: AlgorithmKind) -> Self {
+        PredictorSpec { kind }
+    }
+
+    /// Parse a CLI predictor spec. See [`registry_help`] for the
+    /// accepted grammar.
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        let err = || SpecError {
+            spec: s.to_string(),
+        };
+        let (body, fallback) = match s.strip_suffix("+oba") {
+            Some(b) => (b, true),
+            None => (s, false),
+        };
+        let (base, params) = match body.split_once(':') {
+            Some((b, p)) => (b, Some(p)),
+            None => (body, None),
+        };
+        let kind = match base {
+            "np" | "oba" => {
+                // No parameters, and a +oba fallback makes no sense on
+                // NP (it would prefetch) or OBA (it *is* OBA).
+                if params.is_some() || fallback {
+                    return Err(err());
+                }
+                if base == "np" {
+                    AlgorithmKind::None
+                } else {
+                    AlgorithmKind::Oba
+                }
+            }
+            "is_ppm" | "is_ppm_backoff" => {
+                // The paper's IS_PPM builds the OBA fallback in; accept
+                // the explicit +oba spelling as the same thing.
+                let order = match params {
+                    Some(p) => p
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&j| j >= 1)
+                        .ok_or_else(err)?,
+                    None => 1,
+                };
+                if base == "is_ppm" {
+                    AlgorithmKind::IsPpm { order }
+                } else {
+                    AlgorithmKind::IsPpmBackoff { order }
+                }
+            }
+            "markov" => {
+                let order = match params {
+                    Some(p) => p
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&j| (1..=2).contains(&j))
+                        .ok_or_else(err)?,
+                    None => 1,
+                };
+                AlgorithmKind::Markov { order, fallback }
+            }
+            "mithril" => {
+                let (lookahead, min_support) = match params {
+                    Some(p) => {
+                        let (w, s) = match p.split_once(',') {
+                            Some((w, s)) => (
+                                w.parse::<usize>().ok().ok_or_else(err)?,
+                                s.parse::<u32>().ok().ok_or_else(err)?,
+                            ),
+                            None => (
+                                p.parse::<usize>().ok().ok_or_else(err)?,
+                                MITHRIL_MIN_SUPPORT,
+                            ),
+                        };
+                        if w < 2 || s < 1 {
+                            return Err(err());
+                        }
+                        (w, s)
+                    }
+                    None => (MITHRIL_LOOKAHEAD, MITHRIL_MIN_SUPPORT),
+                };
+                AlgorithmKind::Mithril {
+                    lookahead,
+                    min_support,
+                    fallback,
+                }
+            }
+            _ => return Err(err()),
+        };
+        Ok(PredictorSpec { kind })
+    }
+
+    /// The canonical spelling of this spec — parsing it yields back the
+    /// same spec (`parse(canonical()) == self`).
+    pub fn canonical(&self) -> String {
+        match self.kind {
+            AlgorithmKind::None => "np".to_string(),
+            AlgorithmKind::Oba => "oba".to_string(),
+            AlgorithmKind::IsPpm { order } => format!("is_ppm:{order}"),
+            AlgorithmKind::IsPpmBackoff { order } => format!("is_ppm_backoff:{order}"),
+            AlgorithmKind::Markov { order, fallback } => {
+                format!("markov:{order}{}", if fallback { "+oba" } else { "" })
+            }
+            AlgorithmKind::Mithril {
+                lookahead,
+                min_support,
+                fallback,
+            } => format!(
+                "mithril:{lookahead},{min_support}{}",
+                if fallback { "+oba" } else { "" }
+            ),
+        }
+    }
+}
+
+impl fmt::Display for PredictorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_registry_name() {
+        for (spec, kind) in [
+            ("np", AlgorithmKind::None),
+            ("oba", AlgorithmKind::Oba),
+            ("is_ppm", AlgorithmKind::IsPpm { order: 1 }),
+            ("is_ppm:3", AlgorithmKind::IsPpm { order: 3 }),
+            ("is_ppm_backoff", AlgorithmKind::IsPpmBackoff { order: 1 }),
+            ("is_ppm_backoff:2", AlgorithmKind::IsPpmBackoff { order: 2 }),
+            (
+                "markov",
+                AlgorithmKind::Markov {
+                    order: 1,
+                    fallback: false,
+                },
+            ),
+            (
+                "markov:2",
+                AlgorithmKind::Markov {
+                    order: 2,
+                    fallback: false,
+                },
+            ),
+            (
+                "markov:2+oba",
+                AlgorithmKind::Markov {
+                    order: 2,
+                    fallback: true,
+                },
+            ),
+            (
+                "mithril",
+                AlgorithmKind::Mithril {
+                    lookahead: MITHRIL_LOOKAHEAD,
+                    min_support: MITHRIL_MIN_SUPPORT,
+                    fallback: false,
+                },
+            ),
+            (
+                "mithril:32",
+                AlgorithmKind::Mithril {
+                    lookahead: 32,
+                    min_support: MITHRIL_MIN_SUPPORT,
+                    fallback: false,
+                },
+            ),
+            (
+                "mithril:32,3+oba",
+                AlgorithmKind::Mithril {
+                    lookahead: 32,
+                    min_support: 3,
+                    fallback: true,
+                },
+            ),
+        ] {
+            assert_eq!(PredictorSpec::parse(spec).unwrap().kind, kind, "{spec}");
+        }
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        for spec in [
+            "np",
+            "oba",
+            "is_ppm:1",
+            "is_ppm:3",
+            "is_ppm_backoff:2",
+            "markov:1",
+            "markov:2+oba",
+            "mithril:16,2",
+            "mithril:32,3+oba",
+        ] {
+            let parsed = PredictorSpec::parse(spec).unwrap();
+            assert_eq!(parsed.canonical(), spec);
+            assert_eq!(PredictorSpec::parse(&parsed.canonical()).unwrap(), parsed);
+        }
+        // Defaulted parameters print explicitly in canonical form.
+        assert_eq!(
+            PredictorSpec::parse("is_ppm").unwrap().canonical(),
+            "is_ppm:1"
+        );
+        assert_eq!(
+            PredictorSpec::parse("markov").unwrap().canonical(),
+            "markov:1"
+        );
+        assert_eq!(
+            PredictorSpec::parse("mithril").unwrap().canonical(),
+            "mithril:16,2"
+        );
+        // IS_PPM has the OBA fallback built in: +oba is the same spec.
+        assert_eq!(
+            PredictorSpec::parse("is_ppm:3"),
+            PredictorSpec::parse("is_ppm:3+oba")
+        );
+    }
+
+    #[test]
+    fn rejections() {
+        for bad in [
+            "",
+            "wizardry",
+            "np:1",
+            "np+oba",
+            "oba:2",
+            "oba+oba",
+            "is_ppm:0",
+            "is_ppm:x",
+            "markov:0",
+            "markov:3",
+            "markov:",
+            "mithril:1",
+            "mithril:8,0",
+            "mithril:a,b",
+            "mithril:,",
+            "+oba",
+        ] {
+            let e = PredictorSpec::parse(bad).unwrap_err();
+            assert_eq!(e.spec(), bad);
+            let msg = e.to_string();
+            assert!(msg.contains("unknown predictor spec"), "{bad}: {msg}");
+            assert!(msg.contains("mithril[:W[,S]][+oba]"), "{bad}: {msg}");
+        }
+    }
+
+    #[test]
+    fn registry_help_lists_every_name() {
+        let help = registry_help();
+        for (name, ..) in REGISTRY {
+            assert!(help.contains(name), "registry help misses {name}");
+        }
+        assert!(help.contains("examples:"));
+    }
+}

@@ -3,30 +3,8 @@
 
 use std::fmt;
 
-use crate::isppm::EdgeChoice;
-
-/// Which base predictor drives prefetching.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum AlgorithmKind {
-    /// No prefetching at all (the paper's `NP` baseline).
-    None,
-    /// One Block Ahead (§2.1).
-    Oba,
-    /// Interval-and-Size PPM of the given order (§2.2), with OBA
-    /// fallback during cold start.
-    IsPpm {
-        /// Markov order `j` (the paper evaluates 1 and 3).
-        order: usize,
-    },
-    /// IS_PPM with classic PPM order back-off (extension): maintain
-    /// every order `1..=order` and predict with the highest one that
-    /// knows the current context, escaping downwards instead of
-    /// falling straight back to OBA.
-    IsPpmBackoff {
-        /// Highest Markov order maintained.
-        order: usize,
-    },
-}
+pub use predict::AlgorithmKind;
+use predict::{EdgeChoice, PredictorSpec};
 
 /// Cap on how many prefetched blocks of one file may be in flight at
 /// once when running aggressively (§3.2).
@@ -154,6 +132,25 @@ impl PrefetchConfig {
         }
     }
 
+    /// Any registry predictor with an optional aggressive driver —
+    /// the generic constructor behind `lapsim --predictor` and the
+    /// predictor-zoo ablation.
+    pub const fn with_predictor(kind: AlgorithmKind, aggressive: Option<AggressiveLimit>) -> Self {
+        PrefetchConfig {
+            algorithm: kind,
+            aggressive,
+            edge_choice: EdgeChoice::MostRecent,
+            lead_cap: Some(DEFAULT_LEAD_CAP),
+        }
+    }
+
+    /// The canonical registry spelling of this configuration's
+    /// predictor (`is_ppm:1`, `mithril:16,2+oba`, …) — what the
+    /// `pred.name` registry row reports.
+    pub fn predictor_name(&self) -> String {
+        PredictorSpec::new(self.algorithm).canonical()
+    }
+
     /// The seven configurations of the paper's evaluation, in the order
     /// the figures list them.
     pub fn paper_suite() -> [PrefetchConfig; 7] {
@@ -186,6 +183,12 @@ impl PrefetchConfig {
             AlgorithmKind::Oba => "OBA".to_string(),
             AlgorithmKind::IsPpm { order } => format!("IS_PPM:{order}"),
             AlgorithmKind::IsPpmBackoff { order } => format!("IS_PPM*:{order}"),
+            AlgorithmKind::Markov { order, fallback } => {
+                format!("MARKOV:{order}{}", if fallback { "+OBA" } else { "" })
+            }
+            AlgorithmKind::Mithril { fallback, .. } => {
+                format!("MITHRIL{}", if fallback { "+OBA" } else { "" })
+            }
         };
         match self.aggressive {
             None => base,
@@ -255,6 +258,37 @@ mod tests {
         assert_eq!(
             PrefetchConfig::ln_agr_is_ppm_backoff(2).paper_name(),
             "Ln_Agr_IS_PPM*:2"
+        );
+    }
+
+    #[test]
+    fn zoo_names() {
+        let markov = PrefetchConfig::with_predictor(
+            AlgorithmKind::Markov {
+                order: 2,
+                fallback: true,
+            },
+            Some(AggressiveLimit::One),
+        );
+        assert_eq!(markov.paper_name(), "Ln_Agr_MARKOV:2+OBA");
+        assert_eq!(markov.predictor_name(), "markov:2+oba");
+        let mithril = PrefetchConfig::with_predictor(
+            AlgorithmKind::Mithril {
+                lookahead: 16,
+                min_support: 2,
+                fallback: false,
+            },
+            None,
+        );
+        assert_eq!(mithril.paper_name(), "MITHRIL");
+        assert_eq!(mithril.predictor_name(), "mithril:16,2");
+        // The generic constructor reproduces the named ones exactly.
+        assert_eq!(
+            PrefetchConfig::with_predictor(
+                AlgorithmKind::IsPpm { order: 1 },
+                Some(AggressiveLimit::One)
+            ),
+            PrefetchConfig::ln_agr_is_ppm(1)
         );
     }
 

@@ -4,9 +4,9 @@ use std::collections::{HashSet, VecDeque};
 
 use lapobs::{Event, NoopRecorder, Obs, Recorder, WalkStopReason, NO_RID};
 
-use crate::config::{AlgorithmKind, PrefetchConfig};
-use crate::predictor::{FilePredictor, PredictionSource, Walk};
-use crate::request::Request;
+use predict::{AlgorithmKind, FilePredictor, PredictionSource, Request, Walk};
+
+use crate::config::PrefetchConfig;
 use crate::stats::PrefetchStats;
 
 /// Per-file prefetch driver implementing §3 of the paper.
@@ -611,6 +611,100 @@ mod tests {
             vec![19, 20, 21, 24, 25, 27, 28, 29, 32, 33, 35, 36, 37]
         );
         assert_eq!(pf.stats().walk_stops, 1);
+    }
+
+    /// Train a MITHRIL predictor on three blocks recurring together:
+    /// the candidate set of block 10 becomes {90, 40} (equal support,
+    /// 90 reinforced earlier — the nearer successor in the stream).
+    fn trained_mithril(aggressive: Option<AggressiveLimit>) -> FilePrefetcher {
+        let cfg = PrefetchConfig::with_predictor(
+            AlgorithmKind::Mithril {
+                lookahead: 3,
+                min_support: 2,
+                fallback: false,
+            },
+            aggressive,
+        );
+        let mut pf = FilePrefetcher::new(cfg, 1000);
+        for b in [10, 90, 40, 10, 90, 40, 10] {
+            pf.on_demand(Request::new(b, 1));
+        }
+        pf
+    }
+
+    #[test]
+    fn mithril_candidates_burn_one_linear_unit_each() {
+        let mut pf = trained_mithril(Some(AggressiveLimit::One));
+        // The ranked set {90, 40} is unordered prediction, not a chain:
+        // the linear limit still admits exactly one candidate at a time.
+        assert_eq!(pf.next_block(|_| false), Some(90));
+        assert_eq!(pf.next_block(|_| false), None, "one unit per candidate");
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_block(|_| false), Some(40));
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_block(|_| false), None, "candidate set exhausted");
+        assert_eq!(pf.predictor().emits(), pf.predictor().hits());
+        assert!(pf.predictor().mined() > 0);
+    }
+
+    #[test]
+    fn extent_mode_does_not_batch_scattered_candidates() {
+        let mut pf = trained_mithril(Some(AggressiveLimit::One));
+        // Candidates 90 and 40 are not contiguous: even with 8-block
+        // extents every batch degenerates to a single block.
+        assert_eq!(pf.next_extent(8, |_| false), Some((90, 1)));
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_extent(8, |_| false), Some((40, 1)));
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_extent(8, |_| false), None);
+        assert_eq!(pf.stats().extent_batches, 2);
+        assert_eq!(pf.stats().extent_batched_blocks, 2);
+    }
+
+    #[test]
+    fn extent_mode_batches_contiguous_candidates() {
+        // Block 10 associates with the contiguous pair {16, 17}, with
+        // 16 outranking 17 (higher support): the walk emits 16 then 17
+        // and extent mode folds them into one two-block batch.
+        let cfg = PrefetchConfig::with_predictor(
+            AlgorithmKind::Mithril {
+                lookahead: 3,
+                min_support: 2,
+                fallback: false,
+            },
+            Some(AggressiveLimit::One),
+        );
+        let mut pf = FilePrefetcher::new(cfg, 1000);
+        for b in [10, 16, 17, 10, 16, 17, 10, 16, 10] {
+            pf.on_demand(Request::new(b, 1));
+        }
+        assert_eq!(pf.next_extent(8, |_| false), Some((16, 2)));
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_extent(8, |_| false), None);
+        assert_eq!(pf.stats().extent_batched_blocks, 2);
+    }
+
+    #[test]
+    fn markov_engine_prefetches_learned_cycle() {
+        let cfg = PrefetchConfig::with_predictor(
+            AlgorithmKind::Markov {
+                order: 1,
+                fallback: false,
+            },
+            Some(AggressiveLimit::One),
+        );
+        let mut pf = FilePrefetcher::new(cfg, 100);
+        for b in [0, 2, 4, 6, 0, 2, 4, 6, 0] {
+            pf.on_demand(Request::new(b, 1));
+        }
+        // The chain learned 0→2→4→6; OBA would have fetched block 1.
+        assert_eq!(pf.next_block(|_| false), Some(2));
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_block(|_| false), Some(4));
+        pf.on_prefetch_complete();
+        assert_eq!(pf.next_block(|_| false), Some(6));
+        assert!(pf.predictor().hits() >= 3);
+        assert!(pf.predictor().table_size() >= 4, "four learned transitions");
     }
 
     #[test]

@@ -5,27 +5,21 @@
 //! > T. Cortes, J. Labarta. *Linear Aggressive Prefetching: A Way to
 //! > Increase the Performance of Cooperative Caches.* IPPS 1999.
 //!
-//! as a pure, simulator-agnostic library. It contains:
+//! as a pure, simulator-agnostic library. The *predictors* themselves
+//! — [`Oba`], the [`IsPpm`] family, [`BlockMarkov`], [`Mithril`] and
+//! the unified [`FilePredictor`] with its registry ([`PredictorSpec`])
+//! — live in the `predict` crate and are re-exported here; this crate
+//! adds the engine:
 //!
-//! * [`Oba`] — the classic *One Block Ahead* predictor (§2.1): after a
-//!   request touching blocks `o..o+s`, block `o+s` is a prefetch
-//!   candidate.
-//! * [`IsPpm`] — the *Interval and Size* prediction-by-partial-match
-//!   predictor family (§2.2): a graph whose nodes hold the last `j`
-//!   *(offset-interval, request-size)* pairs and whose edges are
-//!   labelled with the time they were last followed. Prediction follows
-//!   the **most-recently-used** edge, not the most probable one, and
-//!   predicts both the *position* and the *size* of the next request, so
-//!   blocks never accessed before can still be predicted.
-//! * [`FilePredictor`] — an order-`j` predictor with the paper's OBA
-//!   fallback for the cold-start phase (§2.2), exposing the *walk*
-//!   cursor that aggressive prefetching needs.
 //! * [`FilePrefetcher`] — the per-file prefetch engine (§3): simple
 //!   (one prediction per demand request) or *aggressive* (keep walking
 //!   the prediction graph as if predicted requests had been issued,
 //!   restarting on a miss-prediction), with the *linear* aggressiveness
 //!   limit of **at most one in-flight prefetched block per file** — or,
-//!   for ablations, a `k`-block window or no limit at all.
+//!   for ablations, a `k`-block window or no limit at all. Predictors
+//!   that emit ranked candidate *sets* (MITHRIL) burn one limit unit
+//!   per issued candidate — the walk yields candidates one at a time —
+//!   and extent mode only batches candidates that stay contiguous.
 //!
 //! The engine is deliberately decoupled from any cache or disk model:
 //! the caller reports demand requests and prefetch completions, and the
@@ -57,21 +51,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-mod backoff;
 mod config;
 mod engine;
-mod isppm;
-mod oba;
-mod predictor;
 pub mod replay;
-mod request;
 mod stats;
 
-pub use backoff::BackoffIsPpm;
-pub use config::{AggressiveLimit, AlgorithmKind, PrefetchConfig, DEFAULT_LEAD_CAP};
+pub use config::{AggressiveLimit, PrefetchConfig, DEFAULT_LEAD_CAP};
 pub use engine::FilePrefetcher;
-pub use isppm::{EdgeChoice, IsPpm, Pair};
-pub use oba::Oba;
-pub use predictor::{FilePredictor, PredictionSource, Walk};
-pub use request::Request;
 pub use stats::PrefetchStats;
+// The predictors themselves live in the `predict` crate (the predictor
+// zoo); re-export the full surface so existing `prefetch::` users keep
+// compiling unchanged.
+pub use predict::{
+    registry_help, AlgorithmKind, BackoffIsPpm, BlockMarkov, EdgeChoice, FilePredictor, IsPpm,
+    Mithril, Oba, Pair, PredictionSource, PredictorSpec, Request, SpecError, Walk,
+};

@@ -17,9 +17,9 @@
 //! assert!(score.exact_accuracy() > 0.9);
 //! ```
 
+use predict::{FilePredictor, Request};
+
 use crate::config::PrefetchConfig;
-use crate::predictor::FilePredictor;
-use crate::request::Request;
 
 /// Outcome counts of an offline replay.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -14,14 +14,17 @@ run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --offline --workspace --all-targets
 run cargo test --offline --workspace
 
-# Experiment-harness smoke: table1 + the devmodel, extent, and faults
-# ablations at small scale. Catches panics and degenerate results the
-# unit tests can't — the binary asserts every cell is finite and did
-# real work, the extent ablation asserts block==extent for every
-# degenerate row (extent_blocks=1 or non-aggressive algorithm), and
-# the faults ablation runs all seven paper configurations under three
-# fault plans, asserting no demand read is lost or double-counted and
-# that the aggressive walkers stand down during error bursts. Also
+# Experiment-harness smoke: table1 + the devmodel, extent, faults, and
+# predictors ablations at small scale. Catches panics and degenerate
+# results the unit tests can't — the binary asserts every cell is
+# finite and did real work, the extent ablation asserts block==extent
+# for every degenerate row (extent_blocks=1 or non-aggressive
+# algorithm), the faults ablation runs all seven paper configurations
+# under three fault plans, asserting no demand read is lost or
+# double-counted and that the aggressive walkers stand down during
+# error bursts, and the predictors ablation runs the registry grid,
+# asserting NP covers nothing and the MITHRIL miner always mines and
+# (in at least one aggressive cell) covers reads. Also
 # regenerates the benchmark snapshot for the staleness gate below,
 # which doubles as two bit-identity gates: block-granularity (BENCH.json
 # predates the extent machinery) and zero-fault (it predates the fault
@@ -59,7 +62,7 @@ helps="$(./target/debug/lapsim --help 2>&1 || true)
 $(./target/debug/experiments --help 2>&1 || true)
 $(./target/debug/lapreport --help 2>&1 || true)
 $(./target/debug/lapgen --help 2>&1 || true)"
-known_other="--release --offline --workspace --all-targets --all --check --exit-code --bench --bin --example"
+known_other="--release --offline --workspace --all-targets --all --check --exit-code --bench --bin --example --test --nocapture"
 drift=0
 for f in $(grep -ohE -- '--[a-z][a-z-]+' DESIGN.md EXPERIMENTS.md README.md docs/CALIBRATION.md | sort -u); do
     case " $known_other " in *" $f "*) continue ;; esac

@@ -137,8 +137,20 @@ struct ConfigReport {
     accuracy: f64,
     timeliness: f64,
     late_slack_ms: f64,
+    pred: PredRow,
     faults: FaultRow,
     disks: Vec<DiskRow>,
+}
+
+/// The `pred.*` rows: the configured predictor's registry name and its
+/// model counters. Hard-failing like the fault block — every simulation
+/// exports the full schema (zeros for NP), so a missing key is drift.
+struct PredRow {
+    name: String,
+    table_size: u64,
+    emits: u64,
+    hits: u64,
+    mined: u64,
 }
 
 /// The `fault.*` counters (all-zero for fault-free runs — the schema
@@ -226,6 +238,14 @@ fn analyze(f: &MetricsFile) -> Result<ConfigReport, String> {
     };
     let late_slack_ms = f.num("prefetch.late_slack_us.mean_us")? / 1e3;
 
+    let pred = PredRow {
+        name: f.text("pred.name")?.to_string(),
+        table_size: f.num("pred.table_size")? as u64,
+        emits: f.num("pred.emits")? as u64,
+        hits: f.num("pred.hits")? as u64,
+        mined: f.num("pred.mined")? as u64,
+    };
+
     let mut node_degraded_s = Vec::new();
     for n in 0.. {
         match f.opt_num(&format!("fault.node{n}.degraded_s")) {
@@ -278,6 +298,7 @@ fn analyze(f: &MetricsFile) -> Result<ConfigReport, String> {
         accuracy,
         timeliness,
         late_slack_ms,
+        pred,
         faults,
         disks,
     })
@@ -386,6 +407,28 @@ fn render_tables(reports: &[ConfigReport]) -> String {
     }
 
     let _ = writeln!(out);
+    let _ = writeln!(out, "predictor");
+    let _ = writeln!(
+        out,
+        "  {:<wl$} {:>16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "config", "predictor", "coverage", "accuracy", "timely", "table", "emits", "mined"
+    );
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "  {:<wl$} {:>16} {:>8.4} {:>8.4} {:>8.4} {:>8} {:>8} {:>8}",
+            format!("{}@{}", r.label, r.workload),
+            r.pred.name,
+            r.coverage,
+            r.accuracy,
+            r.timeliness,
+            r.pred.table_size,
+            r.pred.emits,
+            r.pred.mined
+        );
+    }
+
+    let _ = writeln!(out);
     let _ = writeln!(out, "faults");
     let _ = writeln!(
         out,
@@ -481,6 +524,12 @@ fn render_json(reports: &[ConfigReport]) -> String {
             out,
             "\"coverage\":{},\"accuracy\":{},\"timeliness\":{},\"late_slack_ms\":{},",
             r.coverage, r.accuracy, r.timeliness, r.late_slack_ms
+        );
+        let p = &r.pred;
+        let _ = write!(
+            out,
+            "\"predictor\":{{\"name\":\"{}\",\"table_size\":{},\"emits\":{},\"hits\":{},\"mined\":{}}},",
+            p.name, p.table_size, p.emits, p.hits, p.mined
         );
         let f = &r.faults;
         let _ = write!(

@@ -22,6 +22,7 @@ struct Args {
     machine: String,
     system: CacheSystem,
     algo: String,
+    predictor: Option<String>,
     cache_mb: u64,
     seed: u64,
     scale: String,
@@ -40,7 +41,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!("usage: lapsim [--trace FILE | --workload charisma|sprite]");
     eprintln!("              [--machine pm|now] [--system pafs|xfs|local]");
-    eprintln!("              [--algo NAME] [--cache-mb N] [--seed N]");
+    eprintln!("              [--algo NAME] [--predictor SPEC] [--cache-mb N] [--seed N]");
     eprintln!("              [--scale small|paper] [--warmup SECS] [-v]");
     eprintln!("              [--disk-model fixed|geom] [--disk-sched fifo|sstf|clook]");
     eprintln!("              [--prefetch-gran block|extent] [--extent-blocks N]");
@@ -55,6 +56,11 @@ fn usage() -> ! {
     eprintln!();
     eprintln!("algorithms: np, oba, ln_agr_oba, is_ppm:J, ln_agr_is_ppm:J,");
     eprintln!("            is_ppm_backoff:J, ln_agr_is_ppm_backoff:J");
+    eprintln!();
+    eprintln!("predictors: --predictor swaps the predictor of --algo's configuration");
+    eprintln!("            while keeping its aggressiveness mode; registry specs are");
+    eprintln!("            np, oba, is_ppm[:J], is_ppm_backoff[:J], markov[:J][+oba],");
+    eprintln!("            mithril[:W[,S]][+oba], e.g. --predictor markov:2+oba");
     eprintln!();
     eprintln!("disk models: fixed = the paper's constant service times (default);");
     eprintln!("             geom  = calibrated geometry (seek curve + rotation)");
@@ -90,6 +96,7 @@ fn parse_args() -> Args {
         machine: "pm".into(),
         system: CacheSystem::Pafs,
         algo: "ln_agr_is_ppm:1".into(),
+        predictor: None,
         cache_mb: 4,
         seed: 42,
         scale: "small".into(),
@@ -119,6 +126,7 @@ fn parse_args() -> Args {
                 }
             }
             "--algo" => out.algo = args.next().unwrap_or_else(|| usage()),
+            "--predictor" => out.predictor = Some(args.next().unwrap_or_else(|| usage())),
             "--cache-mb" => {
                 out.cache_mb = args
                     .next()
@@ -218,10 +226,26 @@ fn main() {
         }
     };
 
-    let Some(prefetch) = parse_algo(&args.algo) else {
+    let Some(mut prefetch) = parse_algo(&args.algo) else {
         eprintln!("unknown algorithm {:?}", args.algo);
-        usage();
+        eprintln!("algorithms: np, oba, ln_agr_oba, is_ppm:J, ln_agr_is_ppm:J,");
+        eprintln!("            is_ppm_backoff:J, ln_agr_is_ppm_backoff:J");
+        eprintln!("or pick any registry predictor with --predictor:");
+        eprint!("{}", lap::predict::registry_help());
+        exit(2);
     };
+    // --predictor swaps the predictor while keeping --algo's
+    // aggressiveness mode (simple vs Ln_Agr etc.).
+    if let Some(spec) = &args.predictor {
+        match PredictorSpec::parse(spec) {
+            Ok(s) => prefetch.algorithm = s.kind,
+            Err(e) => {
+                // The error's Display carries the full registry listing.
+                eprint!("bad --predictor: {e}");
+                exit(2);
+            }
+        }
+    }
 
     let mut config = match args.machine.as_str() {
         "pm" => SimConfig::pm(args.system, prefetch, args.cache_mb),

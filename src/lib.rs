@@ -7,9 +7,13 @@
 //!
 //! The crate re-exports the whole stack under one roof:
 //!
-//! * [`prefetch`] — the paper's contribution: the OBA and IS_PPM:`j`
-//!   predictors, the aggressive driver, and the *linear* (one block per
-//!   file in flight) aggressiveness limiter.
+//! * [`predict`] — the predictor zoo: the paper's OBA and IS_PPM:`j`
+//!   predictors plus the block-Markov chain and MITHRIL-style
+//!   association miner extensions, behind a pluggable registry
+//!   (`PredictorSpec`).
+//! * [`prefetch`] — the paper's contribution: the aggressive driver
+//!   and the *linear* (one block per file in flight) aggressiveness
+//!   limiter over any registered predictor.
 //! * [`coopcache`] — the two cooperative-cache substrates the paper
 //!   evaluates on: PAFS (centralized) and xFS (serverless, N-chance).
 //! * [`ioworkload`] — the trace model and the synthetic CHARISMA-like
@@ -62,6 +66,7 @@ pub use faultkit;
 pub use ioworkload;
 pub use lap_core;
 pub use lapobs;
+pub use predict;
 pub use prefetch;
 pub use simkit;
 
@@ -81,7 +86,8 @@ pub mod prelude {
     };
     pub use lapobs::{NoopRecorder, Recorder, Registry, TraceRecorder};
     pub use prefetch::{
-        AggressiveLimit, AlgorithmKind, FilePrefetcher, IsPpm, Oba, PrefetchConfig, Request,
+        AggressiveLimit, AlgorithmKind, FilePrefetcher, IsPpm, Oba, PredictorSpec, PrefetchConfig,
+        Request, SpecError,
     };
     pub use simkit::{SimDuration, SimTime};
 }

@@ -133,6 +133,60 @@ fn lapsim_rejects_unknown_algorithm() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown algorithm"), "stderr: {err}");
+    // The failure also advertises the predictor registry as the way
+    // out (`--algo` names are a fixed set; `--predictor` is open).
+    assert!(err.contains("--predictor"), "stderr: {err}");
+    assert!(err.contains("valid predictor specs"), "stderr: {err}");
+}
+
+#[test]
+fn lapsim_supports_every_registry_predictor_spec() {
+    for spec in [
+        "np",
+        "oba",
+        "is_ppm:3",
+        "is_ppm_backoff:2",
+        "markov:1",
+        "markov:2+oba",
+        "mithril",
+        "mithril:8,3+oba",
+    ] {
+        let out = lapsim()
+            .args([
+                "--workload",
+                "sprite",
+                "--system",
+                "local",
+                "--algo",
+                "ln_agr_is_ppm:1",
+                "--predictor",
+                spec,
+                "--cache-mb",
+                "1",
+            ])
+            .output()
+            .expect("run lapsim");
+        assert!(
+            out.status.success(),
+            "predictor {spec}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn lapsim_rejects_bad_predictor_spec_with_registry_listing() {
+    let out = lapsim()
+        .args(["--workload", "sprite", "--predictor", "markov:7"])
+        .output()
+        .expect("run lapsim");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bad --predictor"), "stderr: {err}");
+    assert!(err.contains("unknown predictor spec"), "stderr: {err}");
+    for name in ["np", "oba", "is_ppm", "is_ppm_backoff", "markov", "mithril"] {
+        assert!(err.contains(name), "registry listing misses {name}: {err}");
+    }
 }
 
 #[test]
