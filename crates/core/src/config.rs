@@ -307,6 +307,18 @@ impl SimConfig {
         (self.cache_bytes_per_node / self.machine.block_size).max(1)
     }
 
+    /// Shrink the machine to fit a workload that uses fewer nodes than
+    /// the paper preset: the simulation only materialises caches for
+    /// nodes the workload touches, so a 128-node machine under an
+    /// 8-node zoo workload would mis-state the aggregate cache. Keeps
+    /// at least two disks so striping stays meaningful.
+    pub fn fit_to_workload(&mut self, workload: &ioworkload::Workload) {
+        if workload.nodes < self.machine.nodes {
+            self.machine.nodes = workload.nodes;
+            self.machine.disks = self.machine.disks.min(workload.nodes.max(2));
+        }
+    }
+
     /// A descriptive label: `"PAFS/Ln_Agr_IS_PPM:1 @ 4MB"`.
     pub fn label(&self) -> String {
         format!(

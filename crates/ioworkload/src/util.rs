@@ -120,9 +120,80 @@ pub(crate) fn jitter(rng: &mut Rng64, d: SimDuration) -> SimDuration {
     SimDuration::from_secs_f64(d.as_secs_f64() * rng.range_f64(0.9, 1.1))
 }
 
+/// A Zipf(s) sampler over `{0, …, n-1}`: rank `i` is drawn with
+/// probability proportional to `1 / (i + 1)^s`.
+///
+/// Built once (O(n) table), sampled by inverse-CDF binary search
+/// (O(log n) per draw) over [`Rng64`], so a `(n, s, seed)` triple
+/// always yields the same rank stream — the sampler is part of the
+/// repo's golden values, like the PRNG itself. `s = 0` degenerates to
+/// the uniform distribution; larger `s` concentrates mass on the low
+/// ranks (`s ≈ 0.6–1.0` fits observed web-object and database-key
+/// popularity).
+///
+/// ```
+/// use ioworkload::util::{Rng64, Zipf};
+///
+/// let zipf = Zipf::new(100, 0.9);
+/// let mut rng = Rng64::new(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n` ranks with skew `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "empty Zipf support");
+        assert!(s >= 0.0 && s.is_finite(), "bad Zipf skew {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += ((i + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks in the support.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank in `[0, n)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let u = rng.next_f64();
+        // First rank whose cumulative mass exceeds the draw; the final
+        // `min` guards the u ≈ 1.0 edge against rounding in the CDF.
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// In-place Fisher–Yates shuffle driven by [`Rng64`] — the
+/// deterministic permutation the epoch-replay workload generators (and
+/// future cluster-scale scenarios) share.
+pub fn shuffle<T>(rng: &mut Rng64, xs: &mut [T]) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.range_u64(0, i as u64) as usize;
+        xs.swap(i, j);
+    }
+}
+
 /// Log-uniform draw over an inclusive range: small values dominate, as
 /// in real file-size distributions.
-pub(crate) fn log_uniform(rng: &mut Rng64, range: (u64, u64)) -> u64 {
+pub fn log_uniform(rng: &mut Rng64, range: (u64, u64)) -> u64 {
     let (lo, hi) = range;
     assert!(lo >= 1 && hi >= lo);
     let (llo, lhi) = ((lo as f64).ln(), ((hi + 1) as f64).ln());
@@ -210,6 +281,75 @@ mod tests {
             let d = jitter(&mut rng, SimDuration::from_millis(100));
             assert!(d.as_millis_f64() >= 90.0 && d.as_millis_f64() <= 110.0);
         }
+    }
+
+    /// Like the PRNG stream, the Zipf rank stream is a golden value:
+    /// the zoo workload generators depend on it draw-for-draw.
+    #[test]
+    fn zipf_stream_is_pinned_per_seed() {
+        let zipf = Zipf::new(100, 0.9);
+        let mut r = Rng64::new(0);
+        let draws: Vec<usize> = (0..8).map(|_| zipf.sample(&mut r)).collect();
+        assert_eq!(draws, vec![16, 33, 0, 6, 31, 99, 6, 11], "seed 0");
+        let mut r = Rng64::new(42);
+        let draws: Vec<usize> = (0..8).map(|_| zipf.sample(&mut r)).collect();
+        assert_eq!(draws, vec![0, 5, 24, 73, 96, 37, 29, 53], "seed 42");
+    }
+
+    #[test]
+    fn zipf_same_seed_same_stream() {
+        let zipf = Zipf::new(1000, 0.8);
+        let mut a = Rng64::new(5);
+        let mut b = Rng64::new(5);
+        for _ in 0..200 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn zipf_bounds_and_skew() {
+        let mut rng = Rng64::new(3);
+        let zipf = Zipf::new(50, 1.0);
+        let mut counts = [0usize; 50];
+        for _ in 0..20_000 {
+            let rank = zipf.sample(&mut rng);
+            assert!(rank < 50);
+            counts[rank] += 1;
+        }
+        // Rank 0 carries ~1/H_50 ≈ 22% of the mass; rank 49 ~0.45%.
+        assert!(counts[0] > counts[1] && counts[1] > counts[4]);
+        assert!(counts[0] > 3_500, "head too light: {}", counts[0]);
+        assert!(counts[49] < 400, "tail too heavy: {}", counts[49]);
+        // s = 0 is uniform: the head carries no extra mass.
+        let uniform = Zipf::new(50, 0.0);
+        let mut head = 0usize;
+        for _ in 0..20_000 {
+            if uniform.sample(&mut rng) == 0 {
+                head += 1;
+            }
+        }
+        assert!((200..600).contains(&head), "uniform head {head}");
+    }
+
+    #[test]
+    fn zipf_single_rank_always_zero() {
+        let zipf = Zipf::new(1, 2.0);
+        let mut rng = Rng64::new(9);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_pinned_permutation() {
+        let mut xs: Vec<u32> = (0..10).collect();
+        let mut rng = Rng64::new(0);
+        shuffle(&mut rng, &mut xs);
+        // Golden value: pinned like the PRNG stream itself.
+        assert_eq!(xs, vec![7, 8, 3, 1, 5, 4, 2, 0, 9, 6]);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Synthetic ML-training workload: epoch-replayed shuffled reads over
+//! dataset shards — the canonical cache-overflow shape.
+//!
+//! The dataset is split into shard *files* (the pre-shuffled-shards
+//! idiom of real training pipelines): each shard's samples are permuted
+//! **once** at dataset-creation time, and every epoch replays the
+//! identical per-shard order. Workers own disjoint shard subsets, so
+//! the paper's linear limit — one block per *file* in flight — still
+//! gets cross-file parallelism from concurrent shards.
+//!
+//! This is the workload PR 6's open finding needs: within one shard
+//! the permuted sample order makes interval-keyed predictors (IS_PPM)
+//! and one-block-ahead guesses wrong, while the order *repeats* epoch
+//! after epoch — exactly what a history-replay predictor (markov, the
+//! MITHRIL miner) can learn in epoch 1 and cash in from epoch 2 on.
+//! The cache-overflow knob is `dataset_blocks`: once the dataset
+//! exceeds the aggregate cooperative cache, replayed predictions are
+//! *actionable* (the blocks really left the cache).
+
+use ioworkload::util::{shuffle, Rng64};
+use ioworkload::{FileId, FileMeta, NodeId, Op, ProcId, ProcessTrace, Workload};
+use simkit::SimDuration;
+
+/// Parameters of the ML-training generator.
+#[derive(Clone, Debug)]
+pub struct MlTrainParams {
+    /// Training epochs. Epoch 1 is cold (the predictor mines); later
+    /// epochs replay the identical per-shard sample order.
+    pub epochs: u32,
+    /// Dataset size in blocks — the cache-overflow knob.
+    pub dataset_blocks: u64,
+    /// Workers (one per node), each owning `shards / workers` shards.
+    pub workers: u32,
+    /// Blocks per shard file.
+    pub shard_blocks: u64,
+    /// Blocks per sample record (one read per sample).
+    pub sample_blocks: u64,
+    /// Training-step compute between sample reads, ms range.
+    pub step_ms: (f64, f64),
+    /// Gap between shards within an epoch, ms range.
+    pub shard_gap_ms: (f64, f64),
+    /// Gap between epochs, ms range.
+    pub epoch_gap_ms: (f64, f64),
+}
+
+impl Default for MlTrainParams {
+    fn default() -> Self {
+        MlTrainParams {
+            epochs: 4,
+            dataset_blocks: 2048,
+            workers: 4,
+            shard_blocks: 128,
+            sample_blocks: 2,
+            step_ms: (2.0, 6.0),
+            shard_gap_ms: (20.0, 60.0),
+            epoch_gap_ms: (300.0, 900.0),
+        }
+    }
+}
+
+impl MlTrainParams {
+    /// Generate the workload for a seed.
+    pub fn generate(&self, seed: u64) -> Workload {
+        assert!(self.epochs > 0 && self.workers > 0);
+        assert!(self.sample_blocks > 0 && self.shard_blocks >= self.sample_blocks);
+        let mut rng = Rng64::new(seed);
+        let block_size = 8192u64;
+
+        // Split the dataset into shard files: at least one per worker,
+        // whole samples per shard.
+        let shards = (self.dataset_blocks / self.shard_blocks).max(self.workers as u64);
+        let samples_per_shard = (self.dataset_blocks / shards / self.sample_blocks).max(1);
+        let shard_bytes = samples_per_shard * self.sample_blocks * block_size;
+
+        let files: Vec<FileMeta> = (0..shards)
+            .map(|i| FileMeta {
+                id: FileId(i as u32),
+                size: shard_bytes,
+            })
+            .collect();
+
+        // The fixed per-shard sample permutation, drawn once — every
+        // epoch replays it identically (shuffle-once shards).
+        let perms: Vec<Vec<u64>> = (0..shards)
+            .map(|_| {
+                let mut p: Vec<u64> = (0..samples_per_shard).collect();
+                shuffle(&mut rng, &mut p);
+                p
+            })
+            .collect();
+
+        let mut processes = Vec::new();
+        for w in 0..self.workers {
+            let owned: Vec<u64> = (0..shards)
+                .filter(|s| s % self.workers as u64 == w as u64)
+                .collect();
+            let mut ops = Vec::new();
+            for _ in 0..self.epochs {
+                ops.push(Op::Compute(ms(&mut rng, self.epoch_gap_ms)));
+                for &shard in &owned {
+                    ops.push(Op::Compute(ms(&mut rng, self.shard_gap_ms)));
+                    for &sample in &perms[shard as usize] {
+                        ops.push(Op::Compute(ms(&mut rng, self.step_ms)));
+                        ops.push(Op::Read {
+                            file: FileId(shard as u32),
+                            offset: sample * self.sample_blocks * block_size,
+                            len: self.sample_blocks * block_size,
+                        });
+                    }
+                }
+            }
+            processes.push(ProcessTrace {
+                proc: ProcId(w),
+                node: NodeId(w),
+                ops,
+            });
+        }
+
+        let wl = Workload {
+            name: format!("mltrain-{}ep-{}blk", self.epochs, self.dataset_blocks),
+            block_size,
+            nodes: self.workers,
+            files,
+            processes,
+        };
+        wl.validate();
+        wl
+    }
+}
+
+fn ms(rng: &mut Rng64, range: (f64, f64)) -> SimDuration {
+    SimDuration::from_millis_f64(rng.range_f64(range.0, range.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reads_of(wl: &Workload, proc: usize) -> Vec<(u32, u64)> {
+        wl.processes[proc]
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Read { file, offset, .. } => Some((file.0, *offset)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_validates() {
+        let p = MlTrainParams::default();
+        let a = p.generate(7);
+        assert_eq!(a.to_text(), p.generate(7).to_text());
+        for seed in 0..10 {
+            p.generate(seed).validate();
+        }
+    }
+
+    #[test]
+    fn epochs_replay_the_identical_order() {
+        let p = MlTrainParams::default();
+        let wl = p.generate(3);
+        for w in 0..p.workers as usize {
+            let reads = reads_of(&wl, w);
+            assert_eq!(reads.len() as u32 % p.epochs, 0);
+            let per_epoch = reads.len() / p.epochs as usize;
+            for e in 1..p.epochs as usize {
+                assert_eq!(
+                    reads[..per_epoch],
+                    reads[e * per_epoch..(e + 1) * per_epoch],
+                    "epoch {e} of worker {w} deviates from the replay"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_order_is_shuffled_not_sequential() {
+        let wl = MlTrainParams::default().generate(1);
+        // Within the first shard visit, the sample offsets must not be
+        // the identity order (the permutation really permutes).
+        let reads = reads_of(&wl, 0);
+        let first_file = reads[0].0;
+        let first_shard: Vec<u64> = reads
+            .iter()
+            .take_while(|(f, _)| *f == first_file)
+            .map(|(_, o)| *o)
+            .collect();
+        assert!(first_shard.len() > 10);
+        let mut sorted = first_shard.clone();
+        sorted.sort_unstable();
+        assert_ne!(first_shard, sorted, "samples read in sequential order");
+        // ... but every sample is visited exactly once per epoch.
+        sorted.dedup();
+        assert_eq!(sorted.len(), first_shard.len());
+    }
+
+    #[test]
+    fn workers_own_disjoint_shards() {
+        let p = MlTrainParams::default();
+        let wl = p.generate(2);
+        let mut owner = std::collections::HashMap::new();
+        for w in 0..p.workers as usize {
+            for (f, _) in reads_of(&wl, w) {
+                let prev = owner.insert(f, w);
+                assert!(
+                    prev.is_none() || prev == Some(w),
+                    "shard {f} has two owners"
+                );
+            }
+        }
+        assert!(owner.len() >= p.workers as usize);
+    }
+
+    #[test]
+    fn dataset_blocks_knob_scales_the_working_set() {
+        let footprint = |wl: &Workload| wl.files.iter().map(|f| f.size).sum::<u64>();
+        let small = MlTrainParams {
+            dataset_blocks: 512,
+            ..MlTrainParams::default()
+        }
+        .generate(1);
+        let big = MlTrainParams {
+            dataset_blocks: 4096,
+            ..MlTrainParams::default()
+        }
+        .generate(1);
+        assert_eq!(footprint(&small) * 8, footprint(&big));
+    }
+}

@@ -1,0 +1,218 @@
+//! Synthetic web-serving workload: Zipf-skewed file popularity with
+//! session locality.
+//!
+//! The shape follows the web-server traces the predictive-prefetching
+//! literature evaluates on (and that the paper's CHARISMA/Sprite pair
+//! lacks): many small-to-medium files whose popularity is Zipf-skewed,
+//! accessed by user *sessions* that read an entry object and then a
+//! handful of related objects (pages pull their assets; users browse
+//! neighbouring pages). Every file is read wholly and sequentially —
+//! friendly to OBA/IS_PPM *within* a file — while the file-to-file
+//! jumps carry the session structure.
+//!
+//! The cache-overflow knob is `files`: once `files × mean file size`
+//! exceeds the aggregate cooperative cache, the Zipf tail stops
+//! fitting and the linear-limit question becomes non-degenerate.
+
+use ioworkload::util::{log_uniform, Rng64, Zipf};
+use ioworkload::{FileId, FileMeta, NodeId, Op, ProcId, ProcessTrace, Workload};
+use simkit::SimDuration;
+
+/// Parameters of the web-serving generator.
+#[derive(Clone, Debug)]
+pub struct WebParams {
+    /// User sessions replayed, round-robin across the server processes.
+    pub sessions: u32,
+    /// Zipf skew of the file-popularity distribution (0 = uniform;
+    /// 0.6–1.0 matches observed web-object popularity).
+    pub zipf_s: f64,
+    /// Number of distinct files — the cache-overflow knob.
+    pub files: u32,
+    /// Server nodes (one server process each).
+    pub nodes: u32,
+    /// File size range in blocks, log-uniform (small files dominate).
+    pub file_blocks: (u64, u64),
+    /// Related objects fetched after a session's entry file (range).
+    pub related: (u32, u32),
+    /// Largest distance (in popularity rank) of a related object from
+    /// the entry — the session-locality radius.
+    pub locality: u64,
+    /// Request size in blocks (files are read in runs of this size).
+    pub request_blocks: u64,
+    /// Think time between requests of one file, ms range.
+    pub think_ms: (f64, f64),
+    /// Gap between files of one session, ms range.
+    pub file_gap_ms: (f64, f64),
+    /// Gap before each session starts on its server, ms range.
+    pub session_gap_ms: (f64, f64),
+}
+
+impl Default for WebParams {
+    fn default() -> Self {
+        WebParams {
+            sessions: 64,
+            zipf_s: 0.8,
+            files: 256,
+            nodes: 8,
+            file_blocks: (2, 32),
+            related: (2, 5),
+            locality: 12,
+            request_blocks: 4,
+            think_ms: (5.0, 20.0),
+            file_gap_ms: (30.0, 120.0),
+            session_gap_ms: (150.0, 600.0),
+        }
+    }
+}
+
+impl WebParams {
+    /// Generate the workload for a seed.
+    pub fn generate(&self, seed: u64) -> Workload {
+        assert!(self.sessions > 0 && self.files > 1 && self.nodes > 0);
+        let mut rng = Rng64::new(seed);
+        let block_size = 8192u64;
+
+        // Popularity rank r *is* file id r: rank 0 is the hottest file.
+        let files: Vec<FileMeta> = (0..self.files)
+            .map(|i| FileMeta {
+                id: FileId(i),
+                size: log_uniform(&mut rng, self.file_blocks) * block_size,
+            })
+            .collect();
+        let zipf = Zipf::new(self.files as usize, self.zipf_s);
+
+        let mut processes: Vec<ProcessTrace> = (0..self.nodes)
+            .map(|n| ProcessTrace {
+                proc: ProcId(n),
+                node: NodeId(n),
+                ops: Vec::new(),
+            })
+            .collect();
+
+        for session in 0..self.sessions {
+            let proc = (session % self.nodes) as usize;
+            let ops = &mut processes[proc].ops;
+            ops.push(Op::Compute(ms(&mut rng, self.session_gap_ms)));
+
+            // Entry object by popularity, then related objects within
+            // the locality radius — neighbouring ranks, wrapped.
+            let entry = zipf.sample(&mut rng) as u64;
+            let mut session_files = vec![entry];
+            for _ in 0..rng.range_u32(self.related.0, self.related.1) {
+                let hop = rng.range_u64(1, self.locality.max(1));
+                session_files.push((entry + hop) % self.files as u64);
+            }
+
+            for (i, &file) in session_files.iter().enumerate() {
+                if i > 0 {
+                    ops.push(Op::Compute(ms(&mut rng, self.file_gap_ms)));
+                }
+                let size = files[file as usize].size;
+                let blocks = size.div_ceil(block_size);
+                let mut blk = 0u64;
+                while blk < blocks {
+                    let n = self.request_blocks.min(blocks - blk);
+                    ops.push(Op::Compute(ms(&mut rng, self.think_ms)));
+                    ops.push(Op::Read {
+                        file: FileId(file as u32),
+                        offset: blk * block_size,
+                        len: (n * block_size).min(size - blk * block_size),
+                    });
+                    blk += n;
+                }
+            }
+        }
+
+        let wl = Workload {
+            name: format!("web-{}s-{}f", self.sessions, self.files),
+            block_size,
+            nodes: self.nodes,
+            files,
+            processes,
+        };
+        wl.validate();
+        wl
+    }
+}
+
+fn ms(rng: &mut Rng64, range: (f64, f64)) -> SimDuration {
+    SimDuration::from_millis_f64(rng.range_f64(range.0, range.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_validates() {
+        let p = WebParams::default();
+        let a = p.generate(7);
+        let b = p.generate(7);
+        assert_eq!(a.to_text(), b.to_text());
+        for seed in 0..10 {
+            p.generate(seed).validate();
+        }
+    }
+
+    #[test]
+    fn popularity_is_zipf_skewed() {
+        let wl = WebParams {
+            sessions: 200,
+            ..WebParams::default()
+        }
+        .generate(3);
+        let mut reads_per_file = vec![0u64; wl.files.len()];
+        for p in &wl.processes {
+            for op in &p.ops {
+                if let Op::Read { file, .. } = op {
+                    reads_per_file[file.0 as usize] += 1;
+                }
+            }
+        }
+        // The hot head (lowest ranks) must dominate the cold tail.
+        let head: u64 = reads_per_file[..16].iter().sum();
+        let tail: u64 = reads_per_file[128..144].iter().sum();
+        assert!(head > 4 * tail.max(1), "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn files_knob_scales_the_working_set() {
+        let small = WebParams {
+            files: 64,
+            ..WebParams::default()
+        }
+        .generate(1);
+        let big = WebParams {
+            files: 1024,
+            ..WebParams::default()
+        }
+        .generate(1);
+        let footprint = |wl: &Workload| wl.files.iter().map(|f| f.size).sum::<u64>();
+        assert!(footprint(&big) > 8 * footprint(&small));
+    }
+
+    #[test]
+    fn whole_files_read_sequentially() {
+        let wl = WebParams::default().generate(5);
+        // Within one process, consecutive reads of the same file are at
+        // strictly increasing offsets until the file is done.
+        for p in &wl.processes {
+            let mut last: Option<(u32, u64)> = None;
+            for op in &p.ops {
+                if let Op::Read { file, offset, .. } = op {
+                    if let Some((lf, lo)) = last {
+                        if lf == file.0 {
+                            // Later sessions may revisit a file from
+                            // offset 0; within a visit reads advance.
+                            assert!(
+                                *offset > lo || *offset == 0,
+                                "non-sequential read within a file"
+                            );
+                        }
+                    }
+                    last = Some((file.0, *offset));
+                }
+            }
+        }
+    }
+}

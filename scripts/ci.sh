@@ -22,9 +22,11 @@ run cargo test --offline --workspace
 # algorithm), the faults ablation runs all seven paper configurations
 # under three fault plans, asserting no demand read is lost or
 # double-counted and that the aggressive walkers stand down during
-# error bursts, and the predictors ablation runs the registry grid,
+# error bursts, the predictors ablation runs the registry grid,
 # asserting NP covers nothing and the MITHRIL miner always mines and
-# (in at least one aggressive cell) covers reads. Also
+# (in at least one aggressive cell) covers reads, and the zoo ablation
+# runs the workload-zoo grid, asserting a history-replay predictor
+# covers reads on at least one overflow workload. Also
 # regenerates the benchmark snapshot for the staleness gate below,
 # which doubles as two bit-identity gates: block-granularity (BENCH.json
 # predates the extent machinery) and zero-fault (it predates the fault
@@ -53,6 +55,17 @@ echo "==> lapreport metrics --json"
 ./target/debug/lapreport metrics target/ci_metrics.csv --json > target/ci_report.json
 run ./target/debug/lapreport trace target/ci_trace.json
 run ./target/debug/lapreport trace target/ci_trace_sampled.json
+
+# Workload-zoo round trip: a registry spec flows through lapgen to a
+# trace file and back through lapsim, and the strace front-end ingests
+# the committed fixture end to end (parse -> replay). The fixture's
+# parse output itself is pinned by tests/golden/strace_small.trace and
+# the golden-freshness gate below.
+run ./target/debug/lapgen web:8,0.8,64 --seed 7 -o target/ci_web.trace
+run ./target/debug/lapsim --trace target/ci_web.trace --machine now --cache-mb 1
+run ./target/debug/lapsim --workload strace:tests/golden/strace_small.txt \
+    --machine now --cache-mb 1
+run ./target/debug/experiments mithril-sweep --workload mltrain:2,256 --seed 42
 
 # Doc-flag drift: every `--flag` a doc references must be printed by
 # one of the tools' --help (or belong to the cargo/git whitelist).

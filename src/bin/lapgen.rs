@@ -3,16 +3,21 @@
 //! ```text
 //! lapgen charisma --seed 42 --scale small -o charisma.trace
 //! lapgen sprite  --seed 7  --scale paper -o sprite.trace
+//! lapgen web:64,0.8,256 -o web.trace    # any workload-registry spec
+//! lapgen strace:app.strace -o app.trace # convert a text trace
 //! lapgen charisma --stats          # print workload statistics only
 //! ```
 
 use std::fs;
 use std::process::exit;
 
+use lap::workzoo::{registry_help, WorkloadSpec};
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: lapgen <charisma|sprite> [--seed N] [--scale small|paper] [-o FILE] [--stats]"
-    );
+    eprintln!("usage: lapgen <SPEC> [--seed N] [--scale small|paper] [-o FILE] [--stats]");
+    eprintln!();
+    eprintln!("SPEC is a workload-registry spec (bare charisma/sprite pick up --scale):");
+    eprint!("{}", registry_help());
     exit(2);
 }
 
@@ -38,9 +43,15 @@ fn main() {
         }
     }
 
-    let Some(workload) = lap::ioworkload::generate_named(&kind, &scale, seed) else {
-        usage()
-    };
+    let spec = WorkloadSpec::parse_cli(&kind, &scale).unwrap_or_else(|e| {
+        // The error's Display carries the full registry listing.
+        eprint!("bad workload spec: {e}");
+        exit(2);
+    });
+    let workload = spec.build(seed).unwrap_or_else(|e| {
+        eprintln!("bad workload spec: {e}");
+        exit(2);
+    });
 
     let s = workload.stats();
     eprintln!(

@@ -39,7 +39,7 @@ struct Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: lapsim [--trace FILE | --workload charisma|sprite]");
+    eprintln!("usage: lapsim [--trace FILE | --workload SPEC]");
     eprintln!("              [--machine pm|now] [--system pafs|xfs|local]");
     eprintln!("              [--algo NAME] [--predictor SPEC] [--cache-mb N] [--seed N]");
     eprintln!("              [--scale small|paper] [--warmup SECS] [-v]");
@@ -53,6 +53,10 @@ fn usage() -> ! {
     eprintln!("    seed=7,disk-error=0.02,disk-retries=4,backoff-ms=5,burst=60:5,");
     eprintln!("    outage=120:10,node-outage=300:20,net-loss=0.01,net-delay=0.05:2");
     eprintln!("  windows are PERIOD_S:LEN_S; an empty spec disables injection");
+    eprintln!();
+    eprintln!("workloads: --workload takes a registry spec (bare charisma/sprite");
+    eprintln!("           pick up --scale); the registry is:");
+    eprint!("{}", lap::workzoo::registry_help());
     eprintln!();
     eprintln!("algorithms: np, oba, ln_agr_oba, is_ppm:J, ln_agr_is_ppm:J,");
     eprintln!("            is_ppm_backoff:J, ln_agr_is_ppm_backoff:J");
@@ -216,13 +220,23 @@ fn main() {
             exit(1);
         })
     } else {
-        match lap::ioworkload::generate_named(
-            args.workload.as_deref().unwrap(),
-            &args.scale,
-            args.seed,
-        ) {
-            Some(wl) => wl,
-            None => usage(),
+        // The workload registry: bare `charisma`/`sprite` pick up
+        // --scale; everything else is a full spec (`web:64,0.8,256`,
+        // `strace:FILE`, ...).
+        let spec = match WorkloadSpec::parse_cli(args.workload.as_deref().unwrap(), &args.scale) {
+            Ok(s) => s,
+            Err(e) => {
+                // The error's Display carries the full registry listing.
+                eprint!("bad --workload: {e}");
+                exit(2);
+            }
+        };
+        match spec.build(args.seed) {
+            Ok(wl) => wl,
+            Err(e) => {
+                eprintln!("bad --workload: {e}");
+                exit(2);
+            }
         }
     };
 
@@ -253,10 +267,7 @@ fn main() {
         _ => usage(),
     };
     // Shrink the machine to the workload if the trace needs fewer nodes.
-    if workload.nodes < config.machine.nodes {
-        config.machine.nodes = workload.nodes;
-        config.machine.disks = config.machine.disks.min(workload.nodes.max(2));
-    }
+    config.fit_to_workload(&workload);
     config.warmup = SimDuration::from_secs(args.warmup_secs);
     if args.extent_blocks > 1 {
         // Multi-block extents only exist in the geometry model, so this

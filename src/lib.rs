@@ -18,6 +18,10 @@
 //!   evaluates on: PAFS (centralized) and xFS (serverless, N-chance).
 //! * [`ioworkload`] — the trace model and the synthetic CHARISMA-like
 //!   (parallel machine) and Sprite-like (NOW) workload generators.
+//! * [`workzoo`] — the workload zoo: a pluggable `WorkloadSpec`
+//!   registry (`lapsim --workload SPEC`) spanning the paper pair,
+//!   modern synthetic generators (`web`, `db`, `mltrain`), and
+//!   strace/blktrace text-trace ingestion.
 //! * [`devmodel`] — device models: geometry-aware disks (seek curve,
 //!   rotational latency, extent layout), segmented network links, and
 //!   the SSTF/C-LOOK request schedulers.
@@ -69,6 +73,7 @@ pub use lapobs;
 pub use predict;
 pub use prefetch;
 pub use simkit;
+pub use workzoo;
 
 /// Everything needed to run simulations, in one import.
 pub mod prelude {
@@ -90,4 +95,5 @@ pub mod prelude {
         Request, SpecError,
     };
     pub use simkit::{SimDuration, SimTime};
+    pub use workzoo::{WorkloadSpec, ZooKind};
 }

@@ -1,0 +1,169 @@
+//! Integration tests for the workload zoo: the trace front-end's
+//! golden fixture and the registry wiring of the CLI tools.
+
+use std::process::Command;
+
+use lap::prelude::*;
+use lap::workzoo;
+
+fn lapgen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lapgen"))
+}
+
+fn lapsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lapsim"))
+}
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Golden file for the strace front-end: parsing the committed fixture
+/// must yield exactly the committed workload text — offsets, lengths,
+/// compute gaps, file sizes, process assignment.
+/// Regenerate with `UPDATE_GOLDEN=1 cargo test`.
+#[test]
+fn strace_fixture_parse_matches_golden_file() {
+    let text = std::fs::read_to_string(fixture_path("strace_small.txt")).unwrap();
+    let wl = workzoo::tracefile::parse_strace("strace_small.txt", &text).expect("fixture parses");
+    let rendered = wl.to_text();
+
+    let golden_path = fixture_path("strace_small.trace");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|_| panic!("missing strace_small.trace — run UPDATE_GOLDEN=1 cargo test"));
+    assert_eq!(
+        rendered, golden,
+        "strace parse output changed; if intended, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// The parsed fixture replays deterministically through the simulator:
+/// the same trace produces bit-identical reports, and the demand model
+/// survives the byte→block mapping (every read op is served).
+#[test]
+fn strace_fixture_replays_deterministically() {
+    let spec = format!("strace:{}", fixture_path("strace_small.txt"));
+    let build = || {
+        WorkloadSpec::parse(&spec)
+            .expect("strace spec parses")
+            .build(42)
+            .expect("fixture builds")
+    };
+    let wl = build();
+    assert!(wl.io_ops() > 0);
+
+    let run = || {
+        let mut cfg = SimConfig::now(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 1);
+        cfg.fit_to_workload(&wl);
+        run_simulation(cfg, build())
+    };
+    let a = run();
+    let b = run();
+    assert!(a.reads > 0 && a.avg_read_ms.is_finite() && a.avg_read_ms > 0.0);
+    assert_eq!(a.avg_read_ms.to_bits(), b.avg_read_ms.to_bits());
+    assert_eq!((a.reads, a.disk_accesses()), (b.reads, b.disk_accesses()));
+}
+
+/// Satellite 1: every tool rejects an unknown `--workload` with a
+/// non-zero exit and the full registry menu on stderr.
+#[test]
+fn lapsim_rejects_unknown_workload_with_the_menu() {
+    let out = lapsim()
+        .args(["--workload", "fortnite"])
+        .output()
+        .expect("run lapsim");
+    assert!(!out.status.success(), "bad --workload must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for name in [
+        "charisma", "sprite", "web", "db", "mltrain", "strace", "blktrace",
+    ] {
+        assert!(
+            stderr.contains(name),
+            "registry menu missing {name:?} in:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn lapgen_rejects_unknown_spec_with_the_menu() {
+    let out = lapgen().args(["web:0"]).output().expect("run lapgen");
+    assert!(!out.status.success(), "bad spec must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("web:0"), "menu should echo the bad spec");
+    assert!(stderr.contains("mltrain"), "menu should list the registry");
+}
+
+/// A zoo spec flows end to end: lapgen writes the trace text, lapsim
+/// replays it, and the direct `--workload` path reaches the same sim.
+#[test]
+fn zoo_spec_round_trips_through_lapgen_and_lapsim() {
+    let dir = std::env::temp_dir().join(format!("lap-zoo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("web.trace");
+
+    let out = lapgen()
+        .args(["web:8,0.8,64", "--seed", "7", "-o"])
+        .arg(&trace)
+        .output()
+        .expect("run lapgen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = lapsim()
+        .args(["--trace"])
+        .arg(&trace)
+        .args(["--machine", "now", "--cache-mb", "1"])
+        .output()
+        .expect("run lapsim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = lapsim()
+        .args([
+            "--workload",
+            "web:8,0.8,64",
+            "--seed",
+            "7",
+            "--machine",
+            "now",
+            "--cache-mb",
+            "1",
+        ])
+        .output()
+        .expect("run lapsim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// `lapsim --workload strace:FILE` ingests a raw text trace directly.
+#[test]
+fn lapsim_runs_a_strace_spec_directly() {
+    let spec = format!("strace:{}", fixture_path("strace_small.txt"));
+    let out = lapsim()
+        .args(["--workload", &spec, "--machine", "now", "--cache-mb", "1"])
+        .output()
+        .expect("run lapsim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("read") && stdout.contains("reads"),
+        "summary line missing: {stdout}"
+    );
+}
