@@ -20,7 +20,10 @@ use bench::{
 };
 use devmodel::DiskSched;
 use faultkit::FaultPlan;
-use lap_core::{run_simulation, CacheSystem, MachineConfig, PrefetchGranularity, Replacement};
+use lap_core::{
+    run_simulation, run_simulation_profiled, CacheSystem, MachineConfig, PrefetchGranularity,
+    Replacement,
+};
 use lapobs::MetricValue;
 use prefetch::{AggressiveLimit, EdgeChoice, PredictorSpec, PrefetchConfig};
 use workzoo::WorkloadSpec;
@@ -177,7 +180,7 @@ fn print_help() {
     eprintln!("  --workload SPEC   restrict the zoo/mithril-sweep ablations to one workload");
     eprintln!("                    (registry spec, e.g. web:64,0.8,256 or strace:FILE)");
     eprintln!(
-        "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, devmodel, extent, faults, predictors, zoo, mithril-sweep, or any of:"
+        "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, devmodel, extent, faults, predictors, zoo, mithril-sweep, perf, or any of:"
     );
     for e in EXPERIMENTS {
         eprintln!("  {:<8} {}", e.id, e.title);
@@ -205,6 +208,7 @@ fn main() {
             ids.push("predictors".into());
             ids.push("zoo".into());
             ids.push("mithril-sweep".into());
+            ids.push("perf".into());
         } else {
             ids.push(id.clone());
         }
@@ -224,6 +228,7 @@ fn main() {
             "predictors" => predictors_ablation(&opts),
             "zoo" => zoo_ablation(&opts),
             "mithril-sweep" => mithril_sweep(&opts),
+            "perf" => perf_profile(&opts),
             id => {
                 let Some(exp) = experiment(id) else {
                     eprintln!("unknown experiment {id:?}");
@@ -298,31 +303,133 @@ fn bench_scenarios() -> [(&'static str, WorkloadKind, CacheSystem, PrefetchConfi
     ]
 }
 
-/// Write a machine-readable benchmark snapshot: one scenario object
-/// per line (so `lapreport bench-diff` can scan it without a JSON
-/// parser). Simulated results are deterministic; `wall_ms` is machine
-/// noise and explicitly ignored by the differ.
+/// Write a machine-readable benchmark snapshot (schema 2): one
+/// scenario object per line (so `lapreport bench-diff` can scan it
+/// without a JSON parser). Simulated results and the integer `perf`
+/// counters are deterministic and gated exactly; everything
+/// wall-clock-derived (`wall_ms`, `reads_per_sec`, `events_per_sec`)
+/// lives inside `perf` and is warn-only in the differ.
 fn bench_json(opts: &Options, path: &PathBuf) {
     use std::fmt::Write as _;
-    let mut out = String::from("{\n\"schema\": 1,\n\"scenarios\": [\n");
+    let mut out = String::from("{\n\"schema\": 2,\n\"scenarios\": [\n");
     for (i, (name, kind, system, pf, mb)) in bench_scenarios().into_iter().enumerate() {
         let wl = build_workload(kind, opts.scale, opts.seed);
         let cfg = build_config(kind, opts.scale, system, pf, mb);
-        let t0 = std::time::Instant::now();
-        let r = run_simulation(cfg, wl);
+        let (r, p) = run_simulation_profiled(cfg, wl);
         let _ = writeln!(
             out,
-            "{{\"name\":\"{name}\",\"avg_read_ms\":{},\"reads\":{},\"disk_accesses\":{},\"wall_ms\":{}}}{}",
+            "{{\"name\":\"{name}\",\"avg_read_ms\":{},\"reads\":{},\"disk_accesses\":{},\"perf\":{}}}{}",
             r.avg_read_ms,
             r.reads,
             r.disk_accesses(),
-            t0.elapsed().as_millis(),
+            perf_json(&p),
             if i + 1 < 4 { "," } else { "" }
         );
     }
     out.push_str("]\n}\n");
     fs::write(path, &out).expect("write bench snapshot");
     println!("wrote {}", path.display());
+}
+
+/// The `perf` object of one BENCH.json scenario line. Integer
+/// counters first (compared exactly by `lapreport bench-diff`), then
+/// deterministic ratios (ratio-gated), then wall-clock data
+/// (warn-only).
+fn perf_json(p: &lap_core::SimProfile) -> String {
+    let c = &p.counters;
+    let mut s = format!(
+        "{{\"events\":{},\"queue_pushes\":{},\"peak_queue_depth\":{},\"station_dispatches\":{},\
+         \"pred_lookups\":{},\"pred_updates\":{},\"cache_probes\":{},\
+         \"events_per_read\":{},\"mean_queue_depth\":{}",
+        c.events,
+        c.queue_pushes,
+        c.peak_queue_depth,
+        c.station_dispatches,
+        c.pred_lookups,
+        c.pred_updates,
+        c.cache_probes,
+        c.events_per_read(p.reads),
+        c.mean_queue_depth(),
+    );
+    if let Some(apr) = p.allocs_per_read() {
+        s.push_str(&format!(",\"allocs_per_read\":{apr}"));
+    }
+    s.push_str(&format!(
+        ",\"wall_ms\":{},\"reads_per_sec\":{:.0},\"events_per_sec\":{:.0}}}",
+        p.wall.total().as_millis(),
+        p.reads_per_sec(),
+        p.events_per_sec(),
+    ));
+    s
+}
+
+/// `experiments perf`: self-profiling sweep over the four BENCH.json
+/// seed scenarios plus one zoo workload at scaled-up size, so the hot
+/// path is actually hot and the per-subsystem counter shares mean
+/// something.
+fn perf_profile(opts: &Options) {
+    println!(
+        "perf — simulator self-profile: seed scenarios + one scaled-up zoo workload \
+         (seed {}, scale {:?}; counters deterministic, wall informational)",
+        opts.seed, opts.scale
+    );
+    println!(
+        "{:<28} {:>8} {:>9} {:>8} {:>5} {:>6} {:>9} {:>9} {:>9} {:>8} {:>9} {:>10}",
+        "scenario",
+        "reads",
+        "events",
+        "ev/read",
+        "peak",
+        "mean-q",
+        "dispatch",
+        "pred-ops",
+        "probes",
+        "wall ms",
+        "reads/s",
+        "events/s"
+    );
+    let row = |name: &str, r: &lap_core::SimReport, p: &lap_core::SimProfile| {
+        let c = &p.counters;
+        assert!(
+            c.events > 0 && c.queue_pushes >= c.events && r.reads > 0,
+            "degenerate perf cell: {name}"
+        );
+        println!(
+            "{:<28} {:>8} {:>9} {:>8.2} {:>5} {:>6.2} {:>9} {:>9} {:>9} {:>8} {:>9.0} {:>10.0}{}",
+            name,
+            r.reads,
+            c.events,
+            c.events_per_read(r.reads),
+            c.peak_queue_depth,
+            c.mean_queue_depth(),
+            c.station_dispatches,
+            c.pred_lookups + c.pred_updates,
+            c.cache_probes,
+            p.wall.total().as_millis(),
+            p.reads_per_sec(),
+            p.events_per_sec(),
+            match p.allocs_per_read() {
+                Some(apr) => format!("  ({apr:.1} allocs/read)"),
+                None => String::new(),
+            }
+        );
+    };
+    for (name, kind, system, pf, mb) in bench_scenarios() {
+        let wl = build_workload(kind, opts.scale, opts.seed);
+        let cfg = build_config(kind, opts.scale, system, pf, mb);
+        let (r, p) = run_simulation_profiled(cfg, wl);
+        row(name, &r, &p);
+    }
+    // One zoo workload well past the seed scenarios' size: a web
+    // session mix big enough to overflow the aggregate cache.
+    let spec = WorkloadSpec::parse("web:64,0.8,512").expect("zoo perf spec parses");
+    let wl = spec.build(opts.seed).expect("zoo perf workload builds");
+    let mut cfg = lap_core::SimConfig::now(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 1);
+    cfg.fit_to_workload(&wl);
+    let name = format!("{}/pafs/ln_agr_is_ppm:1/1MB", wl.name);
+    let (r, p) = run_simulation_profiled(cfg, wl);
+    row(&name, &r, &p);
+    println!();
 }
 
 /// Flatten every cell's unified metrics registry into one long-format

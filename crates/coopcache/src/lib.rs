@@ -170,4 +170,13 @@ pub trait CooperativeCache {
 
     /// Blocks currently resident (counting duplicates).
     fn resident_blocks(&self) -> u64;
+
+    /// Metadata probes performed so far: every `access`, `contains`,
+    /// `contains_local`, and `insert` call — the block-location table
+    /// work the cooperative cache does per simulated operation. A
+    /// deterministic cost counter for the simulator self-profile;
+    /// backends without accounting report 0.
+    fn meta_probes(&self) -> u64 {
+        0
+    }
 }

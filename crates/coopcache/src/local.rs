@@ -9,6 +9,8 @@
 //! [`XfsCache`](crate::XfsCache) shows how much of the performance the
 //! *cooperation* contributes, independent of prefetching.
 
+use std::cell::Cell;
+
 use ioworkload::{BlockId, NodeId};
 
 use crate::lru::{LruPool, Replacement};
@@ -20,6 +22,9 @@ pub struct LocalOnlyCache {
     pools: Vec<LruPool>,
     blocks_per_node: u64,
     stats: CacheStats,
+    /// Metadata probes (`meta_probes`); `Cell` because `contains*`
+    /// take `&self`.
+    probes: Cell<u64>,
 }
 
 impl LocalOnlyCache {
@@ -35,6 +40,7 @@ impl LocalOnlyCache {
             pools: (0..nodes).map(|_| LruPool::with_policy(policy)).collect(),
             blocks_per_node,
             stats: CacheStats::default(),
+            probes: Cell::new(0),
         }
     }
 
@@ -60,6 +66,7 @@ impl LocalOnlyCache {
 
 impl CooperativeCache for LocalOnlyCache {
     fn access(&mut self, node: NodeId, block: BlockId, write: bool) -> AccessOutcome {
+        self.probes.set(self.probes.get() + 1);
         match self.pools[node.0 as usize].touch(block, write) {
             Some(before) => {
                 if before.prefetched && !before.used {
@@ -82,6 +89,7 @@ impl CooperativeCache for LocalOnlyCache {
     }
 
     fn contains(&self, block: BlockId) -> bool {
+        self.probes.set(self.probes.get() + 1);
         // No cooperation: "contained" only means some node has it, and
         // callers that ask globally (e.g. PAFS-style prefetchers) never
         // run against this cache. Still answer honestly.
@@ -89,6 +97,7 @@ impl CooperativeCache for LocalOnlyCache {
     }
 
     fn contains_local(&self, node: NodeId, block: BlockId) -> bool {
+        self.probes.set(self.probes.get() + 1);
         self.pools[node.0 as usize].contains(block)
     }
 
@@ -99,6 +108,7 @@ impl CooperativeCache for LocalOnlyCache {
         origin: InsertOrigin,
         dirty: bool,
     ) -> Vec<Evicted> {
+        self.probes.set(self.probes.get() + 1);
         let mut out = Vec::new();
         if self.pools[node.0 as usize].contains(block) {
             self.pools[node.0 as usize].refresh(block, dirty, origin == InsertOrigin::Demand);
@@ -139,6 +149,10 @@ impl CooperativeCache for LocalOnlyCache {
 
     fn resident_blocks(&self) -> u64 {
         self.pools.iter().map(|p| p.len() as u64).sum()
+    }
+
+    fn meta_probes(&self) -> u64 {
+        self.probes.get()
     }
 }
 

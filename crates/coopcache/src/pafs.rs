@@ -1,6 +1,7 @@
 //! The PAFS cooperative cache: centralized, globally managed, one copy
 //! per block.
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
 
 use ioworkload::{BlockId, FileId, NodeId};
@@ -56,6 +57,10 @@ pub struct PafsCache {
     /// (degraded mode). BTreeSet for deterministic iteration.
     down: BTreeSet<u32>,
     stats: CacheStats,
+    /// Metadata probes (`meta_probes`); `Cell` because `contains*`
+    /// take `&self`. The probe sequence is deterministic, so the count
+    /// is a valid hard-gated profile counter.
+    probes: Cell<u64>,
 }
 
 impl PafsCache {
@@ -75,6 +80,7 @@ impl PafsCache {
             capacity: nodes as u64 * blocks_per_node,
             down: BTreeSet::new(),
             stats: CacheStats::default(),
+            probes: Cell::new(0),
         }
     }
 
@@ -120,6 +126,7 @@ impl PafsCache {
 
 impl CooperativeCache for PafsCache {
     fn access(&mut self, node: NodeId, block: BlockId, write: bool) -> AccessOutcome {
+        self.probes.set(self.probes.get() + 1);
         // A copy held by a disconnected node cannot be reached over the
         // network: the access misses, but the copy itself survives and
         // serves again once the holder rejoins.
@@ -162,10 +169,12 @@ impl CooperativeCache for PafsCache {
     }
 
     fn contains(&self, block: BlockId) -> bool {
+        self.probes.set(self.probes.get() + 1);
         self.pool.contains(block)
     }
 
     fn contains_local(&self, node: NodeId, block: BlockId) -> bool {
+        self.probes.set(self.probes.get() + 1);
         self.pool.get(block).is_some_and(|m| m.owner == node)
     }
 
@@ -176,6 +185,7 @@ impl CooperativeCache for PafsCache {
         origin: InsertOrigin,
         dirty: bool,
     ) -> Vec<Evicted> {
+        self.probes.set(self.probes.get() + 1);
         // Degraded mode: placement on a down server fails over to the
         // next node that is up (centralized management re-homes the
         // file's service, §4's single-server design made fault-aware).
@@ -224,6 +234,10 @@ impl CooperativeCache for PafsCache {
 
     fn resident_blocks(&self) -> u64 {
         self.pool.len() as u64
+    }
+
+    fn meta_probes(&self) -> u64 {
+        self.probes.get()
     }
 }
 

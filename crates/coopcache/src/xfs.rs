@@ -1,6 +1,7 @@
 //! The xFS-style cooperative cache: serverless, per-node LRU caches
 //! with manager-mediated remote hits and N-chance forwarding.
 
+use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap};
 
 use ioworkload::{BlockId, NodeId};
@@ -63,6 +64,10 @@ pub struct XfsCache {
     n_chance: u8,
     rng_state: u64,
     stats: CacheStats,
+    /// Metadata probes (`meta_probes`); `Cell` because `contains*`
+    /// take `&self`. The probe sequence is deterministic, so the count
+    /// is a valid hard-gated profile counter.
+    probes: Cell<u64>,
 }
 
 impl XfsCache {
@@ -88,6 +93,7 @@ impl XfsCache {
             n_chance,
             rng_state: seed | 1,
             stats: CacheStats::default(),
+            probes: Cell::new(0),
         }
     }
 
@@ -216,6 +222,7 @@ impl XfsCache {
 
 impl CooperativeCache for XfsCache {
     fn access(&mut self, node: NodeId, block: BlockId, write: bool) -> AccessOutcome {
+        self.probes.set(self.probes.get() + 1);
         let mut evicted = Vec::new();
         // Local?
         if let Some(before) = self.pools[node.0 as usize].touch(block, write) {
@@ -271,10 +278,12 @@ impl CooperativeCache for XfsCache {
     }
 
     fn contains(&self, block: BlockId) -> bool {
+        self.probes.set(self.probes.get() + 1);
         self.holders.contains_key(&block)
     }
 
     fn contains_local(&self, node: NodeId, block: BlockId) -> bool {
+        self.probes.set(self.probes.get() + 1);
         self.pools[node.0 as usize].contains(block)
     }
 
@@ -285,6 +294,7 @@ impl CooperativeCache for XfsCache {
         origin: InsertOrigin,
         dirty: bool,
     ) -> Vec<Evicted> {
+        self.probes.set(self.probes.get() + 1);
         let mut out = Vec::new();
         if !self.pools[node.0 as usize].contains(block) {
             match origin {
@@ -337,6 +347,10 @@ impl CooperativeCache for XfsCache {
 
     fn resident_blocks(&self) -> u64 {
         self.pools.iter().map(|p| p.len() as u64).sum()
+    }
+
+    fn meta_probes(&self) -> u64 {
+        self.probes.get()
     }
 }
 

@@ -41,6 +41,7 @@ pub use config::{CacheSystem, MachineConfig, PrefetchGranularity, SimConfig};
 pub use coopcache::Replacement;
 pub use metrics::{SimReport, TimeBucket};
 pub use sim::Simulation;
+pub use simprof::{Counters as ProfileCounters, PhaseWall, SimProfile};
 
 /// Convenience: build and run a simulation in one call.
 pub fn run_simulation(config: SimConfig, workload: ioworkload::Workload) -> SimReport {
@@ -64,4 +65,20 @@ pub fn run_simulation_traced(
     workload: std::sync::Arc<ioworkload::Workload>,
 ) -> (SimReport, lapobs::TraceRecorder) {
     Simulation::with_recorder(config, workload, lapobs::TraceRecorder::new()).run_traced()
+}
+
+/// Convenience: build and run a simulation with self-profiling,
+/// returning the report (bit-identical to [`run_simulation`]'s)
+/// together with the [`SimProfile`]. Construction is timed as the
+/// profile's `setup` phase.
+pub fn run_simulation_profiled(
+    config: SimConfig,
+    workload: ioworkload::Workload,
+) -> (SimReport, SimProfile) {
+    let t0 = std::time::Instant::now();
+    let sim = Simulation::new(config, workload);
+    let setup = t0.elapsed();
+    let (report, _rec, mut profile) = sim.run_profiled();
+    profile.wall.setup = setup;
+    (report, profile)
 }

@@ -387,6 +387,69 @@ impl<R: Recorder> Simulation<R> {
     /// Run to completion, returning the report together with the
     /// recorder (and thus the captured event stream).
     pub fn run_traced(mut self) -> (SimReport, R) {
+        self.drive();
+        self.finish()
+    }
+
+    /// Run to completion with self-profiling: the report and recorder
+    /// as from [`run_traced`](Self::run_traced) — bit-identical, since
+    /// profiling only reads deterministic counters the run maintains
+    /// anyway — plus the [`simprof::SimProfile`].
+    ///
+    /// The profile's `wall.setup` is zero here: construction happened
+    /// before this call. [`crate::run_simulation_profiled`] fills it
+    /// in.
+    pub fn run_profiled(mut self) -> (SimReport, R, simprof::SimProfile) {
+        self.queue.enable_depth_tracking();
+        let allocs_before = simprof::alloc_count();
+        let t_loop = std::time::Instant::now();
+        self.drive();
+        let event_loop = t_loop.elapsed();
+        let allocs = match (allocs_before, simprof::alloc_count()) {
+            (Some(a), Some(b)) => Some(b.saturating_sub(a)),
+            _ => None,
+        };
+        let counters = self.profile_counters();
+        let t_report = std::time::Instant::now();
+        let (report, rec) = self.finish();
+        let profile = simprof::SimProfile {
+            counters,
+            reads: report.reads,
+            wall: simprof::PhaseWall {
+                setup: std::time::Duration::ZERO,
+                event_loop,
+                report: t_report.elapsed(),
+            },
+            allocs,
+        };
+        (report, rec, profile)
+    }
+
+    /// Assemble the deterministic cost counters from the subsystems.
+    /// Integer sums only, so map iteration order cannot leak in.
+    fn profile_counters(&self) -> simprof::Counters {
+        let q = self.queue.depth_stats().unwrap_or_default();
+        let mut c = simprof::Counters {
+            events: q.pops,
+            queue_pushes: q.pushes,
+            peak_queue_depth: q.peak_depth,
+            queue_depth_ticks: q.depth_ticks,
+            ..simprof::Counters::default()
+        };
+        for disk in &self.disks {
+            c.station_dispatches += disk.stats().dispatched;
+        }
+        for engine in self.engines.values() {
+            let p = engine.predictor();
+            c.pred_lookups += p.table_lookups();
+            c.pred_updates += p.table_updates();
+        }
+        c.cache_probes = self.cache.meta_probes();
+        c
+    }
+
+    /// Schedule the initial events, then drain the queue.
+    fn drive(&mut self) {
         for p in 0..self.procs.len() {
             self.queue
                 .schedule(SimTime::ZERO, Ev::Resume(ProcId(p as u32)));
@@ -427,7 +490,6 @@ impl<R: Recorder> Simulation<R> {
                 Ev::NodeUp { node } => self.node_up(node, now),
             }
         }
-        self.finish()
     }
 
     /// Snapshot the cache counters when tracing — paired with

@@ -93,6 +93,13 @@ pub struct FilePredictor {
     emits: u64,
     /// Predictions returned by the primary model (not the fallback).
     hits: u64,
+    /// Model consultations: every `predict`/`walk_next` call, whether
+    /// or not it produced a prediction. A deterministic cost counter
+    /// for the simulator self-profile — prediction *work*, where
+    /// `emits` counts prediction *output*.
+    lookups: u64,
+    /// Accesses observed into the model (`observe` calls).
+    updates: u64,
 }
 
 impl FilePredictor {
@@ -124,11 +131,14 @@ impl FilePredictor {
             inner,
             emits: 0,
             hits: 0,
+            lookups: 0,
+            updates: 0,
         }
     }
 
     /// Feed a real demand request into the model.
     pub fn observe(&mut self, req: Request) {
+        self.updates += 1;
         match &mut self.inner {
             Inner::None => {}
             Inner::Oba(o) => o.observe(req),
@@ -182,6 +192,16 @@ impl FilePredictor {
         }
     }
 
+    /// Model consultations so far (every `predict`/`walk_next` call).
+    pub fn table_lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Accesses observed into the model so far (`observe` calls).
+    pub fn table_updates(&self) -> u64 {
+        self.updates
+    }
+
     /// Distinct association rules ever mined (`pred.mined`; MITHRIL
     /// only, 0 elsewhere).
     pub fn mined(&self) -> u64 {
@@ -209,6 +229,7 @@ impl FilePredictor {
     /// when the graph cannot predict; Markov and MITHRIL do so only
     /// when configured with the `+oba` fallback.
     pub fn predict(&mut self, file_blocks: u64) -> Option<(Request, PredictionSource)> {
+        self.lookups += 1;
         let last = self.last_request()?;
         let pred = match &self.inner {
             Inner::None => None,
@@ -298,6 +319,7 @@ impl FilePredictor {
         walk: &mut Walk,
         file_blocks: u64,
     ) -> Option<(Request, PredictionSource)> {
+        self.lookups += 1;
         let pred = match &self.inner {
             Inner::None => None,
             Inner::Oba(_) => Oba::predict_after(walk.cur, file_blocks).map(|next| {

@@ -37,6 +37,27 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 
+/// Occupancy accounting for an [`EventQueue`], collected only when
+/// depth tracking is enabled.
+///
+/// All fields count deterministic quantities: they depend on the
+/// push/pop sequence alone, never on wall time, so two same-seed runs
+/// yield identical stats. The invariant `pushes - pops == len()` holds
+/// at every instant (see the `depth_accounting_never_drifts` test).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueDepthStats {
+    /// Events pushed since tracking was enabled.
+    pub pushes: u64,
+    /// Events popped since tracking was enabled.
+    pub pops: u64,
+    /// Largest pending-event count observed after any push.
+    pub peak_depth: u64,
+    /// Sum over all pops of the depth at the moment of the pop
+    /// (counting the popped event). `depth_ticks / pops` is the mean
+    /// depth seen by the consumer.
+    pub depth_ticks: u64,
+}
+
 /// A deterministic pending-event set ordered by simulated time.
 ///
 /// Events scheduled for the same instant are delivered in the order
@@ -46,6 +67,9 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
+    // `None` is the default zero-cost path: push/pop pay one branch on
+    // an always-false discriminant and no accounting writes.
+    depth: Option<QueueDepthStats>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -61,7 +85,23 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            depth: None,
         }
+    }
+
+    /// Start collecting occupancy statistics. Off by default so the
+    /// hot loop stays free of accounting work; profiled runs switch it
+    /// on before the first event is scheduled.
+    pub fn enable_depth_tracking(&mut self) {
+        self.depth = Some(QueueDepthStats::default());
+    }
+
+    /// Occupancy statistics since [`enable_depth_tracking`] was
+    /// called, or `None` when tracking is off.
+    ///
+    /// [`enable_depth_tracking`]: EventQueue::enable_depth_tracking
+    pub fn depth_stats(&self) -> Option<QueueDepthStats> {
+        self.depth
     }
 
     /// The current simulated time: the delivery time of the most
@@ -87,11 +127,21 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
+        if let Some(d) = &mut self.depth {
+            d.pushes += 1;
+            d.peak_depth = d.peak_depth.max(self.heap.len() as u64);
+        }
     }
 
     /// Remove and return the next event, advancing the clock to its
     /// delivery time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if let Some(d) = &mut self.depth {
+            if !self.heap.is_empty() {
+                d.pops += 1;
+                d.depth_ticks += self.heap.len() as u64;
+            }
+        }
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now);
         self.now = entry.at;
@@ -114,7 +164,14 @@ impl<E> EventQueue<E> {
     }
 
     /// Drop all pending events without advancing the clock.
+    ///
+    /// Dropped events count as pops (so `pushes - pops == len()` keeps
+    /// holding) but contribute no depth ticks — they were never seen
+    /// by the consumer.
     pub fn clear(&mut self) {
+        if let Some(d) = &mut self.depth {
+            d.pops += self.heap.len() as u64;
+        }
         self.heap.clear();
     }
 }
@@ -183,6 +240,85 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+    }
+
+    /// The depth-accounting invariant: at every instant,
+    /// `pushes - pops == len()`, and `peak_depth` dominates every
+    /// observed length. Exercised over an interleaved push/pop/clear
+    /// sequence so no drift can hide in a particular ordering.
+    #[test]
+    fn depth_accounting_never_drifts() {
+        let mut q = EventQueue::new();
+        q.enable_depth_tracking();
+        let check = |q: &EventQueue<u64>| {
+            let d = q.depth_stats().unwrap();
+            assert_eq!(
+                d.pushes - d.pops,
+                q.len() as u64,
+                "depth accounting drifted from push/pop delta"
+            );
+            assert!(d.peak_depth >= q.len() as u64);
+        };
+        // Interleave: grow to i, shrink by i/2, repeatedly.
+        let mut t = 0;
+        for round in 1..=8u64 {
+            for i in 0..round * 3 {
+                t += 1 + i;
+                q.schedule(at(t), i);
+                check(&q);
+            }
+            for _ in 0..round {
+                q.pop();
+                check(&q);
+            }
+        }
+        let d = q.depth_stats().unwrap();
+        assert!(d.depth_ticks >= d.pops, "each pop ticks at least depth 1");
+        // Drain and re-check; then clear must also keep the invariant.
+        q.schedule(at(t + 1), 0);
+        q.schedule(at(t + 2), 1);
+        q.clear();
+        check(&q);
+        while q.pop().is_some() {
+            check(&q);
+        }
+        let d = q.depth_stats().unwrap();
+        assert_eq!(d.pushes, d.pops, "drained queue must balance");
+    }
+
+    #[test]
+    fn depth_tracking_off_by_default() {
+        let mut q = EventQueue::new();
+        q.schedule(at(1), ());
+        q.pop();
+        assert_eq!(q.depth_stats(), None);
+    }
+
+    #[test]
+    fn depth_stats_match_a_known_sequence() {
+        let mut q = EventQueue::new();
+        q.enable_depth_tracking();
+        q.schedule(at(1), "a");
+        q.schedule(at(2), "b");
+        q.schedule(at(3), "c");
+        q.pop(); // depth 3 at pop
+        q.pop(); // depth 2 at pop
+        q.schedule(at(9), "d");
+        q.pop(); // depth 2 at pop
+        q.pop(); // depth 1 at pop
+        let d = q.depth_stats().unwrap();
+        assert_eq!(
+            d,
+            QueueDepthStats {
+                pushes: 4,
+                pops: 4,
+                peak_depth: 3,
+                depth_ticks: 3 + 2 + 2 + 1,
+            }
+        );
+        // Popping empty must not tick.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.depth_stats().unwrap(), d);
     }
 
     #[test]

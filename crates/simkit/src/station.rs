@@ -112,6 +112,10 @@ pub struct StationStats {
     /// In-service jobs aborted mid-service (outage timeout); the
     /// unserved remainder is un-credited from `busy`.
     pub aborted: u64,
+    /// Jobs that began service, whether immediately on arrival or
+    /// dispatched out of the queue. A deterministic cost counter:
+    /// `dispatched - aborted == completed` once the station drains.
+    pub dispatched: u64,
 }
 
 impl StationStats {
@@ -123,6 +127,7 @@ impl StationStats {
         reg.counter(format!("{prefix}.cancelled"), self.cancelled);
         reg.counter(format!("{prefix}.reordered"), self.reordered);
         reg.counter(format!("{prefix}.aborted"), self.aborted);
+        reg.counter(format!("{prefix}.dispatched"), self.dispatched);
     }
 }
 
@@ -333,6 +338,7 @@ impl<T> Station<T> {
     ) -> StartedJob<T> {
         let completes_at = now + cost.total;
         self.stats.busy += cost.total;
+        self.stats.dispatched += 1;
         self.current = Some((completes_at, prio, rid));
         if rec.enabled() {
             rec.record(

@@ -35,11 +35,21 @@ run cargo test --offline --workspace
 # same way).
 run ./target/debug/experiments --smoke --bench-out target/BENCH.json
 
-# Benchmark-snapshot staleness: the committed BENCH.json must match what
-# the tree produces (wall-clock is ignored; simulated results are
-# deterministic). Regenerate with:
+# Benchmark-snapshot staleness: the committed BENCH.json (schema 2)
+# must match what the tree produces. This is also the perf gate: the
+# deterministic self-profile counters (events, pushes, depth,
+# dispatches, predictor ops, cache probes) compare exactly and any
+# drift hard-fails; events_per_read and mean_queue_depth get a 10%
+# ratio gate; wall-clock and throughput (reads/s, events/s) are
+# machine-dependent and only warn (>30% regression). Regenerate with:
 #   ./target/debug/experiments --smoke --bench-out BENCH.json
 run ./target/debug/lapreport bench-diff BENCH.json target/BENCH.json
+
+# The perf table itself must render (hard-fails on a scenario without
+# a perf section, i.e. a schema-1 snapshot sneaking back in), and a
+# profiled run must work end to end from the CLI.
+run ./target/debug/lapreport perf target/BENCH.json
+run ./target/debug/lapsim --workload charisma --cache-mb 4 --profile
 
 # Artifact round-trip: simulate with tracing + metrics on, then make
 # lapreport digest both. Exercises the span accounting end to end —
@@ -75,12 +85,24 @@ helps="$(./target/debug/lapsim --help 2>&1 || true)
 $(./target/debug/experiments --help 2>&1 || true)
 $(./target/debug/lapreport --help 2>&1 || true)
 $(./target/debug/lapgen --help 2>&1 || true)"
-known_other="--release --offline --workspace --all-targets --all --check --exit-code --bench --bin --example --test --nocapture"
+known_other="--release --offline --workspace --all-targets --all --check --exit-code --bench --bin --example --test --nocapture --features"
 drift=0
 for f in $(grep -ohE -- '--[a-z][a-z-]+' DESIGN.md EXPERIMENTS.md README.md docs/CALIBRATION.md | sort -u); do
     case " $known_other " in *" $f "*) continue ;; esac
     if ! printf '%s' "$helps" | grep -qF -- "$f"; then
         echo "doc-flag drift: $f is referenced in the docs but no tool's --help prints it" >&2
+        drift=1
+    fi
+done
+[ "$drift" -eq 0 ] || exit 1
+
+# Doc-subcommand drift, same idea for `lapreport X`: every subcommand
+# the docs mention must appear in lapreport's usage text.
+echo "==> lapreport-subcommand drift"
+lapreport_usage="$(./target/debug/lapreport --help 2>&1 || true)"
+for sub in $(grep -ohE 'lapreport [a-z][a-z-]+' DESIGN.md EXPERIMENTS.md README.md docs/CALIBRATION.md | awk '{print $2}' | sort -u); do
+    if ! printf '%s' "$lapreport_usage" | grep -qE "lapreport $sub\b"; then
+        echo "doc drift: docs reference 'lapreport $sub' but usage doesn't list it" >&2
         drift=1
     fi
 done

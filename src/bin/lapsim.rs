@@ -36,6 +36,7 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     trace_sample: u64,
+    profile: bool,
 }
 
 fn usage() -> ! {
@@ -48,6 +49,9 @@ fn usage() -> ! {
     eprintln!("              [--trace-out FILE] [--metrics-out FILE]");
     eprintln!("              [--trace-sample N]   keep 1-in-N high-volume trace events");
     eprintln!("              [--fault-plan SPEC]  deterministic fault injection");
+    eprintln!("              [--profile]          print a simulator self-profile (cost");
+    eprintln!("                                   counters + phase timers; results stay");
+    eprintln!("                                   bit-identical to an unprofiled run)");
     eprintln!();
     eprintln!("fault plans: comma-separated key=value, e.g.");
     eprintln!("    seed=7,disk-error=0.02,disk-retries=4,backoff-ms=5,burst=60:5,");
@@ -114,6 +118,7 @@ fn parse_args() -> Args {
         trace_out: None,
         metrics_out: None,
         trace_sample: 1,
+        profile: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -196,6 +201,7 @@ fn parse_args() -> Args {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage())
             }
+            "--profile" => out.profile = true,
             "-v" | "--verbose" => out.verbose = true,
             "-h" | "--help" => usage(),
             _ => usage(),
@@ -281,14 +287,24 @@ fn main() {
     config.fault_plan = args.fault_plan;
 
     let t0 = std::time::Instant::now();
+    let mut profile: Option<SimProfile> = None;
     let report = if let Some(trace_path) = &args.trace_out {
         // Tracing requested: run with a recording backend and export
         // the event stream as Chrome trace-event JSON. `--trace-sample N`
         // keeps only 1-in-N of the high-volume per-block event kinds so
         // long runs fit the ring buffer; structural events always stay.
         let rec = TraceRecorder::with_sampling(TraceRecorder::DEFAULT_CAPACITY, args.trace_sample);
-        let (report, rec) =
-            Simulation::with_recorder(config, std::sync::Arc::new(workload), rec).run_traced();
+        let t_setup = std::time::Instant::now();
+        let sim = Simulation::with_recorder(config, std::sync::Arc::new(workload), rec);
+        let setup = t_setup.elapsed();
+        let (report, rec) = if args.profile {
+            let (report, rec, mut p) = sim.run_profiled();
+            p.wall.setup = setup;
+            profile = Some(p);
+            (report, rec)
+        } else {
+            sim.run_traced()
+        };
         if rec.sample_every() > 1 {
             for (label, seen, kept) in rec.sampled_counts() {
                 eprintln!("trace-sample: {label}: kept {kept} of {seen}");
@@ -306,6 +322,10 @@ fn main() {
             exit(1);
         });
         report
+    } else if args.profile {
+        let (report, p) = run_simulation_profiled(config, workload);
+        profile = Some(p);
+        report
     } else {
         run_simulation(config, workload)
     };
@@ -320,5 +340,10 @@ fn main() {
         println!("  wall time           {:.2} s", t0.elapsed().as_secs_f64());
     } else {
         println!("{}", report.summary());
+    }
+    // The profile is printed after (never inside) the report output, so
+    // everything above stays byte-identical to an unprofiled run.
+    if let Some(p) = &profile {
+        print!("{}", p.render());
     }
 }

@@ -73,6 +73,7 @@ pub use lapobs;
 pub use predict;
 pub use prefetch;
 pub use simkit;
+pub use simprof;
 pub use workzoo;
 
 /// Everything needed to run simulations, in one import.
@@ -86,8 +87,8 @@ pub mod prelude {
     pub use ioworkload::sprite::SpriteParams;
     pub use ioworkload::{BlockId, FileId, NodeId, Op, ProcId, Workload};
     pub use lap_core::{
-        run_simulation, run_simulation_traced, CacheSystem, MachineConfig, PrefetchGranularity,
-        SimConfig, SimReport, Simulation,
+        run_simulation, run_simulation_profiled, run_simulation_traced, CacheSystem, MachineConfig,
+        PrefetchGranularity, SimConfig, SimProfile, SimReport, Simulation,
     };
     pub use lapobs::{NoopRecorder, Recorder, Registry, TraceRecorder};
     pub use prefetch::{
