@@ -124,9 +124,9 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 })))
             }
-            "--threads" => {
+            "--threads" | "--workers" => {
                 opts.threads = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--threads needs an integer");
+                    eprintln!("--threads/--workers needs an integer");
                     std::process::exit(2);
                 })
             }
@@ -174,6 +174,9 @@ fn print_help() {
     eprintln!(
         "  --smoke  CI sanity mode: runs table1 + devmodel + extent + faults + predictors at small scale"
     );
+    eprintln!("  --workers N       alias for --threads: worker-pool size for the parallel");
+    eprintln!("                    sweeps (figure grids, devmodel/extent ablations, perf);");
+    eprintln!("                    results are byte-identical for any worker count");
     eprintln!("  --bench-out FILE  write a machine-readable BENCH.json snapshot of the");
     eprintln!("                    seed scenarios (diff with `lapreport bench-diff`)");
     eprintln!("  --predictor SPEC  restrict the predictors ablation to one registry spec");
@@ -370,8 +373,9 @@ fn perf_json(p: &lap_core::SimProfile) -> String {
 fn perf_profile(opts: &Options) {
     println!(
         "perf — simulator self-profile: seed scenarios + one scaled-up zoo workload \
-         (seed {}, scale {:?}; counters deterministic, wall informational)",
-        opts.seed, opts.scale
+         (seed {}, scale {:?}, {} worker(s); counters deterministic, wall informational \
+         — overlapped runs inflate per-run wall time)",
+        opts.seed, opts.scale, opts.threads
     );
     println!(
         "{:<28} {:>8} {:>9} {:>8} {:>5} {:>6} {:>9} {:>9} {:>9} {:>8} {:>9} {:>10}",
@@ -414,11 +418,17 @@ fn perf_profile(opts: &Options) {
             }
         );
     };
+    // Build every profile job first (workload generation is cheap),
+    // then fan the simulations out over the worker pool. Results come
+    // back in job order, so the counter columns are byte-identical for
+    // any `--workers` value; only the wall columns move.
+    let mut jobs = Vec::new();
     for (name, kind, system, pf, mb) in bench_scenarios() {
-        let wl = build_workload(kind, opts.scale, opts.seed);
-        let cfg = build_config(kind, opts.scale, system, pf, mb);
-        let (r, p) = run_simulation_profiled(cfg, wl);
-        row(name, &r, &p);
+        jobs.push((
+            name.to_string(),
+            build_config(kind, opts.scale, system, pf, mb),
+            build_workload(kind, opts.scale, opts.seed),
+        ));
     }
     // One zoo workload well past the seed scenarios' size: a web
     // session mix big enough to overflow the aggregate cache.
@@ -426,9 +436,13 @@ fn perf_profile(opts: &Options) {
     let wl = spec.build(opts.seed).expect("zoo perf workload builds");
     let mut cfg = lap_core::SimConfig::now(CacheSystem::Pafs, PrefetchConfig::ln_agr_is_ppm(1), 1);
     cfg.fit_to_workload(&wl);
-    let name = format!("{}/pafs/ln_agr_is_ppm:1/1MB", wl.name);
-    let (r, p) = run_simulation_profiled(cfg, wl);
-    row(&name, &r, &p);
+    jobs.push((format!("{}/pafs/ln_agr_is_ppm:1/1MB", wl.name), cfg, wl));
+    let results = bench::par_map(&jobs, opts.threads, |(_, cfg, wl)| {
+        run_simulation_profiled(cfg.clone(), wl.clone())
+    });
+    for ((name, _, _), (r, p)) in jobs.iter().zip(&results) {
+        row(name, r, p);
+    }
     println!();
 }
 
@@ -778,7 +792,7 @@ fn ablations(opts: &Options) {
 /// requests give the scheduler something to reorder.
 fn devmodel_ablation(opts: &Options) {
     let kind = WorkloadKind::CharismaPm;
-    let wl = build_workload(kind, opts.scale, opts.seed);
+    let wl = std::sync::Arc::new(build_workload(kind, opts.scale, opts.seed));
     println!(
         "devmodel — CHARISMA on PAFS at 4 MB: disk model × scheduler, read time in ms \
          (seed {}, scale {:?})",
@@ -801,27 +815,42 @@ fn devmodel_ablation(opts: &Options) {
         print!(" {:>9}", format!("geom/{}", sched.name()));
     }
     println!();
-    for (name, pf) in algos {
-        let fixed = run_simulation(
-            build_config(kind, opts.scale, CacheSystem::Pafs, pf, 4),
-            wl.clone(),
-        );
-        print!("{name:<18} {:>9.3}", fixed.avg_read_ms);
-        for sched in DiskSched::ALL {
-            let mut cfg = build_config(kind, opts.scale, CacheSystem::Pafs, pf, 4);
+    // One job per table cell (`None` is the fixed-model column); the
+    // sweep fans out and returns cells in job order, so the printed
+    // table is byte-identical for any worker count.
+    let jobs: Vec<(&str, PrefetchConfig, Option<DiskSched>)> = algos
+        .iter()
+        .flat_map(|&(name, pf)| {
+            std::iter::once((name, pf, None))
+                .chain(DiskSched::ALL.iter().map(move |&s| (name, pf, Some(s))))
+        })
+        .collect();
+    let reports = bench::par_map(&jobs, opts.threads, |&(_, pf, sched)| {
+        let mut cfg = build_config(kind, opts.scale, CacheSystem::Pafs, pf, 4);
+        if let Some(s) = sched {
             cfg.machine = cfg.machine.with_geometry();
-            cfg.machine.disk_sched = sched;
-            let r = run_simulation(cfg, wl.clone());
-            print!(" {:>9.3}", r.avg_read_ms);
-            // Smoke-level sanity: the simulation must have done real
-            // work and produced a finite, positive read time.
-            assert!(
-                r.avg_read_ms.is_finite() && r.avg_read_ms > 0.0 && r.reads > 0,
-                "degenerate devmodel cell: {name} geom/{}",
-                sched.name()
-            );
+            cfg.machine.disk_sched = s;
         }
-        println!();
+        lap_core::run_simulation_shared(cfg, std::sync::Arc::clone(&wl))
+    });
+    let per_row = 1 + DiskSched::ALL.len();
+    for (i, ((name, _, sched), r)) in jobs.iter().zip(&reports).enumerate() {
+        match sched {
+            None => print!("{name:<18} {:>9.3}", r.avg_read_ms),
+            Some(s) => {
+                print!(" {:>9.3}", r.avg_read_ms);
+                // Smoke-level sanity: the simulation must have done
+                // real work and produced a finite, positive read time.
+                assert!(
+                    r.avg_read_ms.is_finite() && r.avg_read_ms > 0.0 && r.reads > 0,
+                    "degenerate devmodel cell: {name} geom/{}",
+                    s.name()
+                );
+            }
+        }
+        if i % per_row == per_row - 1 {
+            println!();
+        }
     }
     println!();
 }
@@ -837,7 +866,7 @@ fn devmodel_ablation(opts: &Options) {
 /// double as a bit-identity sanity gate.
 fn extent_ablation(opts: &Options) {
     let kind = WorkloadKind::CharismaPm;
-    let wl = build_workload(kind, opts.scale, opts.seed);
+    let wl = std::sync::Arc::new(build_workload(kind, opts.scale, opts.seed));
     println!(
         "extent — CHARISMA on PAFS at 4 MB: prefetch granularity × extent size, geometry \
          disks (seed {}, scale {:?})",
@@ -857,16 +886,28 @@ fn extent_ablation(opts: &Options) {
     let mut csv = String::from(
         "algorithm,extent_blocks,block_read_ms,extent_read_ms,delta_pct,extent_covered_rate,blocks_per_issue\n",
     );
-    for pf in PrefetchConfig::paper_suite() {
-        for n in [1u64, 4, 8, 16] {
-            let run_with = |gran: PrefetchGranularity| {
-                let mut cfg = build_config(kind, opts.scale, CacheSystem::Pafs, pf, 4);
-                cfg.machine = cfg.machine.with_geometry_extent(n);
-                cfg.machine.prefetch_granularity = gran;
-                run_simulation(cfg, wl.clone())
-            };
-            let blk = run_with(PrefetchGranularity::Block);
-            let ext = run_with(PrefetchGranularity::Extent);
+    // One job per (algorithm, extent size): both granularities of a
+    // pair stay in one job so the comparison logic below reads them
+    // together; the sweep returns pairs in job order, so the table and
+    // CSV are byte-identical for any worker count.
+    let jobs: Vec<(PrefetchConfig, u64)> = PrefetchConfig::paper_suite()
+        .iter()
+        .flat_map(|&pf| [1u64, 4, 8, 16].into_iter().map(move |n| (pf, n)))
+        .collect();
+    let pairs = bench::par_map(&jobs, opts.threads, |&(pf, n)| {
+        let run_with = |gran: PrefetchGranularity| {
+            let mut cfg = build_config(kind, opts.scale, CacheSystem::Pafs, pf, 4);
+            cfg.machine = cfg.machine.with_geometry_extent(n);
+            cfg.machine.prefetch_granularity = gran;
+            lap_core::run_simulation_shared(cfg, std::sync::Arc::clone(&wl))
+        };
+        (
+            run_with(PrefetchGranularity::Block),
+            run_with(PrefetchGranularity::Extent),
+        )
+    });
+    {
+        for (&(pf, n), (blk, ext)) in jobs.iter().zip(&pairs) {
             assert!(
                 blk.avg_read_ms.is_finite() && blk.avg_read_ms > 0.0 && blk.reads > 0,
                 "degenerate extent cell: {} n={n}",
@@ -890,7 +931,7 @@ fn extent_ablation(opts: &Options) {
                 blk.avg_read_ms,
                 ext.avg_read_ms,
                 delta,
-                covered_rate(&ext) * 100.0,
+                covered_rate(ext) * 100.0,
                 ext.prefetch.blocks_per_issue(),
             );
             use std::fmt::Write as _;
@@ -901,7 +942,7 @@ fn extent_ablation(opts: &Options) {
                 blk.avg_read_ms,
                 ext.avg_read_ms,
                 delta,
-                covered_rate(&ext),
+                covered_rate(ext),
                 ext.prefetch.blocks_per_issue(),
             );
         }

@@ -3,9 +3,12 @@
 //! evaluation (§5) and a parallel sweep runner.
 
 pub mod plot;
+pub mod sweep;
 pub mod timing;
 
-use std::sync::{Arc, Mutex};
+pub use sweep::par_map;
+
+use std::sync::Arc;
 
 use ioworkload::charisma::CharismaParams;
 use ioworkload::sprite::SpriteParams;
@@ -214,8 +217,9 @@ pub struct Cell {
 }
 
 /// Run a full figure grid (algorithms × cache sizes), fanning the
-/// independent simulations out over `threads` workers with std scoped
-/// threads.
+/// independent simulations out over `threads` workers via
+/// [`par_map`]. Cells come back in roster order (algorithm, then
+/// cache size) regardless of worker count.
 pub fn run_grid(
     exp: Experiment,
     scale: Scale,
@@ -224,49 +228,18 @@ pub fn run_grid(
     threads: usize,
 ) -> Vec<Cell> {
     let workload = Arc::new(build_workload(exp.workload, scale, seed));
-    let algos = algorithms(exp.aggressive_only);
-    let jobs: Vec<(PrefetchConfig, u64)> = algos
+    let jobs: Vec<(PrefetchConfig, u64)> = algorithms(exp.aggressive_only)
         .iter()
         .flat_map(|&a| cache_mbs.iter().map(move |&mb| (a, mb)))
         .collect();
-
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Mutex<Vec<Cell>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    let threads = threads.max(1).min(jobs.len().max(1));
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (pf, mb) = jobs[i];
-                let cfg = build_config(exp.workload, scale, exp.system, pf, mb);
-                let report = run_simulation_shared(cfg, Arc::clone(&workload));
-                results.lock().expect("sweep worker panicked").push(Cell {
-                    algorithm: pf.paper_name(),
-                    cache_mb: mb,
-                    report,
-                });
-            });
+    par_map(&jobs, threads, |&(pf, mb)| {
+        let cfg = build_config(exp.workload, scale, exp.system, pf, mb);
+        Cell {
+            algorithm: pf.paper_name(),
+            cache_mb: mb,
+            report: run_simulation_shared(cfg, Arc::clone(&workload)),
         }
-    });
-
-    let mut cells = results.into_inner().expect("sweep worker panicked");
-    // Deterministic presentation order: algorithm roster order, then
-    // cache size.
-    let order: Vec<String> = algorithms(exp.aggressive_only)
-        .iter()
-        .map(|a| a.paper_name())
-        .collect();
-    cells.sort_by_key(|c| {
-        (
-            order.iter().position(|n| *n == c.algorithm).unwrap_or(99),
-            c.cache_mb,
-        )
-    });
-    cells
+    })
 }
 
 /// Extract the plotted metric from a cell.

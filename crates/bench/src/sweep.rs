@@ -1,0 +1,80 @@
+//! Deterministic parallel sweep runner.
+//!
+//! Every experiment grid is a list of independent simulations, so the
+//! sweep layer is one primitive: [`par_map`], a `std::thread::scope`
+//! worker pool over a job slice. Workers claim job *indices* from a
+//! shared atomic counter and write each result into the slot of its
+//! job, so the output order — and therefore every byte a caller
+//! prints from it — is the job order, independent of worker count and
+//! OS scheduling. The CI gate byte-diffs a 1-worker against an
+//! N-worker ablation run to keep that contract honest.
+//!
+//! Simulations themselves are single-threaded and deterministic;
+//! parallelism here only overlaps *independent* runs, which is why no
+//! result can depend on how the pool interleaved them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `jobs` on `workers` threads, preserving job order.
+///
+/// `workers` is clamped to `1..=jobs.len()`; with one worker this
+/// degenerates to a plain serial loop (same results by construction).
+/// Panics in `f` propagate out of the scope, failing the sweep loudly
+/// rather than dropping cells.
+pub fn par_map<J, R, F>(jobs: &[J], workers: usize, f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs.len());
+    // One slot per job: slot i only ever belongs to the worker that
+    // claimed index i, so the Mutex is uncontended — it exists to make
+    // the slot writable through the shared borrow the scope needs.
+    let slots: Vec<Mutex<Option<R>>> = (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let r = f(&jobs[i]);
+                *slots[i].lock().expect("sweep slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("every claimed job produces a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_job_order_for_any_worker_count() {
+        let jobs: Vec<u64> = (0..137).collect();
+        let expect: Vec<u64> = jobs.iter().map(|j| j * j).collect();
+        for workers in [1, 2, 3, 8, 64, 1000] {
+            assert_eq!(par_map(&jobs, workers, |&j| j * j), expect);
+        }
+    }
+
+    #[test]
+    fn empty_jobs_and_zero_workers_are_fine() {
+        assert_eq!(par_map::<u64, u64, _>(&[], 0, |&j| j), Vec::<u64>::new());
+        assert_eq!(par_map(&[7u64], 0, |&j| j + 1), vec![8]);
+    }
+}

@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod dense;
 mod local;
 mod lru;
 mod pafs;
 mod stats;
 mod xfs;
 
+pub use dense::MetaLayout;
 pub use ioworkload::{BlockId, FileId, NodeId};
 pub use local::LocalOnlyCache;
 pub use lru::Replacement;
@@ -104,6 +106,33 @@ pub trait CooperativeCache {
 
     /// Is the block resident in `node`'s local buffers? (No updates.)
     fn contains_local(&self, node: NodeId, block: BlockId) -> bool;
+
+    /// How many consecutive blocks starting at `block` (same file,
+    /// ascending index) are resident in the [`contains`](Self::contains)
+    /// sense, capped at `max`. No state updates.
+    ///
+    /// One *range* metadata operation: the aggressive prefetch walk
+    /// rescans already-resident data after every restart, and asking
+    /// "how far is this run resident?" once replaces up to `max` point
+    /// probes. Backends count it as a single metadata probe — it is one
+    /// query against the block-location tables; the dense layout
+    /// answers it from per-file presence bitmaps in O(`max`/64) words,
+    /// while the classic reference layout loops point lookups
+    /// internally. The default implementation delegates to
+    /// [`contains`](Self::contains) (and therefore counts one probe
+    /// per block examined).
+    fn resident_run(&self, block: BlockId, max: u32) -> u32 {
+        let mut n = 0;
+        while n < max
+            && self.contains(BlockId {
+                file: block.file,
+                index: block.index + u64::from(n),
+            })
+        {
+            n += 1;
+        }
+        n
+    }
 
     /// Insert a block on behalf of `node` after a disk fetch (or a
     /// write-allocate). Returns the evicted victims, if any.

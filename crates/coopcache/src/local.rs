@@ -101,6 +101,19 @@ impl CooperativeCache for LocalOnlyCache {
         self.pools[node.0 as usize].contains(block)
     }
 
+    fn resident_run(&self, block: BlockId, max: u32) -> u32 {
+        self.probes.set(self.probes.get() + 1);
+        let mut n = 0;
+        while n < max {
+            let member = BlockId::new(block.file, block.index + u64::from(n));
+            if !self.pools.iter().any(|p| p.contains(member)) {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
     fn insert(
         &mut self,
         node: NodeId,

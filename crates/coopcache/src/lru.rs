@@ -50,6 +50,7 @@ pub(crate) struct LruPool {
 }
 
 impl LruPool {
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
         Self::with_policy(Replacement::Lru)
     }

@@ -6,6 +6,7 @@ use std::collections::BTreeSet;
 
 use ioworkload::{BlockId, FileId, NodeId};
 
+use crate::dense::{BlockPool, MetaLayout};
 use crate::lru::{LruPool, Replacement};
 use crate::stats::CacheStats;
 use crate::{AccessOutcome, CooperativeCache, Evicted, InsertOrigin, Lookup};
@@ -50,7 +51,7 @@ pub fn server_node(file: FileId, nodes: u32) -> NodeId {
 /// );
 /// ```
 pub struct PafsCache {
-    pool: LruPool,
+    pool: BlockPool,
     nodes: u32,
     capacity: u64,
     /// Nodes currently disconnected from the cooperative cache
@@ -73,9 +74,21 @@ impl PafsCache {
     /// Build with an explicit replacement policy (for the
     /// replacement-policy ablation).
     pub fn with_policy(nodes: u32, blocks_per_node: u64, policy: Replacement) -> Self {
+        Self::with_layout(nodes, blocks_per_node, policy, MetaLayout::Dense)
+    }
+
+    /// Build with an explicit metadata layout. [`MetaLayout::Dense`]
+    /// (the default everywhere else) and [`MetaLayout::Classic`]
+    /// produce bit-identical results; the equivalence tests drive both.
+    pub fn with_layout(
+        nodes: u32,
+        blocks_per_node: u64,
+        policy: Replacement,
+        layout: MetaLayout,
+    ) -> Self {
         assert!(nodes > 0 && blocks_per_node > 0);
         PafsCache {
-            pool: LruPool::with_policy(policy),
+            pool: BlockPool::with_policy(layout, policy),
             nodes,
             capacity: nodes as u64 * blocks_per_node,
             down: BTreeSet::new(),
@@ -176,6 +189,13 @@ impl CooperativeCache for PafsCache {
     fn contains_local(&self, node: NodeId, block: BlockId) -> bool {
         self.probes.set(self.probes.get() + 1);
         self.pool.get(block).is_some_and(|m| m.owner == node)
+    }
+
+    fn resident_run(&self, block: BlockId, max: u32) -> u32 {
+        // One range query against the pool = one metadata probe (the
+        // dense layout answers it from its presence bitmaps).
+        self.probes.set(self.probes.get() + 1);
+        self.pool.resident_run(block, max)
     }
 
     fn insert(
@@ -402,6 +422,66 @@ mod tests {
         c.insert(n(0), b(0, 0), InsertOrigin::Demand, false);
         assert_eq!(c.resident_blocks(), 1);
         assert_eq!(c.access(n(0), b(0, 0), false).lookup, Lookup::LocalHit);
+    }
+
+    /// Classic and dense layouts must be observably identical on a
+    /// randomized mixed workload, under both replacement policies.
+    #[test]
+    fn dense_layout_matches_classic_layout() {
+        use crate::dense::MetaLayout;
+        for (seed, policy) in [(5u64, Replacement::Lru), (6, Replacement::Fifo)] {
+            let mut classic = PafsCache::with_layout(3, 4, policy, MetaLayout::Classic);
+            let mut dense = PafsCache::with_layout(3, 4, policy, MetaLayout::Dense);
+            let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            for _ in 0..3000 {
+                let node = n((next() % 3) as u32);
+                let block = b((next() % 2) as u32, next() % 30);
+                match next() % 10 {
+                    0..=4 => {
+                        let write = next() % 4 == 0;
+                        let (co, do_) = (
+                            classic.access(node, block, write),
+                            dense.access(node, block, write),
+                        );
+                        assert_eq!(co.lookup, do_.lookup);
+                        assert_eq!(co.evicted, do_.evicted);
+                    }
+                    5..=7 => {
+                        let origin = if next() % 3 == 0 {
+                            InsertOrigin::Prefetch
+                        } else {
+                            InsertOrigin::Demand
+                        };
+                        let dirty = next() % 5 == 0;
+                        assert_eq!(
+                            classic.insert(node, block, origin, dirty),
+                            dense.insert(node, block, origin, dirty)
+                        );
+                    }
+                    8 => {
+                        assert_eq!(classic.sweep_dirty(), dense.sweep_dirty());
+                    }
+                    _ => {
+                        let down = next() % 2 == 0;
+                        classic.set_degraded(node, down);
+                        dense.set_degraded(node, down);
+                    }
+                }
+                assert_eq!(classic.contains(block), dense.contains(block));
+                assert_eq!(classic.resident_run(block, 8), dense.resident_run(block, 8));
+                assert_eq!(classic.resident_blocks(), dense.resident_blocks());
+                assert_eq!(classic.meta_probes(), dense.meta_probes());
+            }
+            classic.finalize();
+            dense.finalize();
+            assert_eq!(classic.stats(), dense.stats());
+        }
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //! with manager-mediated remote hits and N-chance forwarding.
 
 use std::cell::Cell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use ioworkload::{BlockId, NodeId};
 
-use crate::lru::LruPool;
+use crate::dense::{BlockPool, HolderTable, MetaLayout};
+use crate::lru::{LruPool, Replacement};
 use crate::stats::CacheStats;
 use crate::{AccessOutcome, CooperativeCache, Evicted, InsertOrigin, Lookup};
 
@@ -53,9 +54,10 @@ use crate::{AccessOutcome, CooperativeCache, Evicted, InsertOrigin, Lookup};
 /// assert_eq!(cache.resident_blocks(), 2);
 /// ```
 pub struct XfsCache {
-    pools: Vec<LruPool>,
-    /// block -> set of nodes holding a copy (BTreeSet for determinism).
-    holders: HashMap<BlockId, BTreeSet<u32>>,
+    pools: Vec<BlockPool>,
+    /// block -> set of nodes holding a copy (ascending-node iteration
+    /// order on either layout, for determinism).
+    holders: HolderTable,
     /// Nodes currently disconnected from the cooperative cache
     /// (degraded mode): excluded from holder lookups and forwarding,
     /// and themselves reduced to local-only operation.
@@ -84,10 +86,25 @@ impl XfsCache {
     /// Build with explicit N-chance depth and RNG seed for forwarding
     /// targets.
     pub fn with_options(nodes: u32, blocks_per_node: u64, n_chance: u8, seed: u64) -> Self {
+        Self::with_layout(nodes, blocks_per_node, n_chance, seed, MetaLayout::Dense)
+    }
+
+    /// Build with an explicit metadata layout. [`MetaLayout::Dense`]
+    /// (the default everywhere else) and [`MetaLayout::Classic`]
+    /// produce bit-identical results; the equivalence tests drive both.
+    pub fn with_layout(
+        nodes: u32,
+        blocks_per_node: u64,
+        n_chance: u8,
+        seed: u64,
+        layout: MetaLayout,
+    ) -> Self {
         assert!(nodes > 0 && blocks_per_node > 0);
         XfsCache {
-            pools: (0..nodes).map(|_| LruPool::new()).collect(),
-            holders: HashMap::new(),
+            pools: (0..nodes)
+                .map(|_| BlockPool::with_policy(layout, Replacement::Lru))
+                .collect(),
+            holders: HolderTable::new(layout),
             down: BTreeSet::new(),
             blocks_per_node,
             n_chance,
@@ -127,16 +144,11 @@ impl XfsCache {
     }
 
     fn register(&mut self, node: NodeId, block: BlockId) {
-        self.holders.entry(block).or_default().insert(node.0);
+        self.holders.insert(block, node);
     }
 
     fn unregister(&mut self, node: NodeId, block: BlockId) {
-        if let Some(set) = self.holders.get_mut(&block) {
-            set.remove(&node.0);
-            if set.is_empty() {
-                self.holders.remove(&block);
-            }
-        }
+        self.holders.remove(block, node);
     }
 
     /// Make room in `node`'s pool for one incoming block, applying
@@ -145,7 +157,7 @@ impl XfsCache {
         while self.pools[node.0 as usize].len() as u64 >= self.blocks_per_node {
             let (block, meta) = self.pools[node.0 as usize].pop_lru().expect("capacity > 0");
             self.unregister(node, block);
-            let is_singlet = !self.holders.contains_key(&block);
+            let is_singlet = !self.holders.contains_key(block);
             if is_singlet && meta.recirc < self.n_chance {
                 if let Some(peer) = self.pick_peer(node) {
                     self.stats.forwards += 1;
@@ -194,11 +206,7 @@ impl XfsCache {
 
     /// Invalidate every copy of `block` except the one on `keep`.
     fn invalidate_others(&mut self, keep: NodeId, block: BlockId, out: &mut Vec<Evicted>) {
-        let holders: Vec<u32> = self
-            .holders
-            .get(&block)
-            .map(|s| s.iter().copied().filter(|&h| h != keep.0).collect())
-            .unwrap_or_default();
+        let holders = self.holders.holders_except(block, keep.0);
         for h in holders {
             let node = NodeId(h);
             if let Some(meta) = self.pools[h as usize].remove(block) {
@@ -244,10 +252,7 @@ impl CooperativeCache for XfsCache {
         let holder = if self.down.contains(&node.0) {
             None
         } else {
-            self.holders
-                .get(&block)
-                .and_then(|s| s.iter().copied().find(|h| !self.down.contains(h)))
-                .map(NodeId)
+            self.holders.first_holder_up(block, &self.down).map(NodeId)
         };
         if let Some(holder) = holder {
             self.stats.remote_hits += 1;
@@ -279,12 +284,19 @@ impl CooperativeCache for XfsCache {
 
     fn contains(&self, block: BlockId) -> bool {
         self.probes.set(self.probes.get() + 1);
-        self.holders.contains_key(&block)
+        self.holders.contains_key(block)
     }
 
     fn contains_local(&self, node: NodeId, block: BlockId) -> bool {
         self.probes.set(self.probes.get() + 1);
         self.pools[node.0 as usize].contains(block)
+    }
+
+    fn resident_run(&self, block: BlockId, max: u32) -> u32 {
+        // One range query against the holder registry = one metadata
+        // probe (the dense layout answers it from presence bitmaps).
+        self.probes.set(self.probes.get() + 1);
+        self.holders.resident_run(block, max)
     }
 
     fn insert(
@@ -564,6 +576,70 @@ mod tests {
         assert_eq!(ev.len(), 1, "nowhere to forward: dropped");
         assert!(!c.contains(b(1)));
         assert_eq!(c.stats().forward_drops, 1);
+    }
+
+    /// Classic and dense layouts must be observably identical on a
+    /// randomized mixed workload: same lookups, same evictions, same
+    /// stats, same forwarding RNG consumption.
+    #[test]
+    fn dense_layout_matches_classic_layout() {
+        for seed in [3u64, 11, 1234567] {
+            let mut classic = XfsCache::with_layout(4, 3, 2, seed, MetaLayout::Classic);
+            let mut dense = XfsCache::with_layout(4, 3, 2, seed, MetaLayout::Dense);
+            let mut rng = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            for _ in 0..3000 {
+                let node = n((next() % 4) as u32);
+                let block = b(next() % 40);
+                match next() % 10 {
+                    0..=4 => {
+                        let write = next() % 4 == 0;
+                        let (co, do_) = (
+                            classic.access(node, block, write),
+                            dense.access(node, block, write),
+                        );
+                        assert_eq!(co.lookup, do_.lookup);
+                        assert_eq!(co.evicted, do_.evicted);
+                    }
+                    5..=7 => {
+                        let origin = if next() % 3 == 0 {
+                            InsertOrigin::Prefetch
+                        } else {
+                            InsertOrigin::Demand
+                        };
+                        let dirty = next() % 5 == 0;
+                        assert_eq!(
+                            classic.insert(node, block, origin, dirty),
+                            dense.insert(node, block, origin, dirty)
+                        );
+                    }
+                    8 => {
+                        assert_eq!(classic.sweep_dirty(), dense.sweep_dirty());
+                    }
+                    _ => {
+                        let down = next() % 2 == 0;
+                        classic.set_degraded(node, down);
+                        dense.set_degraded(node, down);
+                    }
+                }
+                assert_eq!(classic.contains(block), dense.contains(block));
+                assert_eq!(
+                    classic.contains_local(node, block),
+                    dense.contains_local(node, block)
+                );
+                assert_eq!(classic.resident_run(block, 8), dense.resident_run(block, 8));
+                assert_eq!(classic.resident_blocks(), dense.resident_blocks());
+                assert_eq!(classic.meta_probes(), dense.meta_probes());
+            }
+            classic.finalize();
+            dense.finalize();
+            assert_eq!(classic.stats(), dense.stats());
+        }
     }
 
     #[test]

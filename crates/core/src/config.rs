@@ -1,10 +1,10 @@
 //! Machine and simulation configuration (Table 1 of the paper).
 
-use coopcache::Replacement;
+use coopcache::{MetaLayout, Replacement};
 use devmodel::{DiskGeometry, DiskModel, DiskModelKind, DiskSched, NetModelKind};
 use faultkit::FaultPlan;
 use prefetch::PrefetchConfig;
-use simkit::SimDuration;
+use simkit::{QueueBackend, SimDuration};
 
 /// Hardware parameters of the simulated machine — the two columns of
 /// Table 1.
@@ -267,6 +267,17 @@ pub struct SimConfig {
     /// pre-fault simulation, bit for bit). Faults draw from their own
     /// seeded stream, so a plan never perturbs the workload stream.
     pub fault_plan: Option<FaultPlan>,
+    /// Event-queue backend (DESIGN.md §14). `Calendar` (the default)
+    /// is O(1) amortized for the near-monotone timestamps a DES
+    /// produces; `Heap` is the BinaryHeap reference implementation.
+    /// Both deliver events in the same total order, so results are
+    /// bit-identical either way.
+    pub event_queue: QueueBackend,
+    /// Cache-metadata layout (DESIGN.md §14). `Dense` (the default)
+    /// uses open-addressed block tables with an intrusive LRU list;
+    /// `Classic` is the HashMap + BTreeSet reference implementation.
+    /// Bit-identical results either way.
+    pub meta_layout: MetaLayout,
 }
 
 impl SimConfig {
@@ -283,6 +294,8 @@ impl SimConfig {
             prefetch_priority: true,
             metrics_interval: SimDuration::from_secs(60),
             fault_plan: None,
+            event_queue: QueueBackend::Calendar,
+            meta_layout: MetaLayout::Dense,
         }
     }
 
@@ -299,6 +312,8 @@ impl SimConfig {
             prefetch_priority: true,
             metrics_interval: SimDuration::from_secs(60),
             fault_plan: None,
+            event_queue: QueueBackend::Calendar,
+            meta_layout: MetaLayout::Dense,
         }
     }
 

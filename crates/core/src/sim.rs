@@ -61,6 +61,14 @@ const PRIO_DEMAND: Priority = Priority(0);
 const PRIO_WRITEBACK: Priority = Priority(1);
 const PRIO_PREFETCH: Priority = Priority(2);
 
+/// How far ahead one `resident_run` range query looks when the
+/// aggressive prefetch walk checks residency. Matches the engine's
+/// cached-run cutoff (64 consecutive resident blocks stop the walk),
+/// so a full rescan costs one range probe instead of 64 point probes.
+/// Any value ≥ 1 is behaviourally equivalent — this only sizes the
+/// query, never changes its answer.
+const WALK_RUN_PROBE: u32 = 64;
+
 /// Identifier of one outstanding (multi-block) application request.
 type ReqId = usize;
 
@@ -264,6 +272,17 @@ pub struct Simulation<R: Recorder = NoopRecorder> {
     /// that disk's error bursts the engine's walk stands down (the
     /// paper's rule that prefetching never delays other operations).
     pf_demand_disk: HashMap<PfKey, usize>,
+    /// Reusable scratch for [`handle_read`](Self::handle_read)'s
+    /// missing-block list: taken at entry, drained, returned empty —
+    /// steady-state reads allocate nothing here.
+    scratch_missing: Vec<BlockId>,
+    /// Reusable scratch for [`pump_prefetcher`](Self::pump_prefetcher):
+    /// the issue batch and its membership companion set.
+    scratch_issue: Vec<(u64, u32)>,
+    scratch_issue_set: HashSet<u64>,
+    /// Recycled `waiters` vectors from completed fetches, so demand
+    /// misses stop paying one allocation each.
+    waiters_pool: Vec<Vec<ReqId>>,
     rec: R,
 }
 
@@ -306,10 +325,11 @@ impl<R: Recorder> Simulation<R> {
         );
         assert!(config.machine.disks > 0, "machine needs at least one disk");
         let cache: Box<dyn CooperativeCache> = match config.system {
-            CacheSystem::Pafs => Box::new(PafsCache::with_policy(
+            CacheSystem::Pafs => Box::new(PafsCache::with_layout(
                 config.machine.nodes,
                 config.blocks_per_node(),
                 config.replacement,
+                config.meta_layout,
             )),
             CacheSystem::Xfs => {
                 assert_eq!(
@@ -317,9 +337,12 @@ impl<R: Recorder> Simulation<R> {
                     coopcache::Replacement::Lru,
                     "the xFS model only supports LRU local caches"
                 );
-                Box::new(XfsCache::new(
+                Box::new(XfsCache::with_layout(
                     config.machine.nodes,
                     config.blocks_per_node(),
+                    XfsCache::DEFAULT_N_CHANCE,
+                    0x9E3779B9,
+                    config.meta_layout,
                 ))
             }
             CacheSystem::LocalOnly => Box::new(LocalOnlyCache::with_policy(
@@ -354,10 +377,11 @@ impl<R: Recorder> Simulation<R> {
             .fault_plan
             .filter(|p| !p.is_empty())
             .map(|p| FaultState::new(p, config.machine.nodes as usize));
+        let queue = EventQueue::with_backend(config.event_queue);
         Simulation {
             config,
             workload,
-            queue: EventQueue::new(),
+            queue,
             cache,
             disks,
             disk_models,
@@ -375,6 +399,10 @@ impl<R: Recorder> Simulation<R> {
             aborted: vec![Vec::new(); ndisks],
             last_down: vec![SimTime::ZERO; ndisks],
             pf_demand_disk: HashMap::new(),
+            scratch_missing: Vec::new(),
+            scratch_issue: Vec::new(),
+            scratch_issue_set: HashSet::new(),
+            waiters_pool: Vec::new(),
             rec,
         }
     }
@@ -556,7 +584,7 @@ impl<R: Recorder> Simulation<R> {
         let snap = self.snap_stats();
         let prefetch_used_before = self.cache.stats().prefetch_used;
         let mut all_local = true;
-        let mut missing: Vec<BlockId> = Vec::new();
+        let mut missing = std::mem::take(&mut self.scratch_missing);
         for b in req.blocks() {
             let block = BlockId::new(file, b);
             let outcome = self.cache.access(node, block, false);
@@ -589,7 +617,7 @@ impl<R: Recorder> Simulation<R> {
         let mut remaining = 0;
         let mut fresh_misses = 0u32;
         let mut joined_prefetch = false;
-        for block in missing {
+        for block in missing.drain(..) {
             let key = self.fetch_key(node, block);
             remaining += 1;
             if let Some(pf) = self.pending.get_mut(&key) {
@@ -620,6 +648,8 @@ impl<R: Recorder> Simulation<R> {
                 }
             } else {
                 fresh_misses += 1;
+                let mut waiters = self.waiters_pool.pop().unwrap_or_default();
+                waiters.push(req_idx);
                 self.pending.insert(
                     key,
                     PendingFetch {
@@ -627,7 +657,7 @@ impl<R: Recorder> Simulation<R> {
                         demanded: true,
                         pf_owner: None,
                         node,
-                        waiters: vec![req_idx],
+                        waiters,
                         svc: None,
                         failover: SimDuration::ZERO,
                     },
@@ -635,6 +665,7 @@ impl<R: Recorder> Simulation<R> {
                 self.issue_fetch(key, false, rid, now);
             }
         }
+        self.scratch_missing = missing;
 
         // Let the prefetcher see the request *after* demand fetches are
         // pending, so it skips blocks already on their way. A request
@@ -1053,7 +1084,8 @@ impl<R: Recorder> Simulation<R> {
         self.emit_cache_delta(snap, now);
 
         let failover = pf.failover;
-        for req_idx in pf.waiters {
+        let mut waiters = pf.waiters;
+        for req_idx in waiters.drain(..) {
             self.reqs[req_idx].remaining -= 1;
             if self.reqs[req_idx].remaining == 0 {
                 let (bytes, all_local) = (self.reqs[req_idx].bytes, self.reqs[req_idx].all_local);
@@ -1070,6 +1102,7 @@ impl<R: Recorder> Simulation<R> {
                 self.queue.schedule(now + cost, Ev::RequestDone(req_idx));
             }
         }
+        self.waiters_pool.push(waiters);
 
         pf.pf_owner
     }
@@ -1175,10 +1208,12 @@ impl<R: Recorder> Simulation<R> {
         let home = self.prefetch_home(key);
         // Issue units: `(first, count)` runs. Per-block mode always
         // produces `count == 1`; extent mode batches up to one extent.
-        let mut to_issue: Vec<(u64, u32)> = Vec::new();
+        // Both buffers are recycled scratch — drained/cleared and put
+        // back below, so steady-state pumps allocate nothing.
+        let mut to_issue = std::mem::take(&mut self.scratch_issue);
         // Companion set for O(1) membership while `to_issue` keeps the
         // deterministic issue order.
-        let mut to_issue_set: HashSet<u64> = HashSet::new();
+        let mut to_issue_set = std::mem::take(&mut self.scratch_issue_set);
         // Extent-granular batching applies to the aggressive walkers
         // only: a one-block-ahead engine has nothing to batch, and the
         // paper's non-aggressive modes must stay untouched. With
@@ -1187,7 +1222,15 @@ impl<R: Recorder> Simulation<R> {
         let extent_mode = self.config.machine.prefetch_granularity == PrefetchGranularity::Extent
             && self.config.prefetch.is_aggressive();
         let extent_blocks = self.extent_blocks;
-        {
+        let aggressive_walk = self.config.prefetch.is_aggressive();
+        // Block range verified resident by a `resident_run` query this
+        // pump. Sound as a memo because a pump never mutates the cache:
+        // the walk loop below only issues pure `contains`-family
+        // queries, and the fetches batched in `to_issue` are inserted
+        // into `pending` only after the loop ends — so residency is
+        // frozen for the duration of the pump.
+        let mut run_resident: Option<(u64, u64)> = None;
+        'walk: {
             let Simulation {
                 engines,
                 cache,
@@ -1197,7 +1240,7 @@ impl<R: Recorder> Simulation<R> {
                 ..
             } = self;
             let Some(engine) = engines.get_mut(&key) else {
-                return;
+                break 'walk;
             };
             let mut obs = Obs::new(now.as_nanos(), key.file.0, rec);
             let scope = key.node;
@@ -1217,15 +1260,47 @@ impl<R: Recorder> Simulation<R> {
                 // in-flight fetches are invisible on xFS, which is what
                 // duplicates prefetch work on shared files (§4).
                 let is_cached = |idx: u64| {
+                    // Cheap, uncounted membership checks answer first,
+                    // cheapest first: ranges a `resident_run` query
+                    // already verified (two compares, no hashing — the
+                    // common case while rescanning resident data),
+                    // blocks this pump already batched, then fetches
+                    // already in flight (a SipHash over the fetch key,
+                    // the priciest of the three). Every check here is
+                    // side-effect-free, so the boolean is the same in
+                    // any order.
+                    if let Some((start, end)) = run_resident {
+                        if idx >= start && idx < end {
+                            return true;
+                        }
+                    }
+                    if to_issue_set.contains(&idx) {
+                        return true;
+                    }
                     let block = BlockId::new(key.file, idx);
-                    let resident = if local_only {
-                        cache.contains_local(scope.expect("local scope"), block)
+                    if pending.contains_key(&FetchKey { scope, block }) {
+                        return true;
+                    }
+                    if local_only {
+                        return cache.contains_local(scope.expect("local scope"), block);
+                    }
+                    if aggressive_walk {
+                        // An aggressive walk rescans already-resident
+                        // data after every restart (up to the engine's
+                        // cached-run cutoff), and those queries are
+                        // overwhelmingly sequential: ask for the whole
+                        // resident run once instead of point-probing
+                        // it block by block.
+                        let run = cache.resident_run(block, WALK_RUN_PROBE);
+                        if run > 0 {
+                            run_resident = Some((idx, idx + u64::from(run)));
+                            true
+                        } else {
+                            false
+                        }
                     } else {
                         cache.contains(block)
-                    };
-                    resident
-                        || pending.contains_key(&FetchKey { scope, block })
-                        || to_issue_set.contains(&idx)
+                    }
                 };
                 let next = if extent_mode {
                     engine.next_extent_obs(extent_blocks, is_cached, &mut obs)
@@ -1243,7 +1318,7 @@ impl<R: Recorder> Simulation<R> {
                 }
             }
         }
-        for (first, count) in to_issue {
+        for (first, count) in to_issue.drain(..) {
             // The prefetcher's coalescing scope is its own key scope:
             // global for the PAFS per-file server, per-node for xFS.
             let fkey = FetchKey {
@@ -1258,7 +1333,7 @@ impl<R: Recorder> Simulation<R> {
                         demanded: false,
                         pf_owner: Some(key),
                         node: home,
-                        waiters: Vec::new(),
+                        waiters: self.waiters_pool.pop().unwrap_or_default(),
                         svc: None,
                         failover: SimDuration::ZERO,
                     },
@@ -1273,6 +1348,9 @@ impl<R: Recorder> Simulation<R> {
                 self.issue_fetch_run(fkey, count, now);
             }
         }
+        to_issue_set.clear();
+        self.scratch_issue = to_issue;
+        self.scratch_issue_set = to_issue_set;
     }
 
     // ----- write-back ----------------------------------------------------

@@ -49,7 +49,7 @@ pub mod stats;
 mod time;
 
 pub use lapobs::{StationId, StationKind};
-pub use queue::{EventQueue, QueueDepthStats};
+pub use queue::{EventQueue, QueueBackend, QueueDepthStats};
 pub use service::{DeviceOp, FifoSched, JobSpec, MechDetail, Scheduler, ServiceCost, ServiceModel};
 pub use station::{Priority, StartedJob, Station, StationStats};
 pub use time::{SimDuration, SimTime};

@@ -51,6 +51,42 @@ run ./target/debug/lapreport bench-diff BENCH.json target/BENCH.json
 run ./target/debug/lapreport perf target/BENCH.json
 run ./target/debug/lapsim --workload charisma --cache-mb 4 --profile
 
+# Allocation gate: with the counting allocator compiled in, the event
+# loop must stay allocation-free enough that a simulated read costs a
+# single-digit number of heap allocations (docs/PERFORMANCE.md). The
+# scratch-buffer reuse in the engines is what keeps this low; a
+# regression here means a hot path started allocating per event. The
+# ceiling (10) is ~4x the current 2.3 allocs/read — loose enough for
+# honest growth, tight enough to catch a per-event Vec reappearing.
+run cargo build --offline --features count-alloc --bin lapsim
+echo "==> count-alloc ceiling"
+apr="$(./target/debug/lapsim --workload charisma --scale small --system pafs \
+    --algo ln_agr_is_ppm:1 --profile 2>/dev/null \
+    | sed -n 's/.*(\([0-9.]*\) per read, count-alloc).*/\1/p')"
+if [ -z "$apr" ]; then
+    echo "count-alloc gate: no allocations line in lapsim --profile output" >&2
+    exit 1
+fi
+echo "    allocs per read: $apr (ceiling 10)"
+if ! awk -v a="$apr" 'BEGIN { exit !(a <= 10) }'; then
+    echo "count-alloc gate: $apr allocs per simulated read exceeds the ceiling of 10" >&2
+    exit 1
+fi
+# Rebuild without the feature so later gates exercise the default
+# allocator (and the feature never leaks into the other binaries).
+run cargo build --offline --bin lapsim
+
+# Parallel-sweep determinism: the worker pool must not leak scheduling
+# into results — a 1-worker and an 8-worker run of the same ablations
+# must be byte-identical (bench::par_map writes results by job index).
+echo "==> sweep worker byte-diff (1 vs 8 workers)"
+rm -rf target/ci_sweep_w1 target/ci_sweep_w8
+./target/debug/experiments devmodel extent --scale small --workers 1 \
+    --out target/ci_sweep_w1 > /dev/null
+./target/debug/experiments devmodel extent --scale small --workers 8 \
+    --out target/ci_sweep_w8 > /dev/null
+run diff -r target/ci_sweep_w1 target/ci_sweep_w8
+
 # Artifact round-trip: simulate with tracing + metrics on, then make
 # lapreport digest both. Exercises the span accounting end to end —
 # lapreport exits non-zero if the breakdown stops summing to the mean
@@ -80,14 +116,14 @@ run ./target/debug/experiments mithril-sweep --workload mltrain:2,256 --seed 42
 # Doc-flag drift: every `--flag` a doc references must be printed by
 # one of the tools' --help (or belong to the cargo/git whitelist).
 # Catches docs that advertise a renamed or removed CLI flag.
-echo "==> doc-flag drift (DESIGN.md EXPERIMENTS.md README.md docs/CALIBRATION.md)"
+echo "==> doc-flag drift (DESIGN.md EXPERIMENTS.md README.md docs/CALIBRATION.md docs/PERFORMANCE.md)"
 helps="$(./target/debug/lapsim --help 2>&1 || true)
 $(./target/debug/experiments --help 2>&1 || true)
 $(./target/debug/lapreport --help 2>&1 || true)
 $(./target/debug/lapgen --help 2>&1 || true)"
 known_other="--release --offline --workspace --all-targets --all --check --exit-code --bench --bin --example --test --nocapture --features"
 drift=0
-for f in $(grep -ohE -- '--[a-z][a-z-]+' DESIGN.md EXPERIMENTS.md README.md docs/CALIBRATION.md | sort -u); do
+for f in $(grep -ohE -- '--[a-z][a-z-]+' DESIGN.md EXPERIMENTS.md README.md docs/CALIBRATION.md docs/PERFORMANCE.md | sort -u); do
     case " $known_other " in *" $f "*) continue ;; esac
     if ! printf '%s' "$helps" | grep -qF -- "$f"; then
         echo "doc-flag drift: $f is referenced in the docs but no tool's --help prints it" >&2
@@ -100,7 +136,7 @@ done
 # the docs mention must appear in lapreport's usage text.
 echo "==> lapreport-subcommand drift"
 lapreport_usage="$(./target/debug/lapreport --help 2>&1 || true)"
-for sub in $(grep -ohE 'lapreport [a-z][a-z-]+' DESIGN.md EXPERIMENTS.md README.md docs/CALIBRATION.md | awk '{print $2}' | sort -u); do
+for sub in $(grep -ohE 'lapreport [a-z][a-z-]+' DESIGN.md EXPERIMENTS.md README.md docs/CALIBRATION.md docs/PERFORMANCE.md | awk '{print $2}' | sort -u); do
     if ! printf '%s' "$lapreport_usage" | grep -qE "lapreport $sub\b"; then
         echo "doc drift: docs reference 'lapreport $sub' but usage doesn't list it" >&2
         drift=1

@@ -872,6 +872,10 @@ fn cmd_bench_diff(args: &[String]) -> i32 {
     }
     if drift {
         eprintln!("lapreport: benchmark results drifted (wall-clock warns only, never gates)");
+        eprintln!(
+            "lapreport: if the drift is intentional, regenerate the snapshot with:\n\
+             lapreport:   ./target/debug/experiments --smoke --bench-out BENCH.json"
+        );
         1
     } else {
         println!(

@@ -32,6 +32,8 @@ struct Args {
     prefetch_gran: PrefetchGranularity,
     extent_blocks: u64,
     fault_plan: Option<FaultPlan>,
+    event_queue: QueueBackend,
+    meta_layout: MetaLayout,
     verbose: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -49,6 +51,10 @@ fn usage() -> ! {
     eprintln!("              [--trace-out FILE] [--metrics-out FILE]");
     eprintln!("              [--trace-sample N]   keep 1-in-N high-volume trace events");
     eprintln!("              [--fault-plan SPEC]  deterministic fault injection");
+    eprintln!("              [--event-queue calendar|heap]  event-queue backend (both");
+    eprintln!("                                   bit-identical; heap is the reference)");
+    eprintln!("              [--meta-layout dense|classic]  cache-metadata layout (both");
+    eprintln!("                                   bit-identical; classic is the reference)");
     eprintln!("              [--profile]          print a simulator self-profile (cost");
     eprintln!("                                   counters + phase timers; results stay");
     eprintln!("                                   bit-identical to an unprofiled run)");
@@ -114,6 +120,8 @@ fn parse_args() -> Args {
         prefetch_gran: PrefetchGranularity::Block,
         extent_blocks: 1,
         fault_plan: None,
+        event_queue: QueueBackend::Calendar,
+        meta_layout: MetaLayout::Dense,
         verbose: false,
         trace_out: None,
         metrics_out: None,
@@ -201,6 +209,20 @@ fn parse_args() -> Args {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage())
             }
+            "--event-queue" => {
+                out.event_queue = args
+                    .next()
+                    .as_deref()
+                    .and_then(QueueBackend::parse)
+                    .unwrap_or_else(|| usage())
+            }
+            "--meta-layout" => {
+                out.meta_layout = args
+                    .next()
+                    .as_deref()
+                    .and_then(MetaLayout::parse)
+                    .unwrap_or_else(|| usage())
+            }
             "--profile" => out.profile = true,
             "-v" | "--verbose" => out.verbose = true,
             "-h" | "--help" => usage(),
@@ -285,6 +307,8 @@ fn main() {
     config.machine.disk_sched = args.disk_sched;
     config.machine.prefetch_granularity = args.prefetch_gran;
     config.fault_plan = args.fault_plan;
+    config.event_queue = args.event_queue;
+    config.meta_layout = args.meta_layout;
 
     let t0 = std::time::Instant::now();
     let mut profile: Option<SimProfile> = None;
