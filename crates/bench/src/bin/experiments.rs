@@ -18,14 +18,16 @@ use bench::{
     build_config, build_workload, experiment, render_csv, render_table, run_grid, Scale,
     WorkloadKind, CACHE_MBS, EXPERIMENTS,
 };
+use coopcache::MetaLayout;
 use devmodel::DiskSched;
 use faultkit::FaultPlan;
 use lap_core::{
-    run_simulation, run_simulation_profiled, CacheSystem, MachineConfig, PrefetchGranularity,
-    Replacement,
+    run_simulation, run_simulation_profiled, CacheSystem, CheckMode, MachineConfig,
+    PrefetchGranularity, Replacement,
 };
 use lapobs::MetricValue;
 use prefetch::{AggressiveLimit, EdgeChoice, PredictorSpec, PrefetchConfig};
+use simkit::QueueBackend;
 use workzoo::WorkloadSpec;
 
 struct Options {
@@ -40,6 +42,8 @@ struct Options {
     predictor: Option<PredictorSpec>,
     /// Restrict the `zoo`/`mithril-sweep` ablations to one workload.
     workload: Option<WorkloadSpec>,
+    /// Number of seeded random fault plans the `chaos` sweep runs.
+    plans: usize,
 }
 
 fn scale_name(s: Scale) -> &'static str {
@@ -60,6 +64,7 @@ fn parse_args() -> Options {
         bench_out: None,
         predictor: None,
         workload: None,
+        plans: 500,
     };
     let mut workload_raw: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -130,6 +135,12 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 })
             }
+            "--plans" => {
+                opts.plans = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--plans needs an integer");
+                    std::process::exit(2);
+                })
+            }
             "--obs" => opts.obs = true,
             "--bench-out" => {
                 opts.bench_out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
@@ -182,8 +193,9 @@ fn print_help() {
     eprintln!("  --predictor SPEC  restrict the predictors ablation to one registry spec");
     eprintln!("  --workload SPEC   restrict the zoo/mithril-sweep ablations to one workload");
     eprintln!("                    (registry spec, e.g. web:64,0.8,256 or strace:FILE)");
+    eprintln!("  --plans N         seeded random fault plans for the chaos sweep (default 500)");
     eprintln!(
-        "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, devmodel, extent, faults, predictors, zoo, mithril-sweep, perf, or any of:"
+        "ids: all, table1, fallback-share, mispredict, ablations, cooperation, robustness, devmodel, extent, faults, predictors, zoo, mithril-sweep, chaos, perf, or any of:"
     );
     for e in EXPERIMENTS {
         eprintln!("  {:<8} {}", e.id, e.title);
@@ -231,6 +243,7 @@ fn main() {
             "predictors" => predictors_ablation(&opts),
             "zoo" => zoo_ablation(&opts),
             "mithril-sweep" => mithril_sweep(&opts),
+            "chaos" => chaos(&opts),
             "perf" => perf_profile(&opts),
             id => {
                 let Some(exp) = experiment(id) else {
@@ -956,12 +969,16 @@ fn extent_ablation(opts: &Options) {
 }
 
 /// Fault-injection ablation: the seven paper configurations under
-/// three deterministic fault plans (none / light transient errors /
-/// heavy bursts + outages + degraded-mode windows). Checks the
-/// robustness invariants the fault layer promises:
+/// four deterministic fault plans (none / light transient errors /
+/// heavy bursts + outages + degraded-mode windows / heavy with
+/// crash-style node outages that wipe the rejoining node's cache).
+/// The wipe/heavy delta reported at the end is the read-time cost of
+/// re-warming the wiped buffers. Checks the robustness invariants the
+/// fault layer promises:
 ///
-/// * no demand read is lost or double-counted — `reads` (and `writes`)
-///   are identical across plans for every configuration;
+/// * no demand read is lost or double-counted — total completed reads
+///   and writes (warm + warm-up) are identical across plans for every
+///   configuration;
 /// * every cell stays finite and does real work;
 /// * under the heavy plan's error bursts the aggressive walkers stand
 ///   down (`fault.prefetch_suppressed > 0`) while demand reads keep
@@ -970,7 +987,7 @@ fn extent_ablation(opts: &Options) {
 fn faults_ablation(opts: &Options) {
     let kind = WorkloadKind::CharismaPm;
     let wl = build_workload(kind, opts.scale, opts.seed);
-    let plans: [(&str, Option<&str>); 3] = [
+    let plans: [(&str, Option<&str>); 4] = [
         ("none", None),
         (
             "light",
@@ -981,6 +998,17 @@ fn faults_ablation(opts: &Options) {
             Some(
                 "seed=7,disk-error=0.02,disk-retries=5,backoff-ms=5,burst=10:2,\
                  outage=30:3,node-outage=45:5,net-loss=0.02,net-delay=0.05:2",
+            ),
+        ),
+        // The heavy plan with node outages turned into *crashes*: a
+        // rejoining node comes back with an empty cache
+        // (node-outage-wipe). The wipe/heavy read-time delta is the
+        // cost of recovering the wiped buffers.
+        (
+            "wipe",
+            Some(
+                "seed=7,disk-error=0.02,disk-retries=5,backoff-ms=5,burst=10:2,\
+                 outage=30:3,node-outage-wipe=45:5,net-loss=0.02,net-delay=0.05:2",
             ),
         ),
     ];
@@ -999,8 +1027,10 @@ fn faults_ablation(opts: &Options) {
     let mut csv = String::from(
         "algorithm,plan,read_ms,reads,writes,faults_injected,failovers,prefetch_suppressed,degraded_s\n",
     );
+    let mut recovery: Vec<(String, f64, f64)> = Vec::new();
     for pf in PrefetchConfig::paper_suite() {
         let mut baseline: Option<(u64, u64)> = None;
+        let mut heavy_ms = 0.0;
         for (plan_name, spec) in plans {
             let mut cfg = build_config(kind, opts.scale, CacheSystem::Pafs, pf, 4);
             cfg.fault_plan = spec.map(|s| {
@@ -1013,11 +1043,16 @@ fn faults_ablation(opts: &Options) {
                 "degenerate faults cell: {} plan={plan_name}",
                 pf.paper_name()
             );
+            // Conservation must compare warm + warm-up totals: fault
+            // delays shift when later requests *start*, so a request
+            // near the warm-up boundary can migrate between the two
+            // buckets across plans even though none is lost.
+            let totals = (r.reads + r.warmup_reads, r.writes + r.warmup_writes);
             match baseline {
-                None => baseline = Some((r.reads, r.writes)),
+                None => baseline = Some(totals),
                 Some(base) => assert_eq!(
                     base,
-                    (r.reads, r.writes),
+                    totals,
                     "fault injection lost or double-counted requests: {} plan={plan_name}",
                     pf.paper_name()
                 ),
@@ -1036,6 +1071,17 @@ fn faults_ablation(opts: &Options) {
                     "{}: fault counters nonzero without a plan",
                     pf.paper_name()
                 );
+            }
+            if plan_name == "heavy" {
+                heavy_ms = r.avg_read_ms;
+            }
+            if plan_name == "wipe" {
+                assert!(
+                    r.degraded_s > 0.0,
+                    "{}: wipe plan never degraded a node",
+                    pf.paper_name()
+                );
+                recovery.push((pf.paper_name(), heavy_ms, r.avg_read_ms));
             }
             println!(
                 "{:<22} {:<6} {:>9.3} {:>7} {:>8} {:>9} {:>8} {:>10.3}",
@@ -1062,6 +1108,17 @@ fn faults_ablation(opts: &Options) {
                 r.degraded_s
             );
         }
+    }
+    println!();
+    println!("recovery cost of cold rejoin (wipe vs heavy, same fault schedule):");
+    for (name, heavy_ms, wipe_ms) in &recovery {
+        println!(
+            "{:<22} heavy {:>9.3} ms   wipe {:>9.3} ms   delta {:>+8.3} ms",
+            name,
+            heavy_ms,
+            wipe_ms,
+            wipe_ms - heavy_ms
+        );
     }
     println!();
     if let Some(dir) = &opts.out {
@@ -1492,6 +1549,209 @@ fn mithril_sweep(opts: &Options) {
         fs::write(&path, csv).expect("write mithril-sweep CSV");
         println!("wrote {}", path.display());
     }
+}
+
+/// One (plan × system) outcome of the chaos sweep.
+struct ChaosCell {
+    system: &'static str,
+    /// `"ok"`, `"violation"` (an invariant-oracle panic) or
+    /// `"mismatch"` (layout/backend variants disagreed).
+    status: &'static str,
+    /// Panic message / mismatch description, empty when ok.
+    detail: String,
+    read_ms: f64,
+    reads: u64,
+    injected: u64,
+    failovers: u64,
+}
+
+/// One seeded random fault plan's outcomes across both systems.
+struct ChaosRow {
+    plan: usize,
+    seed: u64,
+    spec: String,
+    cells: Vec<ChaosCell>,
+}
+
+/// `experiments chaos`: the seeded chaos sweep (DESIGN.md §15). Each
+/// plan index derives a random-but-valid fault plan spec from
+/// `FaultPlan::random_spec(seed + index)`, and every plan runs on both
+/// cooperative systems × both cache-metadata layouts × both
+/// event-queue backends with the invariant oracle forced **on**. A
+/// plan passes when all four layout/backend variants finish without an
+/// oracle violation and produce bit-identical `SimReport`s.
+///
+/// Always runs at small scale on the stock CHARISMA/Sprite pair — the
+/// point is plan count, not workload size; workload, algorithm and
+/// cache size rotate with the plan index so the sweep crosses fault
+/// plans with simulator states, not just with each other. Plans fan
+/// out over `bench::par_map`, so stdout and the `--out` CSV are
+/// byte-identical for any `--workers` value.
+fn chaos(opts: &Options) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    let systems = [CacheSystem::Pafs, CacheSystem::Xfs];
+    let variants: [(MetaLayout, QueueBackend); 4] = [
+        (MetaLayout::Classic, QueueBackend::Heap),
+        (MetaLayout::Classic, QueueBackend::Calendar),
+        (MetaLayout::Dense, QueueBackend::Heap),
+        (MetaLayout::Dense, QueueBackend::Calendar),
+    ];
+    let algos = [
+        PrefetchConfig::ln_agr_is_ppm(1),
+        PrefetchConfig::ln_agr_oba(),
+        PrefetchConfig::ln_agr_is_ppm(3),
+        PrefetchConfig::np(),
+    ];
+    let kinds = [WorkloadKind::CharismaPm, WorkloadKind::SpriteNow];
+    let mbs = [1u64, 2, 4];
+    let workloads: Vec<Arc<ioworkload::Workload>> = kinds
+        .iter()
+        .map(|&k| Arc::new(build_workload(k, Scale::Small, opts.seed)))
+        .collect();
+
+    // No worker count in the header: chaos output must stay
+    // byte-identical for any --workers (CI diffs runs).
+    println!(
+        "chaos — {} seeded random fault plans × {{PAFS, xFS}} × {{classic, dense}} × \
+         {{heap, calendar}}, invariant oracle on (seed base {}, small scale)",
+        opts.plans, opts.seed
+    );
+    let panic_msg = |e: Box<dyn std::any::Any + Send>| -> String {
+        e.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".into())
+    };
+    let jobs: Vec<usize> = (0..opts.plans).collect();
+    let rows: Vec<ChaosRow> = bench::par_map(&jobs, opts.threads, |&i| {
+        let plan_seed = opts.seed.wrapping_add(i as u64);
+        let spec = FaultPlan::random_spec(plan_seed);
+        let plan = FaultPlan::parse(&spec).expect("random_spec emits valid specs");
+        let kind = kinds[i % kinds.len()];
+        let wl = &workloads[i % kinds.len()];
+        let pf = algos[i % algos.len()];
+        let mb = mbs[i % mbs.len()];
+        let mut cells = Vec::with_capacity(systems.len());
+        for system in systems {
+            let mut reports = Vec::with_capacity(variants.len());
+            let mut cell = ChaosCell {
+                system: system.name(),
+                status: "ok",
+                detail: String::new(),
+                read_ms: 0.0,
+                reads: 0,
+                injected: 0,
+                failovers: 0,
+            };
+            for (layout, backend) in variants {
+                let mut cfg = build_config(kind, Scale::Small, system, pf, mb);
+                cfg.fault_plan = Some(plan);
+                cfg.meta_layout = layout;
+                cfg.event_queue = backend;
+                cfg.check = CheckMode::On;
+                let wl = Arc::clone(wl);
+                match catch_unwind(AssertUnwindSafe(|| {
+                    lap_core::run_simulation_shared(cfg, wl)
+                })) {
+                    Ok(r) => reports.push((layout, backend, r)),
+                    Err(e) => {
+                        cell.status = "violation";
+                        cell.detail = format!(
+                            "{}/{:?}/{:?}: {}",
+                            system.name(),
+                            layout,
+                            backend,
+                            panic_msg(e)
+                        );
+                        break;
+                    }
+                }
+            }
+            if cell.status == "ok" {
+                let (_, _, first) = &reports[0];
+                if let Some((layout, backend, _)) = reports.iter().find(|(_, _, r)| r != first) {
+                    cell.status = "mismatch";
+                    cell.detail = format!(
+                        "{}/{:?}/{:?} differs from {:?}/{:?}",
+                        system.name(),
+                        layout,
+                        backend,
+                        variants[0].0,
+                        variants[0].1
+                    );
+                } else {
+                    cell.read_ms = first.avg_read_ms;
+                    cell.reads = first.reads;
+                    cell.injected = first.faults_injected;
+                    cell.failovers = first.failovers;
+                }
+            }
+            cells.push(cell);
+        }
+        ChaosRow {
+            plan: i,
+            seed: plan_seed,
+            spec,
+            cells,
+        }
+    });
+
+    let mut csv =
+        String::from("plan,seed,system,status,read_ms,reads,faults_injected,failovers,spec\n");
+    let (mut violations, mut mismatches, mut injected_total) = (0u64, 0u64, 0u64);
+    for row in &rows {
+        for c in &row.cells {
+            match c.status {
+                "violation" => violations += 1,
+                "mismatch" => mismatches += 1,
+                _ => {}
+            }
+            injected_total += c.injected;
+            if c.status != "ok" {
+                println!(
+                    "  plan {:>4} seed {:>8} {:<5} {}: {}\n    spec: {}",
+                    row.plan, row.seed, c.system, c.status, c.detail, row.spec
+                );
+            }
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                csv,
+                "{},{},{},{},{:.6},{},{},{},{}",
+                row.plan,
+                row.seed,
+                c.system,
+                c.status,
+                c.read_ms,
+                c.reads,
+                c.injected,
+                c.failovers,
+                row.spec
+            );
+        }
+    }
+    let runs = rows.len() * systems.len() * variants.len();
+    println!(
+        "  plans {:>5}   runs {:>6}   faults injected {:>8}   violations {}   mismatches {}",
+        rows.len(),
+        runs,
+        injected_total,
+        violations,
+        mismatches
+    );
+    if let Some(dir) = &opts.out {
+        let path = dir.join("chaos.csv");
+        fs::write(&path, csv).expect("write chaos CSV");
+        println!("wrote {}", path.display());
+    }
+    if violations + mismatches > 0 {
+        eprintln!(
+            "chaos: {violations} invariant violation(s), {mismatches} layout/backend mismatch(es)"
+        );
+        std::process::exit(1);
+    }
+    println!("  all invariants green; classic/dense and heap/calendar bit-identical per plan\n");
 }
 
 /// §5.2: miss-prediction ratios on Sprite at 4 MB — "Ln_Agr_OBA has a

@@ -470,6 +470,17 @@ impl DensePool {
         dirty
     }
 
+    /// Visit every resident copy. Walks the recency list (not the
+    /// slab) so freed slots are skipped without a liveness flag.
+    pub(crate) fn for_each(&self, f: &mut dyn FnMut(BlockId, &Meta)) {
+        let mut s = self.head;
+        while s != NIL {
+            let slot = &self.slots[s as usize];
+            f(slot.block, &slot.meta);
+            s = slot.next;
+        }
+    }
+
     /// See [`LruPool::count_unused_prefetched`]. Sequential slab walk;
     /// freed slots have `prefetched` cleared at free time.
     pub(crate) fn count_unused_prefetched(&self) -> u64 {
@@ -585,6 +596,14 @@ impl BlockPool {
             BlockPool::Dense(p) => p.count_unused_prefetched(),
         }
     }
+
+    /// Visit every resident copy (arbitrary order).
+    pub(crate) fn for_each(&self, f: &mut dyn FnMut(BlockId, &Meta)) {
+        match self {
+            BlockPool::Classic(p) => p.for_each(f),
+            BlockPool::Dense(p) => p.for_each(f),
+        }
+    }
 }
 
 /// The xFS block→holders registry on either layout. The dense side
@@ -662,6 +681,26 @@ impl HolderTable {
                 .iter()
                 .copied()
                 .find(|h| !down.contains(h)),
+        }
+    }
+
+    /// Does the registry record `node` as a holder of `block`?
+    /// (Integrity checks only — not a probe-counted operation.)
+    pub(crate) fn holds(&self, block: BlockId, node: u32) -> bool {
+        match self {
+            HolderTable::Classic(m) => m.get(&block).is_some_and(|s| s.contains(&node)),
+            HolderTable::Dense(m) => m.holders_of(block).binary_search(&node).is_ok(),
+        }
+    }
+
+    /// Total number of (block, holder) registrations — every copy the
+    /// manager believes exists. (Integrity checks only.)
+    pub(crate) fn total_registrations(&self) -> u64 {
+        match self {
+            HolderTable::Classic(m) => m.values().map(|s| s.len() as u64).sum(),
+            // Freed slab entries keep an empty holder set, so summing
+            // over the whole slab counts exactly the live registrations.
+            HolderTable::Dense(m) => m.entries.iter().map(|e| e.holders.len() as u64).sum(),
         }
     }
 

@@ -182,6 +182,33 @@ pub trait CooperativeCache {
         let _ = (node, down);
     }
 
+    /// Drop every copy held in `node`'s buffers: the node *crashed*
+    /// (rather than merely disconnecting) and rejoins with a cold
+    /// cache (`node-outage-wipe` fault plans). Dirty copies are lost —
+    /// the crash took the buffer contents with it, so there is no
+    /// write-back. Every dropped copy goes through the normal eviction
+    /// accounting, which keeps the copy-conservation equation of
+    /// [`check_integrity`](Self::check_integrity) balanced. Returns
+    /// the number of copies wiped. Backends with no per-node placement
+    /// wipe nothing.
+    fn wipe_node(&mut self, node: NodeId) -> u64 {
+        let _ = node;
+        0
+    }
+
+    /// Structural self-check for the runtime invariant oracle
+    /// (DESIGN.md §15): copy conservation (inserts minus removals
+    /// equals residency), capacity bounds, and cross-structure
+    /// agreement (e.g. the xFS manager's holder registry versus the
+    /// per-node pools). Returns a diagnostic message on the first
+    /// violation found. Deliberately **not** counted as a metadata
+    /// probe ([`meta_probes`](Self::meta_probes)), so running the
+    /// oracle cannot move the deterministic profile counters the
+    /// BENCH gate compares. Default: nothing to check.
+    fn check_integrity(&self) -> Result<(), String> {
+        Ok(())
+    }
+
     /// Collect every dirty resident block and mark it clean — the
     /// periodic write-back sweep ("for fault-tolerance issues, these
     /// blocks are periodically sent to the disk", §5.3).

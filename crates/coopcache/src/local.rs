@@ -138,6 +138,40 @@ impl CooperativeCache for LocalOnlyCache {
         out
     }
 
+    fn wipe_node(&mut self, node: NodeId) -> u64 {
+        // Crash semantics: the node's buffers vanish, dirty copies are
+        // lost, and every drop is accounted as an eviction.
+        let mut wiped = 0u64;
+        while let Some((block, meta)) = self.pools[node.0 as usize].pop_lru() {
+            LruPool::account_eviction(&mut self.stats, block, &meta);
+            wiped += 1;
+        }
+        wiped
+    }
+
+    fn check_integrity(&self) -> Result<(), String> {
+        let s = &self.stats;
+        let resident = self.resident_blocks();
+        let inserted = s.demand_inserts + s.prefetch_inserts;
+        if inserted < s.evictions || inserted - s.evictions != resident {
+            return Err(format!(
+                "local-only copy conservation broken: demand_inserts {} + prefetch_inserts {} \
+                 - evictions {} != resident {resident}",
+                s.demand_inserts, s.prefetch_inserts, s.evictions
+            ));
+        }
+        for (i, pool) in self.pools.iter().enumerate() {
+            if pool.len() as u64 > self.blocks_per_node {
+                return Err(format!(
+                    "local-only node {i} over capacity: {} > {}",
+                    pool.len(),
+                    self.blocks_per_node
+                ));
+            }
+        }
+        Ok(())
+    }
+
     fn sweep_dirty(&mut self) -> Vec<BlockId> {
         let mut set = std::collections::BTreeSet::new();
         for pool in &mut self.pools {

@@ -187,6 +187,14 @@ impl LruPool {
         dirty
     }
 
+    /// Visit every resident copy (arbitrary order — callers that need
+    /// determinism must collect and sort).
+    pub(crate) fn for_each(&self, f: &mut dyn FnMut(BlockId, &Meta)) {
+        for (b, m) in self.map.iter() {
+            f(*b, m);
+        }
+    }
+
     /// Count resident prefetched-but-never-used blocks (for finalize).
     pub(crate) fn count_unused_prefetched(&self) -> u64 {
         self.map

@@ -236,6 +236,65 @@ impl CooperativeCache for PafsCache {
         }
     }
 
+    fn wipe_node(&mut self, node: NodeId) -> u64 {
+        // The crashed node's buffers held one copy each of the blocks
+        // placed on it; collect, sort (pool iteration order is not
+        // deterministic on the classic layout), and drop them through
+        // the regular eviction accounting. Dirty copies are lost.
+        let mut owned = Vec::new();
+        self.pool.for_each(&mut |block, meta| {
+            if meta.owner == node {
+                owned.push(block);
+            }
+        });
+        owned.sort_unstable();
+        for &block in &owned {
+            let meta = self.pool.remove(block).expect("collected above");
+            LruPool::account_eviction(&mut self.stats, block, &meta);
+        }
+        owned.len() as u64
+    }
+
+    fn check_integrity(&self) -> Result<(), String> {
+        let s = &self.stats;
+        let resident = self.pool.len() as u64;
+        let inserted = s.demand_inserts + s.prefetch_inserts;
+        if inserted < s.evictions || inserted - s.evictions != resident {
+            return Err(format!(
+                "pafs copy conservation broken: demand_inserts {} + prefetch_inserts {} \
+                 - evictions {} != resident {resident}",
+                s.demand_inserts, s.prefetch_inserts, s.evictions
+            ));
+        }
+        if resident > self.capacity {
+            return Err(format!(
+                "pafs over capacity: resident {resident} > capacity {}",
+                self.capacity
+            ));
+        }
+        let nodes = self.nodes;
+        let mut visited = 0u64;
+        let mut bad_owner = None;
+        self.pool.for_each(&mut |block, meta| {
+            visited += 1;
+            if meta.owner.0 >= nodes && bad_owner.is_none() {
+                bad_owner = Some((block, meta.owner));
+            }
+        });
+        if visited != resident {
+            return Err(format!(
+                "pafs pool iteration/len disagree: visited {visited}, len {resident}"
+            ));
+        }
+        if let Some((block, owner)) = bad_owner {
+            return Err(format!(
+                "pafs copy of file {} block {} owned by out-of-range node {}",
+                block.file.0, block.index, owner.0
+            ));
+        }
+        Ok(())
+    }
+
     fn sweep_dirty(&mut self) -> Vec<BlockId> {
         self.pool.sweep_dirty()
     }

@@ -335,6 +335,79 @@ impl CooperativeCache for XfsCache {
         }
     }
 
+    fn wipe_node(&mut self, node: NodeId) -> u64 {
+        // The node crashed: its buffers are gone, so nothing can be
+        // forwarded (no N-chance for wiped singlets) or written back.
+        // Each dropped copy is unregistered from the manager and runs
+        // through the regular eviction accounting.
+        let mut wiped = 0u64;
+        while let Some((block, meta)) = self.pools[node.0 as usize].pop_lru() {
+            self.unregister(node, block);
+            LruPool::account_eviction(&mut self.stats, block, &meta);
+            wiped += 1;
+        }
+        wiped
+    }
+
+    fn check_integrity(&self) -> Result<(), String> {
+        let s = &self.stats;
+        let resident = self.resident_blocks();
+        // Copies appear via counted inserts and via the duplicate (or
+        // ownership-taking) copy every remote hit leaves behind; they
+        // disappear via evictions and write invalidations. Forwards
+        // are residency-neutral (the receiver's own victim is counted
+        // as an eviction).
+        let gains = s.demand_inserts + s.prefetch_inserts + s.remote_hits;
+        let losses = s.evictions + s.invalidations;
+        if gains < losses || gains - losses != resident {
+            return Err(format!(
+                "xfs copy conservation broken: demand_inserts {} + prefetch_inserts {} \
+                 + remote_hits {} - evictions {} - invalidations {} != resident {resident}",
+                s.demand_inserts, s.prefetch_inserts, s.remote_hits, s.evictions, s.invalidations
+            ));
+        }
+        let mut total = 0u64;
+        for (i, pool) in self.pools.iter().enumerate() {
+            let node = NodeId(i as u32);
+            if pool.len() as u64 > self.blocks_per_node {
+                return Err(format!(
+                    "xfs node {i} over capacity: {} > {}",
+                    pool.len(),
+                    self.blocks_per_node
+                ));
+            }
+            let mut err = None;
+            pool.for_each(&mut |block, meta| {
+                if err.is_some() {
+                    return;
+                }
+                if meta.owner != node {
+                    err = Some(format!(
+                        "xfs copy of file {} block {} in node {i}'s pool tagged owner {}",
+                        block.file.0, block.index, meta.owner.0
+                    ));
+                } else if !self.holders.holds(block, node.0) {
+                    err = Some(format!(
+                        "xfs node {i} holds file {} block {} but the manager has no record",
+                        block.file.0, block.index
+                    ));
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            total += pool.len() as u64;
+        }
+        let registered = self.holders.total_registrations();
+        if registered != total {
+            return Err(format!(
+                "xfs manager registry disagrees with pools: {registered} registrations, \
+                 {total} resident copies"
+            ));
+        }
+        Ok(())
+    }
+
     fn sweep_dirty(&mut self) -> Vec<BlockId> {
         let mut set = BTreeSet::new();
         for pool in &mut self.pools {

@@ -4,6 +4,7 @@ use coopcache::{MetaLayout, Replacement};
 use devmodel::{DiskGeometry, DiskModel, DiskModelKind, DiskSched, NetModelKind};
 use faultkit::FaultPlan;
 use prefetch::PrefetchConfig;
+use simcheck::CheckMode;
 use simkit::{QueueBackend, SimDuration};
 
 /// Hardware parameters of the simulated machine — the two columns of
@@ -278,6 +279,11 @@ pub struct SimConfig {
     /// `Classic` is the HashMap + BTreeSet reference implementation.
     /// Bit-identical results either way.
     pub meta_layout: MetaLayout,
+    /// Runtime invariant oracle (DESIGN.md §15). `Auto` (the default)
+    /// enables it in debug builds — so every `cargo test` checks — and
+    /// disables it in release builds. The oracle is observational:
+    /// results are bit-identical with it on or off.
+    pub check: CheckMode,
 }
 
 impl SimConfig {
@@ -296,6 +302,7 @@ impl SimConfig {
             fault_plan: None,
             event_queue: QueueBackend::Calendar,
             meta_layout: MetaLayout::Dense,
+            check: CheckMode::Auto,
         }
     }
 
@@ -314,6 +321,7 @@ impl SimConfig {
             fault_plan: None,
             event_queue: QueueBackend::Calendar,
             meta_layout: MetaLayout::Dense,
+            check: CheckMode::Auto,
         }
     }
 

@@ -41,6 +41,7 @@ pub use config::{CacheSystem, MachineConfig, PrefetchGranularity, SimConfig};
 pub use coopcache::Replacement;
 pub use metrics::{SimReport, TimeBucket};
 pub use sim::Simulation;
+pub use simcheck::CheckMode;
 pub use simprof::{Counters as ProfileCounters, PhaseWall, SimProfile};
 
 /// Convenience: build and run a simulation in one call.

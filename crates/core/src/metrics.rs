@@ -154,6 +154,10 @@ pub(crate) struct Metrics {
     pub read_time_warmup: Series,
     /// Per-request write latency (ms), post-warm-up.
     pub write_time: Series,
+    /// Write requests completed during warm-up (count only — warm-up
+    /// writes carry no latency statistics, but request-conservation
+    /// checks need the total).
+    pub warmup_writes: u64,
     /// Disk read operations post-warm-up, split by what issued them.
     pub disk_reads_demand: u64,
     pub disk_reads_prefetch: u64,
@@ -183,6 +187,7 @@ impl Metrics {
             read_hist: LatencyHistogram::new(),
             read_time_warmup: Series::new(),
             write_time: Series::new(),
+            warmup_writes: 0,
             disk_reads_demand: 0,
             disk_reads_prefetch: 0,
             disk_writes: 0,
@@ -215,6 +220,8 @@ impl Metrics {
     pub fn record_write(&mut self, now: SimTime, latency: SimDuration) {
         if self.warm(now) {
             self.write_time.record_duration_ms(latency);
+        } else {
+            self.warmup_writes += 1;
         }
     }
 
@@ -311,6 +318,9 @@ pub struct SimReport {
     pub avg_write_ms: f64,
     /// Number of write requests measured.
     pub writes: u64,
+    /// Write requests that fell inside the warm-up window (excluded
+    /// from all other write statistics).
+    pub warmup_writes: u64,
     /// Disk reads issued by demand misses.
     pub disk_reads_demand: u64,
     /// Disk reads issued by the prefetcher.
@@ -487,6 +497,7 @@ mod tests {
             warmup_reads: 0,
             avg_write_ms: 0.0,
             writes: 0,
+            warmup_writes: 0,
             disk_reads_demand: 3,
             disk_reads_prefetch: 4,
             disk_writes: 5,

@@ -55,6 +55,20 @@ use simkit::{
 use crate::config::{CacheSystem, PrefetchGranularity, SimConfig};
 use crate::metrics::{Metrics, ReadOutcome, SimReport, SpanBreakdown};
 
+/// Run one oracle call and escalate a violation to a panic carrying
+/// the simulator's state dump. Expands to nothing observable when the
+/// oracle is disabled (`self.oracle` is `None`).
+macro_rules! oracle_check {
+    ($self:ident, $now:expr, |$o:ident| $call:expr) => {
+        if let Some($o) = $self.oracle.as_mut() {
+            let r = $call;
+            if let Err(e) = r {
+                $self.invariant_violation(e, $now);
+            }
+        }
+    };
+}
+
 /// Disk-queue priorities: demand reads first, write-backs next,
 /// prefetches last.
 const PRIO_DEMAND: Priority = Priority(0);
@@ -283,6 +297,10 @@ pub struct Simulation<R: Recorder = NoopRecorder> {
     /// Recycled `waiters` vectors from completed fetches, so demand
     /// misses stop paying one allocation each.
     waiters_pool: Vec<Vec<ReqId>>,
+    /// Runtime invariant oracle (DESIGN.md §15). `None` when
+    /// [`SimConfig::check`] resolves to disabled: every check site
+    /// below then costs one branch on an always-false `Option`.
+    oracle: Option<simcheck::Oracle>,
     rec: R,
 }
 
@@ -378,6 +396,10 @@ impl<R: Recorder> Simulation<R> {
             .filter(|p| !p.is_empty())
             .map(|p| FaultState::new(p, config.machine.nodes as usize));
         let queue = EventQueue::with_backend(config.event_queue);
+        let oracle = config
+            .check
+            .enabled()
+            .then(|| simcheck::Oracle::new(config.machine.nodes as usize));
         Simulation {
             config,
             workload,
@@ -403,6 +425,7 @@ impl<R: Recorder> Simulation<R> {
             scratch_issue: Vec::new(),
             scratch_issue_set: HashSet::new(),
             waiters_pool: Vec::new(),
+            oracle,
             rec,
         }
     }
@@ -499,6 +522,9 @@ impl<R: Recorder> Simulation<R> {
             }
         }
         while let Some((now, ev)) = self.queue.pop() {
+            // Monotonicity + liveness watchdog: one branch when the
+            // oracle is off, a few loads when it is on.
+            oracle_check!(self, now, |o| o.on_event(now));
             if self.rec.enabled() {
                 self.rec.record(
                     now.as_nanos(),
@@ -517,6 +543,48 @@ impl<R: Recorder> Simulation<R> {
                 Ev::NodeDown { node } => self.node_down(node, now),
                 Ev::NodeUp { node } => self.node_up(node, now),
             }
+        }
+    }
+
+    /// Escalate an invariant violation: panic with the oracle's
+    /// message plus a diagnostic dump of the loop's state, so a
+    /// conservation bug surfaces as a one-line diagnosis instead of a
+    /// silently wrong report.
+    #[cold]
+    fn invariant_violation(&self, msg: String, now: SimTime) -> ! {
+        panic!("simcheck violation: {msg}\n{}", self.dump_state(now));
+    }
+
+    /// The diagnostic state dump attached to every violation (and to a
+    /// watchdog abort): enough to see *where* the loop was stuck.
+    fn dump_state(&self, now: SimTime) -> String {
+        format!(
+            "  now={:.6}s queue_len={} active_procs={} pending_fetches={} open_reqs={} \
+             reads_issued={} resident_blocks={}\n  done_seq={:?} aborted={:?}\n  config={}",
+            now.as_secs_f64(),
+            self.queue.len(),
+            self.active_procs,
+            self.pending.len(),
+            self.reqs.iter().filter(|r| r.remaining > 0).count(),
+            self.next_rid,
+            self.cache.resident_blocks(),
+            self.done_seq,
+            self.aborted.iter().map(|a| a.len()).collect::<Vec<_>>(),
+            self.config.label(),
+        )
+    }
+
+    /// Structural cache checks run at fault-transition edges and at
+    /// end of run: metadata-layout integrity plus the copy-accounting
+    /// balance (inserts − evictions == resident). Uses the uncounted
+    /// [`CooperativeCache::check_integrity`], so the deterministic
+    /// probe counters (BENCH.json identity) are unaffected.
+    fn edge_checks(&mut self, now: SimTime) {
+        if self.oracle.is_none() {
+            return;
+        }
+        if let Err(e) = self.cache.check_integrity() {
+            self.invariant_violation(e, now);
         }
     }
 
@@ -580,6 +648,7 @@ impl<R: Recorder> Simulation<R> {
         let node = self.procs[p.0 as usize].node;
         let rid = self.next_rid;
         self.next_rid += 1;
+        oracle_check!(self, now, |o| o.read_issued(rid));
 
         let snap = self.snap_stats();
         let prefetch_used_before = self.cache.stats().prefetch_used;
@@ -603,7 +672,10 @@ impl<R: Recorder> Simulation<R> {
             self.handle_evictions(node, &outcome.evicted, now);
             match outcome.lookup {
                 Lookup::LocalHit => {}
-                Lookup::RemoteHit { .. } => all_local = false,
+                Lookup::RemoteHit { holder } => {
+                    all_local = false;
+                    oracle_check!(self, now, |o| o.check_remote_hit(holder.0));
+                }
                 Lookup::Miss => {
                     all_local = false;
                     missing.push(block);
@@ -686,6 +758,8 @@ impl<R: Recorder> Simulation<R> {
             let mut breakdown = self.delivery_breakdown(bytes, all_local);
             breakdown.retry += nretry;
             breakdown.network += ndelay;
+            oracle_check!(self, now, |o| o.read_completed(rid));
+            oracle_check!(self, now, |o| o.check_span(rid, breakdown.total(), cost));
             let outcome = if used_prefetch {
                 ReadOutcome::CoveredByPrefetch
             } else {
@@ -732,7 +806,10 @@ impl<R: Recorder> Simulation<R> {
             self.handle_evictions(node, &outcome.evicted, now);
             match outcome.lookup {
                 Lookup::LocalHit => {}
-                Lookup::RemoteHit { .. } => all_local = false,
+                Lookup::RemoteHit { holder } => {
+                    all_local = false;
+                    oracle_check!(self, now, |o| o.check_remote_hit(holder.0));
+                }
                 Lookup::Miss => {
                     all_local = false;
                     // Write-allocate: the block materialises dirty.
@@ -778,7 +855,9 @@ impl<R: Recorder> Simulation<R> {
         // Classify by request *start* time so hit and miss reads use
         // the same clock for the warm-up boundary and the time series.
         let latency = now - req.started;
+        let rid = req.rid;
         self.metrics.record_read(req.started, latency);
+        oracle_check!(self, now, |o| o.read_completed(rid));
         if self.rec.enabled() {
             let proc = req.proc;
             let node = self.procs[proc.0 as usize].node;
@@ -1351,6 +1430,17 @@ impl<R: Recorder> Simulation<R> {
         to_issue_set.clear();
         self.scratch_issue = to_issue;
         self.scratch_issue_set = to_issue_set;
+        // Post-pump linear-limit audit: the engine's in-flight units
+        // (extent batches count one each) must respect the configured
+        // aggressiveness.
+        if self.oracle.is_some() {
+            if let (Some(limit), Some(engine)) =
+                (self.config.prefetch.aggressive, self.engines.get(&key))
+            {
+                let (in_flight, cap) = (engine.in_flight(), limit.cap());
+                oracle_check!(self, now, |o| o.check_limit(key.file.0, in_flight, cap));
+            }
+        }
     }
 
     // ----- write-back ----------------------------------------------------
@@ -1469,12 +1559,18 @@ impl<R: Recorder> Simulation<R> {
         } else {
             ReadOutcome::Miss
         };
+        let rid = req.rid;
         let slack = disk_done.saturating_since(started);
+        // `slack + delivery` is exactly the latency `request_done`
+        // will record for this read; the oracle makes the equality a
+        // release-mode check when enabled.
+        let expect = slack + self.transfer_cost(bytes, all_local) + net_retry + net_delay;
         debug_assert_eq!(
             b.total(),
-            slack + self.transfer_cost(bytes, all_local) + net_retry + net_delay,
+            expect,
             "span components must sum to the request latency"
         );
+        oracle_check!(self, disk_done, |o| o.check_span(rid, b.total(), expect));
         self.metrics.record_span(started, &b, outcome, slack);
     }
 
@@ -1593,6 +1689,7 @@ impl<R: Recorder> Simulation<R> {
         // are guaranteed to drain even if every process finishes during
         // the window.
         self.queue.schedule(now + w.len, Ev::DiskUp { disk });
+        self.edge_checks(now);
     }
 
     /// A disk outage window closes: credit the held jobs' wait as
@@ -1632,6 +1729,7 @@ impl<R: Recorder> Simulation<R> {
             self.queue
                 .schedule(now + (w.period - w.len), Ev::DiskDown { disk });
         }
+        self.edge_checks(now);
     }
 
     /// A node outage window opens: the node disconnects from the
@@ -1648,6 +1746,9 @@ impl<R: Recorder> Simulation<R> {
             .node_outage
             .expect("node outage event without a window");
         self.cache.set_degraded(NodeId(node), true);
+        if let Some(o) = self.oracle.as_mut() {
+            o.set_degraded(node, true);
+        }
         if let Some(fs) = &mut self.faults {
             fs.degraded_enter(node as usize, now);
         }
@@ -1656,12 +1757,26 @@ impl<R: Recorder> Simulation<R> {
                 .record(now.as_nanos(), Event::DegradedEnter { node });
         }
         self.queue.schedule(now + w.len, Ev::NodeUp { node });
+        self.edge_checks(now);
     }
 
     /// A node outage window closes: the node rejoins the cooperative
-    /// cache with its buffers intact.
+    /// cache — with its buffers intact by default, or cold (wiped)
+    /// under the `node-outage-wipe` fault mode, which models a crash
+    /// and restart rather than a network partition. Wiped dirty blocks
+    /// are lost, not written back: the crash took them.
     fn node_up(&mut self, node: u32, now: SimTime) {
+        let wipe = self
+            .faults
+            .as_ref()
+            .is_some_and(|fs| fs.plan.node_outage_wipe);
+        if wipe {
+            self.cache.wipe_node(NodeId(node));
+        }
         self.cache.set_degraded(NodeId(node), false);
+        if let Some(o) = self.oracle.as_mut() {
+            o.set_degraded(node, false);
+        }
         if let Some(fs) = &mut self.faults {
             fs.degraded_exit(node as usize, now);
         }
@@ -1680,6 +1795,7 @@ impl<R: Recorder> Simulation<R> {
             self.queue
                 .schedule(now + (w.period - w.len), Ev::NodeDown { node });
         }
+        self.edge_checks(now);
     }
 
     /// Price network faults on one remote delivery of `bytes`: the
@@ -1722,6 +1838,15 @@ impl<R: Recorder> Simulation<R> {
 
     fn finish(mut self) -> (SimReport, R) {
         let end = self.queue.now();
+        // End-of-run conservation: every issued read completed exactly
+        // once, nothing is still in flight, and the cache's copy
+        // accounting balances.
+        if let Some(o) = self.oracle.as_ref() {
+            if let Err(e) = o.end_of_run(self.pending.len()) {
+                self.invariant_violation(e, end);
+            }
+        }
+        self.edge_checks(end);
         if let Some(fs) = &mut self.faults {
             fs.degraded_finalize(end);
         }
@@ -1814,6 +1939,7 @@ impl<R: Recorder> Simulation<R> {
             warmup_reads: self.metrics.read_time_warmup.count(),
             avg_write_ms: self.metrics.write_time.mean(),
             writes: self.metrics.write_time.count(),
+            warmup_writes: self.metrics.warmup_writes,
             disk_reads_demand: self.metrics.disk_reads_demand,
             disk_reads_prefetch: self.metrics.disk_reads_prefetch,
             disk_writes: self.metrics.disk_writes,

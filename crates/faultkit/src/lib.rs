@@ -86,6 +86,10 @@ pub struct FaultPlan {
     pub outage: Option<Window>,
     /// Per-node cache outage windows (degraded cooperative caching).
     pub node_outage: Option<Window>,
+    /// Node outages are *crashes*: a rejoining node comes back with an
+    /// empty cache (its buffers were wiped, dirty copies lost) instead
+    /// of reconnecting with its content intact.
+    pub node_outage_wipe: bool,
     /// Per-attempt network message loss probability.
     pub net_loss: f64,
     /// Probability a remote delivery is delayed by `net_delay`.
@@ -109,6 +113,7 @@ impl Default for FaultPlan {
             burst: None,
             outage: None,
             node_outage: None,
+            node_outage_wipe: false,
             net_loss: 0.0,
             net_delay_p: 0.0,
             net_delay: SimDuration::ZERO,
@@ -153,10 +158,26 @@ impl FaultPlan {
     /// ```
     ///
     /// Windows are `PERIOD_S:LEN_S` (seconds); `net-delay` is
-    /// `PROB:MILLIS`. Omitted keys keep their defaults; if `burst` is
-    /// given without `burst-error`, the in-burst rate defaults to
-    /// `max(10 · disk-error, 0.25)` capped at 0.9.
+    /// `PROB:MILLIS`. `node-outage-wipe` takes the same window as
+    /// `node-outage` but makes the outages *crashes*: the node rejoins
+    /// with an empty cache. Omitted keys keep their defaults; if
+    /// `burst` is given without `burst-error`, the in-burst rate
+    /// defaults to `max(10 · disk-error, 0.25)` capped at 0.9.
+    ///
+    /// Errors carry the full key menu, so a malformed spec on a CLI
+    /// prints what *would* have parsed.
     pub fn parse(spec: &str) -> Result<Self, String> {
+        Self::parse_inner(spec).map_err(|e| format!("{e}\n  fault-plan keys: {}", Self::KEY_MENU))
+    }
+
+    /// Every key [`parse`](Self::parse) accepts, with value shapes —
+    /// appended to parse errors, menu-style.
+    pub const KEY_MENU: &'static str = "seed=N, disk-error=P, burst-error=P, disk-retries=N, \
+         backoff-ms=MS, burst=PERIOD_S:LEN_S, outage=PERIOD_S:LEN_S, \
+         node-outage=PERIOD_S:LEN_S, node-outage-wipe=PERIOD_S:LEN_S, net-loss=P, \
+         net-delay=PROB:MS, net-retries=N, net-ctrl-retries=N";
+
+    fn parse_inner(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::none();
         let mut burst_error_set = false;
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
@@ -187,6 +208,10 @@ impl FaultPlan {
                 "burst" => plan.burst = Some(parse_window(value)?),
                 "outage" => plan.outage = Some(parse_window(value)?),
                 "node-outage" => plan.node_outage = Some(parse_window(value)?),
+                "node-outage-wipe" => {
+                    plan.node_outage = Some(parse_window(value)?);
+                    plan.node_outage_wipe = true;
+                }
                 "net-loss" => plan.net_loss = num("probability")?.clamp(0.0, 1.0),
                 "net-delay" => {
                     let (p, ms) = value
@@ -269,6 +294,138 @@ impl FaultPlan {
     pub fn first_node_down(&self, node: usize) -> Option<SimTime> {
         let w = self.node_outage?;
         Some(SimTime::ZERO + self.phase(SALT_NODE, node as u64, w.period))
+    }
+
+    /// The canonical spec string: parsing it back yields exactly this
+    /// plan (`parse(canonical(p)) == p`), and it is a fixed point
+    /// (`canonical(parse(canonical(p))) == canonical(p)`). Only
+    /// non-default keys are emitted; `burst-error` is always written
+    /// out when relevant so the parse-time defaulting rule cannot
+    /// change the round-tripped value.
+    pub fn canonical(&self) -> String {
+        let d = FaultPlan::none();
+        let mut parts: Vec<String> = Vec::new();
+        if self.seed != d.seed {
+            parts.push(format!("seed={}", self.seed));
+        }
+        if self.disk_error != d.disk_error {
+            parts.push(format!("disk-error={}", self.disk_error));
+        }
+        if let Some(w) = self.burst {
+            parts.push(format!(
+                "burst={}:{}",
+                w.period.as_secs_f64(),
+                w.len.as_secs_f64()
+            ));
+        }
+        if self.burst.is_some() || self.burst_error != d.burst_error {
+            parts.push(format!("burst-error={}", self.burst_error));
+        }
+        if self.disk_retries != d.disk_retries {
+            parts.push(format!("disk-retries={}", self.disk_retries));
+        }
+        if self.backoff != d.backoff {
+            parts.push(format!("backoff-ms={}", self.backoff.as_millis_f64()));
+        }
+        if let Some(w) = self.outage {
+            parts.push(format!(
+                "outage={}:{}",
+                w.period.as_secs_f64(),
+                w.len.as_secs_f64()
+            ));
+        }
+        if let Some(w) = self.node_outage {
+            let key = if self.node_outage_wipe {
+                "node-outage-wipe"
+            } else {
+                "node-outage"
+            };
+            parts.push(format!(
+                "{key}={}:{}",
+                w.period.as_secs_f64(),
+                w.len.as_secs_f64()
+            ));
+        }
+        if self.net_loss != d.net_loss {
+            parts.push(format!("net-loss={}", self.net_loss));
+        }
+        if self.net_delay_p != d.net_delay_p || self.net_delay != d.net_delay {
+            parts.push(format!(
+                "net-delay={}:{}",
+                self.net_delay_p,
+                self.net_delay.as_millis_f64()
+            ));
+        }
+        if self.net_retries != d.net_retries {
+            parts.push(format!("net-retries={}", self.net_retries));
+        }
+        if self.net_ctrl_retries != d.net_ctrl_retries {
+            parts.push(format!("net-ctrl-retries={}", self.net_ctrl_retries));
+        }
+        parts.join(",")
+    }
+
+    /// A seeded random *valid* plan spec, drawing every value from
+    /// small discrete menus (integral seconds / milliseconds, short
+    /// decimal probabilities) so that spec → plan → canonical → plan
+    /// is exact. Fuel for the grammar round-trip fuzz and the chaos
+    /// sweep; same seed, same spec.
+    pub fn random_spec(seed: u64) -> String {
+        let mut rng = Rng64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xFA17_57EC);
+        const PROBS: [&str; 6] = ["0.001", "0.005", "0.01", "0.02", "0.05", "0.1"];
+        const PERIODS: [u64; 4] = [30, 60, 120, 300];
+        let mut parts: Vec<String> = vec![format!("seed={}", rng.range_u64(1, 1 << 20))];
+        let pick = |rng: &mut Rng64, xs: &[&str]| {
+            xs[rng.range_u64(0, xs.len() as u64 - 1) as usize].to_string()
+        };
+        let window = |rng: &mut Rng64| {
+            let period = PERIODS[rng.range_u64(0, PERIODS.len() as u64 - 1) as usize];
+            let len = (period / rng.range_u64(4, 12)).max(1);
+            format!("{period}:{len}")
+        };
+        if rng.chance(0.7) {
+            parts.push(format!("disk-error={}", pick(&mut rng, &PROBS)));
+            if rng.chance(0.5) {
+                parts.push(format!("disk-retries={}", rng.range_u64(1, 5)));
+            }
+            if rng.chance(0.4) {
+                parts.push(format!("backoff-ms={}", rng.range_u64(0, 10)));
+            }
+        }
+        if rng.chance(0.4) {
+            parts.push(format!("burst={}", window(&mut rng)));
+            if rng.chance(0.5) {
+                parts.push(format!("burst-error=0.{}", rng.range_u64(2, 9)));
+            }
+        }
+        if rng.chance(0.5) {
+            parts.push(format!("outage={}", window(&mut rng)));
+        }
+        if rng.chance(0.5) {
+            let key = if rng.chance(0.5) {
+                "node-outage-wipe"
+            } else {
+                "node-outage"
+            };
+            parts.push(format!("{key}={}", window(&mut rng)));
+        }
+        if rng.chance(0.4) {
+            parts.push(format!("net-loss={}", pick(&mut rng, &PROBS)));
+            if rng.chance(0.5) {
+                parts.push(format!("net-retries={}", rng.range_u64(1, 4)));
+            }
+            if rng.chance(0.3) {
+                parts.push(format!("net-ctrl-retries={}", rng.range_u64(0, 2)));
+            }
+        }
+        if rng.chance(0.4) {
+            parts.push(format!(
+                "net-delay={}:{}",
+                pick(&mut rng, &PROBS),
+                rng.range_u64(1, 5)
+            ));
+        }
+        parts.join(",")
     }
 }
 
@@ -523,6 +680,71 @@ mod tests {
         assert!(FaultPlan::parse("burst=5").is_err());
         assert!(FaultPlan::parse("burst=5:10").is_err(), "len >= period");
         assert!(FaultPlan::parse("net-delay=0.1").is_err());
+    }
+
+    #[test]
+    fn wipe_key_sets_window_and_flag() {
+        let p = FaultPlan::parse("node-outage-wipe=300:20").unwrap();
+        assert!(p.node_outage_wipe);
+        assert_eq!(
+            p.node_outage,
+            Some(Window {
+                period: secs(300),
+                len: secs(20)
+            })
+        );
+        assert!(!p.is_empty());
+        let plain = FaultPlan::parse("node-outage=300:20").unwrap();
+        assert!(!plain.node_outage_wipe, "plain outages keep content");
+    }
+
+    #[test]
+    fn parse_errors_carry_key_menu() {
+        let e = FaultPlan::parse("frob=1").unwrap_err();
+        assert!(e.contains("unknown fault-plan key 'frob'"), "{e}");
+        assert!(e.contains("node-outage-wipe"), "menu lists every key: {e}");
+        let e = FaultPlan::parse("burst=5").unwrap_err();
+        assert!(e.contains("fault-plan keys:"), "all errors carry it: {e}");
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        let specs = [
+            "",
+            "seed=7,disk-error=0.02,disk-retries=4,backoff-ms=5,burst=60:5,burst-error=0.5,\
+             outage=120:10,node-outage=300:20,net-loss=0.01,net-delay=0.05:2,net-retries=4,\
+             net-ctrl-retries=2",
+            // The burst-error defaulting rule must be pinned by the
+            // canonical form, not re-derived at re-parse time.
+            "disk-error=0.01,burst=60:5",
+            "node-outage-wipe=120:10",
+            "backoff-ms=0,net-delay=0.5:3",
+        ];
+        for spec in specs {
+            let p = FaultPlan::parse(spec).unwrap();
+            let c = p.canonical();
+            let p2 = FaultPlan::parse(&c).unwrap_or_else(|e| panic!("'{c}': {e}"));
+            assert_eq!(p, p2, "'{spec}' -> '{c}'");
+            assert_eq!(p2.canonical(), c, "canonical is a fixed point: '{c}'");
+        }
+    }
+
+    #[test]
+    fn random_specs_parse_and_round_trip() {
+        for seed in 0..500u64 {
+            let spec = FaultPlan::random_spec(seed);
+            let p =
+                FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("seed {seed}: '{spec}': {e}"));
+            let c = p.canonical();
+            let p2 = FaultPlan::parse(&c).unwrap_or_else(|e| panic!("seed {seed}: '{c}': {e}"));
+            assert_eq!(p, p2, "seed {seed}: '{spec}' -> '{c}'");
+            assert_eq!(p2.canonical(), c, "seed {seed}: fixed point");
+        }
+        assert_eq!(
+            FaultPlan::random_spec(9),
+            FaultPlan::random_spec(9),
+            "same seed, same spec"
+        );
     }
 
     #[test]

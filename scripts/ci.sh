@@ -12,6 +12,9 @@ run() {
 run cargo fmt --all -- --check
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo build --offline --workspace --all-targets
+# Debug tests run with the invariant oracle enabled (CheckMode::Auto
+# is on under debug_assertions), so every test is also a conservation,
+# span-sum, linear-limit, degraded-safety, and liveness check.
 run cargo test --offline --workspace
 
 # Experiment-harness smoke: table1 + the devmodel, extent, faults, and
@@ -34,6 +37,14 @@ run cargo test --offline --workspace
 # freshness gate at the bottom pins tests/golden/tiny_trace.json the
 # same way).
 run ./target/debug/experiments --smoke --bench-out target/BENCH.json
+
+# Chaos smoke (DESIGN.md §15): 64 seeded random fault plans, each run
+# on both cache systems across all four metadata-layout × event-queue
+# combinations with the invariant oracle forced on, asserting zero
+# violations and bit-identical reports per plan. Always small scale;
+# ~64 plans keeps this inside the smoke time budget (the full
+# 500-plan sweep is `experiments chaos`).
+run ./target/debug/experiments chaos --plans 64
 
 # Benchmark-snapshot staleness: the committed BENCH.json (schema 2)
 # must match what the tree produces. This is also the perf gate: the

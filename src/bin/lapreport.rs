@@ -17,6 +17,9 @@
 //!
 //! # Render the simulator self-profile of a schema-2 BENCH.json:
 //! lapreport perf BENCH.json
+//!
+//! # Summarize a chaos-sweep CSV (experiments chaos --out DIR):
+//! lapreport chaos chaos.csv
 //! ```
 //!
 //! The `metrics` subcommand hard-fails on missing metric keys: a
@@ -34,6 +37,7 @@ fn usage() -> ! {
     eprintln!("       lapreport trace FILE");
     eprintln!("       lapreport bench-diff OLD NEW");
     eprintln!("       lapreport perf FILE...");
+    eprintln!("       lapreport chaos FILE");
     exit(2);
 }
 
@@ -46,6 +50,7 @@ fn main() {
         "trace" => cmd_trace(rest),
         "bench-diff" => cmd_bench_diff(rest),
         "perf" => cmd_perf(rest),
+        "chaos" => cmd_chaos(rest),
         "-h" | "--help" => usage(),
         _ => usage(),
     };
@@ -1020,4 +1025,143 @@ fn cmd_perf(args: &[String]) -> i32 {
         println!("  (counters deterministic and CI-gated; wall/throughput informational)");
     }
     0
+}
+
+// ---------------------------------------------------------------------------
+// chaos sweep summary
+// ---------------------------------------------------------------------------
+
+/// One row of an `experiments chaos --out` CSV. The fault-plan spec is
+/// the last column because it contains commas itself.
+struct ChaosRow {
+    plan: u64,
+    system: String,
+    status: String,
+    read_ms: f64,
+    reads: u64,
+    injected: u64,
+    failovers: u64,
+    spec: String,
+}
+
+const CHAOS_HEADER: &str = "plan,seed,system,status,read_ms,reads,faults_injected,failovers,spec";
+
+fn load_chaos(path: &str) -> Result<Vec<ChaosRow>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h == CHAOS_HEADER => {}
+        other => {
+            return Err(format!(
+                "{path}: not a chaos CSV (expected header {CHAOS_HEADER:?}, got {:?})",
+                other.map(|(_, h)| h).unwrap_or("<empty file>")
+            ))
+        }
+    }
+    let mut rows = Vec::new();
+    for (i, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        // splitn(9): everything after the eighth comma is the spec.
+        let f: Vec<&str> = line.splitn(9, ',').collect();
+        if f.len() != 9 {
+            return Err(format!("{path}:{}: expected 9 columns: {line:?}", i + 1));
+        }
+        let num = |j: usize, what: &str| -> Result<f64, String> {
+            f[j].parse()
+                .map_err(|_| format!("{path}:{}: bad {what} {:?}", i + 1, f[j]))
+        };
+        rows.push(ChaosRow {
+            plan: num(0, "plan")? as u64,
+            system: f[2].to_string(),
+            status: f[3].to_string(),
+            read_ms: num(4, "read_ms")?,
+            reads: num(5, "reads")? as u64,
+            injected: num(6, "faults_injected")? as u64,
+            failovers: num(7, "failovers")? as u64,
+            spec: f[8].to_string(),
+        });
+    }
+    if rows.is_empty() {
+        return Err(format!("{path}: no chaos rows found"));
+    }
+    Ok(rows)
+}
+
+/// `lapreport chaos FILE`: per-system roll-up of a chaos-sweep CSV
+/// (see EXPERIMENTS.md, "reading a chaos report"). Exits non-zero when
+/// any plan ended in an invariant violation or a layout/backend
+/// mismatch — the CSV is the machine-readable verdict, this is the
+/// human one.
+fn cmd_chaos(args: &[String]) -> i32 {
+    let [path] = args else { usage() };
+    let rows = match load_chaos(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lapreport: {e}");
+            return 1;
+        }
+    };
+    let mut systems: Vec<&str> = Vec::new();
+    for r in &rows {
+        if !systems.contains(&r.system.as_str()) {
+            systems.push(&r.system);
+        }
+    }
+    println!("chaos sweep: {path}");
+    println!(
+        "  {:<6} {:>6} {:>6} {:>10} {:>9} {:>10} {:>10} {:>10}",
+        "system", "plans", "ok", "violation", "mismatch", "mean-ms", "injected", "failovers"
+    );
+    let mut bad = 0u64;
+    for sys in &systems {
+        let (mut ok, mut violation, mut mismatch) = (0u64, 0u64, 0u64);
+        let (mut ms_sum, mut injected, mut failovers) = (0.0f64, 0u64, 0u64);
+        for r in rows.iter().filter(|r| &r.system == sys) {
+            match r.status.as_str() {
+                "ok" => {
+                    ok += 1;
+                    ms_sum += r.read_ms;
+                }
+                "violation" => violation += 1,
+                "mismatch" => mismatch += 1,
+                other => {
+                    eprintln!("lapreport: {path}: unknown chaos status {other:?}");
+                    return 1;
+                }
+            }
+            injected += r.injected;
+            failovers += r.failovers;
+        }
+        bad += violation + mismatch;
+        let mean_ms = if ok > 0 { ms_sum / ok as f64 } else { 0.0 };
+        println!(
+            "  {:<6} {:>6} {:>6} {:>10} {:>9} {:>10.3} {:>10} {:>10}",
+            sys,
+            ok + violation + mismatch,
+            ok,
+            violation,
+            mismatch,
+            mean_ms,
+            injected,
+            failovers
+        );
+    }
+    for r in rows.iter().filter(|r| r.status != "ok") {
+        println!(
+            "  FAILED plan {:>4} {:<5} {}: reads {}  spec {}",
+            r.plan, r.system, r.status, r.reads, r.spec
+        );
+    }
+    if bad > 0 {
+        eprintln!("lapreport: chaos sweep recorded {bad} failing plan-system cell(s)");
+        1
+    } else {
+        println!(
+            "  all {} plan-system cells green (oracle on, layouts and backends bit-identical)",
+            rows.len()
+        );
+        0
+    }
 }

@@ -34,6 +34,7 @@ struct Args {
     fault_plan: Option<FaultPlan>,
     event_queue: QueueBackend,
     meta_layout: MetaLayout,
+    check: CheckMode,
     verbose: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -58,6 +59,9 @@ fn usage() -> ! {
     eprintln!("              [--profile]          print a simulator self-profile (cost");
     eprintln!("                                   counters + phase timers; results stay");
     eprintln!("                                   bit-identical to an unprofiled run)");
+    eprintln!("              [--check auto|on|off]  runtime invariant oracle (DESIGN.md");
+    eprintln!("                                   §15); auto = on in debug builds only;");
+    eprintln!("                                   results are bit-identical either way");
     eprintln!();
     eprintln!("fault plans: comma-separated key=value, e.g.");
     eprintln!("    seed=7,disk-error=0.02,disk-retries=4,backoff-ms=5,burst=60:5,");
@@ -122,6 +126,7 @@ fn parse_args() -> Args {
         fault_plan: None,
         event_queue: QueueBackend::Calendar,
         meta_layout: MetaLayout::Dense,
+        check: CheckMode::Auto,
         verbose: false,
         trace_out: None,
         metrics_out: None,
@@ -223,6 +228,13 @@ fn parse_args() -> Args {
                     .and_then(MetaLayout::parse)
                     .unwrap_or_else(|| usage())
             }
+            "--check" => {
+                out.check = args
+                    .next()
+                    .as_deref()
+                    .and_then(CheckMode::parse)
+                    .unwrap_or_else(|| usage())
+            }
             "--profile" => out.profile = true,
             "-v" | "--verbose" => out.verbose = true,
             "-h" | "--help" => usage(),
@@ -309,6 +321,7 @@ fn main() {
     config.fault_plan = args.fault_plan;
     config.event_queue = args.event_queue;
     config.meta_layout = args.meta_layout;
+    config.check = args.check;
 
     let t0 = std::time::Instant::now();
     let mut profile: Option<SimProfile> = None;

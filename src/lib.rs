@@ -87,8 +87,8 @@ pub mod prelude {
     pub use ioworkload::sprite::SpriteParams;
     pub use ioworkload::{BlockId, FileId, NodeId, Op, ProcId, Workload};
     pub use lap_core::{
-        run_simulation, run_simulation_profiled, run_simulation_traced, CacheSystem, MachineConfig,
-        PrefetchGranularity, SimConfig, SimProfile, SimReport, Simulation,
+        run_simulation, run_simulation_profiled, run_simulation_traced, CacheSystem, CheckMode,
+        MachineConfig, PrefetchGranularity, SimConfig, SimProfile, SimReport, Simulation,
     };
     pub use lapobs::{NoopRecorder, Recorder, Registry, TraceRecorder};
     pub use prefetch::{

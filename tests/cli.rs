@@ -140,6 +140,22 @@ fn lapsim_rejects_unknown_algorithm() {
 }
 
 #[test]
+fn lapsim_rejects_bad_fault_plan_with_key_menu() {
+    let out = lapsim()
+        .args(["--workload", "sprite", "--fault-plan", "bogus=1"])
+        .output()
+        .expect("run lapsim");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("bad --fault-plan"), "stderr: {err}");
+    // Every parse error carries the full key menu, registry-style.
+    assert!(err.contains("fault-plan keys:"), "stderr: {err}");
+    for key in ["disk-error", "outage", "node-outage-wipe", "net-loss"] {
+        assert!(err.contains(key), "key menu misses {key}: {err}");
+    }
+}
+
+#[test]
 fn lapsim_supports_every_registry_predictor_spec() {
     for spec in [
         "np",
